@@ -1,0 +1,69 @@
+// Command fgnvm-area evaluates the Table 1 area-overhead model for any
+// FgNVM configuration:
+//
+//	fgnvm-area                  # the paper's 8x8 and 32x32 points
+//	fgnvm-area -sags 16 -cds 4  # a custom configuration
+//	fgnvm-area -sweep           # the full power-of-two grid
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/area"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		sags  = flag.Int("sags", 0, "subarray groups (0 = show the paper's two points)")
+		cds   = flag.Int("cds", 0, "column divisions")
+		rows  = flag.Int("rows", 65536, "rows per bank")
+		sweep = flag.Bool("sweep", false, "sweep the power-of-two SAG x CD grid")
+	)
+	flag.Parse()
+
+	switch {
+	case *sweep:
+		t := report.NewTable("SAGs", "CDs", "row latches", "CSL latches", "LY-SEL wires", "total µm²", "total %")
+		for s := 1; s <= 32; s *= 2 {
+			for c := 1; c <= 32; c *= 2 {
+				o, err := area.Compute(s, c, *rows)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "fgnvm-area:", err)
+					os.Exit(1)
+				}
+				t.AddRow(fmt.Sprint(s), fmt.Sprint(c),
+					fmt.Sprintf("%.1f", o.RowLatchesUm2),
+					fmt.Sprintf("%.1f", o.CSLLatchesUm2),
+					fmt.Sprintf("%.1f", o.YSelLinesUm2),
+					fmt.Sprintf("%.1f", o.TotalUm2),
+					fmt.Sprintf("%.4f", o.TotalPct))
+			}
+		}
+		t.Render(os.Stdout)
+	case *sags > 0 && *cds > 0:
+		o, err := area.Compute(*sags, *cds, *rows)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fgnvm-area:", err)
+			os.Exit(1)
+		}
+		printOne(o)
+	default:
+		fmt.Println("Table 1 reproduction (8x8 = avg column, 32x32 = max column):")
+		fmt.Println()
+		printOne(area.PaperAverage())
+		fmt.Println()
+		printOne(area.PaperMaximum())
+	}
+}
+
+func printOne(o area.Overheads) {
+	fmt.Printf("FgNVM %dx%d:\n", o.SAGs, o.CDs)
+	fmt.Printf("  row decoder delta  %+.2f %% transistors (negligible)\n", o.RowDecoderDeltaPct)
+	fmt.Printf("  row latches        %.1f µm²\n", o.RowLatchesUm2)
+	fmt.Printf("  CSL latches        %.1f µm²\n", o.CSLLatchesUm2)
+	fmt.Printf("  LY-SEL wires       %.1f µm²\n", o.YSelLinesUm2)
+	fmt.Printf("  total              %.1f µm² (%.4f %% of the bank region)\n", o.TotalUm2, o.TotalPct)
+}

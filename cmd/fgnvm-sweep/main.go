@@ -1,0 +1,133 @@
+// Command fgnvm-sweep runs a one-dimensional design-space sweep and
+// prints a CSV of the results — the building block for plotting any
+// axis of the FgNVM design space:
+//
+//	fgnvm-sweep -axis cds -values 1,2,4,8,16,32 -bench mcf
+//	fgnvm-sweep -axis sags -values 2,4,8,16,32
+//	fgnvm-sweep -axis lanes -values 1,2,4,8
+//	fgnvm-sweep -axis cores -values 1,2,4
+//	fgnvm-sweep -axis rob -values 64,128,256,512
+//	fgnvm-sweep -axis mshrs -values 8,16,32,64
+//	fgnvm-sweep -axis tile -values 512,1024,2048,4096
+//
+// Every row also reports the baseline-relative speedup and energy so
+// the output plots directly against the paper's figures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	fgnvm "repro"
+)
+
+// axis applies one sweep value to an Options set.
+type axis struct {
+	name    string
+	apply   func(o *fgnvm.Options, v int)
+	defs    string
+	affects string
+}
+
+var axes = []axis{
+	{"cds", func(o *fgnvm.Options, v int) { o.CDs = v }, "1,2,4,8,16,32", "column divisions"},
+	{"sags", func(o *fgnvm.Options, v int) { o.SAGs = v }, "2,4,8,16,32", "subarray groups"},
+	{"lanes", func(o *fgnvm.Options, v int) { o.IssueLanes = v }, "1,2,4,8", "issue lanes"},
+	{"cores", func(o *fgnvm.Options, v int) { o.Cores = v }, "1,2,4", "cores sharing memory"},
+	{"rob", func(o *fgnvm.Options, v int) { o.Core.ROB = v }, "64,128,256,512", "reorder buffer entries"},
+	{"mshrs", func(o *fgnvm.Options, v int) { o.Core.MSHRs = v }, "8,16,32,64", "outstanding misses"},
+	{"tile", func(o *fgnvm.Options, v int) {
+		o.Device = &fgnvm.DeviceParams{TileRows: v, TileCols: v}
+	}, "512,1024,2048,4096", "device tile side (cells)"},
+}
+
+func findAxis(name string) *axis {
+	for i := range axes {
+		if axes[i].name == name {
+			return &axes[i]
+		}
+	}
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fgnvm-sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var names []string
+	for _, a := range axes {
+		names = append(names, a.name)
+	}
+	var (
+		axisName = flag.String("axis", "cds", "sweep axis: "+strings.Join(names, ", "))
+		values   = flag.String("values", "", "comma-separated values (default: axis-specific)")
+		bench    = flag.String("bench", "mcf", "benchmark profile")
+		design   = flag.String("design", "fgnvm", "design under sweep")
+		instr    = flag.Uint64("n", 100_000, "instructions per run")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	ax := findAxis(*axisName)
+	if ax == nil {
+		return fmt.Errorf("unknown axis %q (want one of %s)", *axisName, strings.Join(names, ", "))
+	}
+	vs := *values
+	if vs == "" {
+		vs = ax.defs
+	}
+	var sweep []int
+	for _, f := range strings.Split(vs, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return fmt.Errorf("bad value %q: %v", f, err)
+		}
+		sweep = append(sweep, v)
+	}
+	d, err := fgnvm.ParseDesign(*design)
+	if err != nil {
+		return err
+	}
+
+	// Baseline for normalization: same workload/core knobs, baseline
+	// design, the axis value left at default where that is meaningful.
+	baseOpts := fgnvm.Options{
+		Design: fgnvm.DesignBaseline, Benchmark: *bench,
+		Instructions: *instr, Seed: *seed,
+	}
+	fmt.Printf("# axis=%s (%s) bench=%s design=%s n=%d\n", ax.name, ax.affects, *bench, *design, *instr)
+	fmt.Println("value,ipc,speedup,rel_energy,avg_read_lat,p95_read_lat,bg_reads")
+	for _, v := range sweep {
+		o := fgnvm.Options{
+			Design: d, SAGs: 8, CDs: 2, Benchmark: *bench,
+			Instructions: *instr, Seed: *seed,
+		}
+		ax.apply(&o, v)
+		b := baseOpts
+		// Core-side and workload-side axes must hit the baseline too,
+		// or the normalization would mix effects.
+		switch ax.name {
+		case "cores", "rob", "mshrs", "tile":
+			ax.apply(&b, v)
+		}
+		base, err := fgnvm.Run(b)
+		if err != nil {
+			return fmt.Errorf("baseline at %s=%d: %w", ax.name, v, err)
+		}
+		r, err := fgnvm.Run(o)
+		if err != nil {
+			return fmt.Errorf("%s=%d: %w", ax.name, v, err)
+		}
+		fmt.Printf("%d,%.4f,%.3f,%.3f,%.1f,%d,%d\n",
+			v, r.IPC, r.SpeedupOver(base), r.RelativeEnergy(base),
+			r.AvgReadLatency, r.P95ReadLatency, r.BackgroundedRds)
+	}
+	return nil
+}

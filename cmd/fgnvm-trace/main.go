@@ -1,0 +1,97 @@
+// Command fgnvm-trace generates and inspects workload trace files in
+// the simulator's text format:
+//
+//	fgnvm-trace -bench mcf -n 10000 -o mcf.trc     # generate
+//	fgnvm-trace -inspect mcf.trc                   # summarize
+//	fgnvm-trace -format nvmain -o mcf.nvt          # NVMain 2.0 format
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fgnvm-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		bench   = flag.String("bench", "mcf", "benchmark profile to generate from")
+		n       = flag.Uint64("n", 10_000, "accesses to generate")
+		seed    = flag.Uint64("seed", 1, "generator seed")
+		out     = flag.String("o", "", "output file (default stdout)")
+		format  = flag.String("format", "native", "trace format: native or nvmain")
+		inspect = flag.String("inspect", "", "summarize an existing trace file instead")
+	)
+	flag.Parse()
+
+	if *inspect != "" {
+		f, err := os.Open(*inspect)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		var accs []trace.Access
+		switch *format {
+		case "native":
+			accs, err = trace.ReadTrace(f)
+		case "nvmain":
+			accs, err = trace.ReadNVMainTrace(f)
+		default:
+			return fmt.Errorf("unknown format %q", *format)
+		}
+		if err != nil {
+			return err
+		}
+		summarize(*inspect, accs)
+		return nil
+	}
+
+	p, ok := trace.ProfileByName(*bench)
+	if !ok {
+		return fmt.Errorf("unknown benchmark %q", *bench)
+	}
+	g := trace.NewGenerator(p, 64, 4096, *seed)
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	var written uint64
+	var err error
+	switch *format {
+	case "native":
+		written, err = trace.WriteTrace(w, g, *n)
+	case "nvmain":
+		written, err = trace.WriteNVMainTrace(w, g, *n)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		fmt.Printf("wrote %d accesses to %s\n", written, *out)
+	}
+	return nil
+}
+
+func summarize(name string, accs []trace.Access) {
+	s := trace.Analyze(accs, 64)
+	fmt.Printf("%s: %s\n", name, s)
+	if s.Accesses > 0 {
+		fmt.Printf("  addr range %#x .. %#x\n", s.MinAddr, s.MaxAddr)
+	}
+}

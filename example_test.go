@@ -1,0 +1,63 @@
+package fgnvm_test
+
+import (
+	"fmt"
+
+	fgnvm "repro"
+)
+
+// ExampleRun shows the minimal comparison the library exists for: the
+// baseline NVM prototype against the FgNVM design on one benchmark.
+// Simulations are deterministic, so the output is stable.
+func ExampleRun() {
+	base, err := fgnvm.Run(fgnvm.Options{
+		Design:       fgnvm.DesignBaseline,
+		Benchmark:    "mcf",
+		Instructions: 20_000,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fg, err := fgnvm.Run(fgnvm.Options{
+		Design:       fgnvm.DesignFgNVM,
+		SAGs:         8,
+		CDs:          8,
+		Benchmark:    "mcf",
+		Instructions: 20_000,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("speedup %.2fx, relative energy %.2f\n",
+		fg.SpeedupOver(base), fg.RelativeEnergy(base))
+	// Output: speedup 1.38x, relative energy 0.25
+}
+
+// ExampleTable1 regenerates the paper's area-overhead table.
+func ExampleTable1() {
+	for _, row := range fgnvm.Table1() {
+		if row.Component == "Total" {
+			fmt.Printf("%s: avg %.0f µm², max %.0f µm²\n",
+				row.Component, row.AvgUm2, row.MaxUm2)
+		}
+	}
+	// Output: Total: avg 2961 µm², max 113627 µm²
+}
+
+// ExampleOptions_modes isolates a single access mode for an ablation.
+func ExampleOptions_modes() {
+	r, err := fgnvm.Run(fgnvm.Options{
+		Design:       fgnvm.DesignFgNVM,
+		SAGs:         8,
+		CDs:          8,
+		Benchmark:    "mcf",
+		Instructions: 20_000,
+		Modes:        &fgnvm.AccessModeSet{PartialActivation: true},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("partial activation only: %d partial senses, %d reads\n",
+		r.Activations, r.Reads)
+	// Output: partial activation only: 713 partial senses, 713 reads
+}

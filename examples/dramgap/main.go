@@ -1,0 +1,62 @@
+// Command dramgap quantifies the framing of the paper's Section 2: how
+// far the PCM baseline trails a conventional DDR3-class DRAM on the
+// same workload, and how much of that gap FgNVM's tile-level
+// parallelism recovers — without paying DRAM's refresh, restore, and
+// volatility costs.
+//
+// Run with:
+//
+//	go run ./examples/dramgap [benchmark]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	fgnvm "repro"
+)
+
+func main() {
+	bench := "mcf"
+	if len(os.Args) > 1 {
+		bench = os.Args[1]
+	}
+	const instructions = 100_000
+
+	run := func(d fgnvm.Design, lanes int) fgnvm.Result {
+		r, err := fgnvm.Run(fgnvm.Options{
+			Design: d, SAGs: 8, CDs: 8, IssueLanes: lanes,
+			Benchmark: bench, Instructions: instructions,
+		})
+		if err != nil {
+			log.Fatalf("%v: %v", d, err)
+		}
+		return r
+	}
+
+	dram := run(fgnvm.DesignDRAM, 0)
+	pcm := run(fgnvm.DesignBaseline, 0)
+	fg := run(fgnvm.DesignFgNVM, 0)
+	mi := run(fgnvm.DesignFgNVMMultiIssue, 0)
+
+	gap := dram.IPC - pcm.IPC
+	closed := func(r fgnvm.Result) float64 {
+		if gap <= 0 {
+			return 0
+		}
+		return (r.IPC - pcm.IPC) / gap * 100
+	}
+
+	fmt.Printf("the DRAM-PCM gap on %s (%d instructions)\n\n", bench, instructions)
+	fmt.Printf("%-22s %8s %12s %14s\n", "memory", "IPC", "read latency", "gap recovered")
+	fmt.Printf("%-22s %8.4f %9.1f cy %14s\n", "DDR3-class DRAM", dram.IPC, dram.AvgReadLatency, "(reference)")
+	fmt.Printf("%-22s %8.4f %9.1f cy %13.1f%%\n", "PCM baseline", pcm.IPC, pcm.AvgReadLatency, 0.0)
+	fmt.Printf("%-22s %8.4f %9.1f cy %13.1f%%\n", "FgNVM 8x8", fg.IPC, fg.AvgReadLatency, closed(fg))
+	fmt.Printf("%-22s %8.4f %9.1f cy %13.1f%%\n", "FgNVM 8x8 multi-issue", mi.IPC, mi.AvgReadLatency, closed(mi))
+
+	fmt.Println()
+	fmt.Println("DRAM pays for its speed with refresh, destructive reads and")
+	fmt.Println("volatility; FgNVM narrows the performance gap architecturally")
+	fmt.Println("while keeping PCM's capacity and non-volatility.")
+}

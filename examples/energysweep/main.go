@@ -1,0 +1,58 @@
+// Command energysweep walks the column-division axis of the design
+// space (the experiment behind Figure 5) for one benchmark: it holds
+// the SAG count at 8 and doubles CDs from 1 to 32, printing the memory
+// energy split after each run. Partial-Activation senses row/CDs bytes
+// per activation, so read energy falls with every doubling while the
+// write and background components form the floor the paper describes.
+//
+// Run with:
+//
+//	go run ./examples/energysweep [benchmark]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	fgnvm "repro"
+)
+
+func main() {
+	bench := "mcf"
+	if len(os.Args) > 1 {
+		bench = os.Args[1]
+	}
+	const instructions = 100_000
+
+	base, err := fgnvm.Run(fgnvm.Options{
+		Design: fgnvm.DesignBaseline, Benchmark: bench, Instructions: instructions,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("energy sweep over column divisions — %s, baseline = %.1f nJ\n\n", bench, base.Energy.TotalPJ/1000)
+	fmt.Printf("%-8s %10s %10s %10s %10s %10s\n",
+		"design", "read nJ", "write nJ", "bg nJ", "total nJ", "relative")
+	fmt.Printf("%-8s %10.1f %10.1f %10.1f %10.1f %10.3f\n", "baseline",
+		base.Energy.ReadPJ/1000, base.Energy.WritePJ/1000,
+		base.Energy.BackgroundPJ/1000, base.Energy.TotalPJ/1000, 1.0)
+
+	for cds := 1; cds <= 32; cds *= 2 {
+		r, err := fgnvm.Run(fgnvm.Options{
+			Design: fgnvm.DesignFgNVM, SAGs: 8, CDs: cds,
+			Benchmark: bench, Instructions: instructions,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("8x%-6d %10.1f %10.1f %10.1f %10.1f %10.3f\n", cds,
+			r.Energy.ReadPJ/1000, r.Energy.WritePJ/1000,
+			r.Energy.BackgroundPJ/1000, r.Energy.TotalPJ/1000,
+			r.RelativeEnergy(base))
+	}
+
+	fmt.Println("\nread energy halves per CD doubling (Partial-Activation);")
+	fmt.Println("write + background energy do not scale — the non-ideal floor of Figure 5.")
+}

@@ -1,0 +1,68 @@
+// Command multicore runs the chip-multiprocessor extension of the
+// paper's evaluation: several cores with private caches sharing one
+// FgNVM memory system. The more cores contend for the memory, the more
+// bank-internal parallelism matters, so FgNVM's speedup over the
+// baseline *grows* with core count — the trend this example prints.
+//
+// Run with:
+//
+//	go run ./examples/multicore
+package main
+
+import (
+	"fmt"
+	"log"
+
+	fgnvm "repro"
+)
+
+func main() {
+	const instructions = 50_000
+
+	fmt.Println("FgNVM speedup vs core count (mcf copies, shared memory system)")
+	fmt.Println()
+	fmt.Printf("%6s %14s %12s %12s %14s\n",
+		"cores", "baseline IPC", "fgnvm 8x2", "multi-issue", "fairness(min/max)")
+
+	for _, cores := range []int{1, 2, 4} {
+		base, err := fgnvm.Run(fgnvm.Options{
+			Design: fgnvm.DesignBaseline, Benchmark: "mcf",
+			Cores: cores, Instructions: instructions,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fg, err := fgnvm.Run(fgnvm.Options{
+			Design: fgnvm.DesignFgNVM, SAGs: 8, CDs: 2, Benchmark: "mcf",
+			Cores: cores, Instructions: instructions,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		mi, err := fgnvm.Run(fgnvm.Options{
+			Design: fgnvm.DesignFgNVMMultiIssue, SAGs: 8, CDs: 2, Benchmark: "mcf",
+			Cores: cores, Instructions: instructions,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fairness := 1.0
+		if fg.MaxCoreIPC > 0 {
+			fairness = fg.MinCoreIPC / fg.MaxCoreIPC
+		}
+		fmt.Printf("%6d %14.3f %11.2fx %11.2fx %14.2f\n",
+			cores, base.IPC, fg.SpeedupOver(base), mi.SpeedupOver(base), fairness)
+	}
+
+	fmt.Println()
+	fmt.Println("A heterogeneous mix shares the memory the same way:")
+	mix, err := fgnvm.Run(fgnvm.Options{
+		Design: fgnvm.DesignFgNVM, SAGs: 8, CDs: 2,
+		Mix: []string{"mcf", "lbm", "libquantum"}, Instructions: instructions,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %s: throughput %.3f IPC across %d cores\n",
+		mix.Benchmark, mix.IPC, mix.Cores)
+}

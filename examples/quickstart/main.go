@@ -1,0 +1,50 @@
+// Command quickstart is the smallest complete use of the fgnvm API:
+// it simulates one memory-intensive benchmark on the baseline NVM and
+// on the FgNVM design, and prints the speedup and energy saving —
+// the paper's two headline metrics.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	fgnvm "repro"
+)
+
+func main() {
+	const benchmark = "mcf"
+	const instructions = 100_000
+
+	base, err := fgnvm.Run(fgnvm.Options{
+		Design:       fgnvm.DesignBaseline,
+		Benchmark:    benchmark,
+		Instructions: instructions,
+	})
+	if err != nil {
+		log.Fatalf("baseline run: %v", err)
+	}
+
+	fg, err := fgnvm.Run(fgnvm.Options{
+		Design:       fgnvm.DesignFgNVM,
+		SAGs:         8,
+		CDs:          2,
+		Benchmark:    benchmark,
+		Instructions: instructions,
+	})
+	if err != nil {
+		log.Fatalf("fgnvm run: %v", err)
+	}
+
+	fmt.Printf("benchmark          %s (%d instructions)\n", benchmark, instructions)
+	fmt.Printf("baseline           IPC=%.4f  cycles=%-8d  energy=%.1f nJ\n",
+		base.IPC, base.Cycles, base.Energy.TotalPJ/1000)
+	fmt.Printf("fgnvm 8x2          IPC=%.4f  cycles=%-8d  energy=%.1f nJ\n",
+		fg.IPC, fg.Cycles, fg.Energy.TotalPJ/1000)
+	fmt.Printf("speedup            %.2fx\n", fg.SpeedupOver(base))
+	fmt.Printf("relative energy    %.2f (lower is better)\n", fg.RelativeEnergy(base))
+	fmt.Printf("reads under write  %d of %d reads\n", fg.BackgroundedRds, fg.Reads)
+}

@@ -1,0 +1,722 @@
+// Package fgnvm is the public API of the FgNVM reproduction: a
+// simulator for fine-granularity tile-level parallelism in non-volatile
+// memory with two-dimensional bank subdivision (Poremba, Zhang, Xie —
+// DAC 2016).
+//
+// The package assembles the full evaluation stack — synthetic SPEC-like
+// workload, last-level cache, ROB-windowed core, FR-FCFS memory
+// controller, and the FgNVM bank models — and runs one simulation per
+// call:
+//
+//	res, err := fgnvm.Run(fgnvm.Options{
+//	    Design:    fgnvm.DesignFgNVM,
+//	    SAGs:      8,
+//	    CDs:       2,
+//	    Benchmark: "mcf",
+//	})
+//	fmt.Println(res.IPC, res.Energy.TotalPJ)
+//
+// Design points reproduce the paper's comparison systems: the baseline
+// NVM prototype, FgNVM (with all three access modes), FgNVM with the
+// augmented multi-issue FR-FCFS controller, the idealized many-banks
+// memory, a SALP-style one-dimensional subdivision, and a DDR3-class
+// DRAM reference. Options further select multi-programmed core counts,
+// PCM or RRAM cells, an analytic device model, and per-mode ablations;
+// Figure4, Figure5, Table1 and Summary regenerate the paper's
+// evaluation artifacts directly.
+package fgnvm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/addr"
+	"repro/internal/bank"
+	"repro/internal/controller"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/device"
+	"repro/internal/dram"
+	"repro/internal/energy"
+	"repro/internal/sim"
+	"repro/internal/timing"
+	"repro/internal/trace"
+)
+
+// Design selects one of the evaluated memory architectures.
+type Design int
+
+const (
+	// DesignBaseline is the prototype NVM bank [13]: one global row
+	// buffer per bank, full-row sensing, serialized operations.
+	DesignBaseline Design = iota
+	// DesignFgNVM is the paper's proposal: SAGs×CDs tile grid with
+	// Partial-Activation, Multi-Activation and Backgrounded Writes.
+	DesignFgNVM
+	// DesignFgNVMMultiIssue additionally lets the controller issue
+	// multiple commands per cycle and return data on a wider bus
+	// (Figure 4's "FGNVM+Multi-Issue" bars).
+	DesignFgNVMMultiIssue
+	// DesignManyBanks is Figure 4's idealized comparison: SAGs×CDs×banks
+	// independent banks, each sized like one (SAG, CD) pair.
+	DesignManyBanks
+	// DesignSALP is a one-dimensional subdivision (SAGs subarrays, one
+	// CD): the DRAM SALP analogue used in the ablation studies.
+	DesignSALP
+	// DesignDRAM is a conventional DDR3-style DRAM memory — destructive
+	// reads (tRAS restore), precharge (tRP), periodic refresh — the
+	// technology whose constraints Section 2 contrasts against NVM.
+	// Performance-only: DRAM energy is not modeled.
+	DesignDRAM
+)
+
+var designNames = map[Design]string{
+	DesignBaseline:        "baseline",
+	DesignFgNVM:           "fgnvm",
+	DesignFgNVMMultiIssue: "fgnvm-multiissue",
+	DesignManyBanks:       "manybanks",
+	DesignSALP:            "salp",
+	DesignDRAM:            "dram",
+}
+
+func (d Design) String() string {
+	if n, ok := designNames[d]; ok {
+		return n
+	}
+	return fmt.Sprintf("Design(%d)", int(d))
+}
+
+// ParseDesign maps a name (as printed by String) back to a Design.
+func ParseDesign(name string) (Design, error) {
+	for d, n := range designNames {
+		if n == name {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("fgnvm: unknown design %q (want one of baseline, fgnvm, fgnvm-multiissue, manybanks, salp, dram)", name)
+}
+
+// Designs returns all designs in a stable order.
+func Designs() []Design {
+	return []Design{DesignBaseline, DesignFgNVM, DesignFgNVMMultiIssue, DesignManyBanks, DesignSALP, DesignDRAM}
+}
+
+// Options configures one simulation. The zero value plus a Benchmark
+// name runs the paper's setup: baseline design, Table 2 geometry and
+// timings, 200 k instructions.
+type Options struct {
+	Design Design
+
+	// SAGs and CDs set the FgNVM/SALP subdivision. Default 8×2, the
+	// configuration of Figure 4. Ignored by DesignBaseline.
+	SAGs, CDs int
+
+	// Benchmark names a built-in SPEC2006-like profile (see
+	// trace.Profiles). Exactly one of Benchmark and Stream must be set.
+	Benchmark string
+	// Stream supplies a custom access stream instead of a benchmark.
+	Stream trace.Stream
+
+	// Cores runs a multi-programmed workload: N copies of Benchmark
+	// (differently seeded, disjoint address regions) on private cores
+	// and LLCs sharing the one memory system. Default 1. The paper
+	// evaluates single-core; this is the natural CMP extension, where
+	// memory contention amplifies the value of tile-level parallelism.
+	Cores int
+	// Mix runs a heterogeneous multi-programmed workload: one core per
+	// named benchmark. Overrides Benchmark/Cores when non-empty.
+	Mix []string
+
+	// Instructions is the retire budget (default 200 000 — the
+	// SimPoint-slice stand-in).
+	Instructions uint64
+	// Seed perturbs the workload generator (default 1).
+	Seed uint64
+
+	// UseLLC interposes a 2 MiB 16-way LLC between the stream and the
+	// memory system (dirty evictions become writebacks). Default true;
+	// set SkipLLC to disable.
+	SkipLLC bool
+
+	// WarmupAccesses pre-fills the LLC by running this many accesses of
+	// the workload through it before timing starts — the stand-in for
+	// the paper's SimPoint checkpoint restore, without which a short
+	// run sees only cold misses and no writeback traffic. Default:
+	// 2× the LLC's line count. Set negative to disable.
+	WarmupAccesses int
+
+	// IssueLanes overrides the controller's command/data lanes.
+	// Default: 1, or 4 for DesignFgNVMMultiIssue.
+	IssueLanes int
+
+	// Scheduler selects the controller policy (default SchedFRFCFS).
+	Scheduler Scheduler
+
+	// Geometry overrides the Table 2 memory organization (advanced).
+	Geometry *addr.Geometry
+	// Timings overrides the Table 2 PCM timing set (advanced).
+	Timings *timing.Timings
+
+	// Device, when set, derives timings and per-bit energies from the
+	// NVSim-style analytic array model instead of the Table 2 numbers:
+	// specify the process node and tile geometry, and the run uses the
+	// latencies/energies that array would have. Mutually exclusive
+	// with Timings.
+	Device *DeviceParams
+
+	// Core overrides the CPU model parameters (advanced).
+	Core CoreParams
+
+	// Technology selects the NVM cell technology: PCM (Table 2, the
+	// default) or RRAM (faster switching, lower write energy). Ignored
+	// when Timings or Device is set.
+	Technology Technology
+
+	// Modes, when non-nil, overrides the access-mode set implied by
+	// Design — the knob for per-mode ablations ("what does FgNVM gain
+	// from Backgrounded Writes alone?"). Applies to DesignFgNVM and
+	// DesignFgNVMMultiIssue only.
+	Modes *AccessModeSet
+
+	// MaxCycles aborts a run that exceeds this many memory cycles
+	// (default 2 billion — a deadlock backstop, not a tuning knob).
+	MaxCycles sim.Tick
+}
+
+// AccessModeSet selects which of the paper's three access modes are
+// enabled, for ablation runs (see Options.Modes).
+type AccessModeSet struct {
+	PartialActivation  bool
+	MultiActivation    bool
+	BackgroundedWrites bool
+}
+
+// Technology selects the resistive memory cell type. Both satisfy the
+// paper's requirement of a large on/off resistance ratio (Section 2).
+type Technology int
+
+const (
+	// TechPCM is the Table 2 phase-change memory prototype.
+	TechPCM Technology = iota
+	// TechRRAM is a representative HfOx resistive RAM: ~3× faster
+	// writes (50 ns pulses), faster reads, 4 pJ/bit writes.
+	TechRRAM
+)
+
+func (t Technology) String() string {
+	switch t {
+	case TechPCM:
+		return "pcm"
+	case TechRRAM:
+		return "rram"
+	default:
+		return fmt.Sprintf("Technology(%d)", int(t))
+	}
+}
+
+// rramWritePJPerBit is the RRAM programming energy (HfOx set/reset is
+// roughly 4× cheaper than PCM's melt-quench).
+const rramWritePJPerBit = 4.0
+
+// DeviceParams describes a PCM array for the analytic device model
+// (see internal/device): timings and per-bit energies are derived from
+// the geometry instead of taken from Table 2. Zero fields take the
+// 20 nm prototype's values (1024×1024 tiles, 32:1 mux, 5 F² cells).
+type DeviceParams struct {
+	FeatureNm  float64
+	TileRows   int
+	TileCols   int
+	MuxDegree  int
+	CellAreaF2 float64
+}
+
+func (p DeviceParams) applyDefaults() DeviceParams {
+	def := device.Prototype()
+	if p.FeatureNm == 0 {
+		p.FeatureNm = def.FeatureNm
+	}
+	if p.TileRows == 0 {
+		p.TileRows = def.TileRows
+	}
+	if p.TileCols == 0 {
+		p.TileCols = def.TileCols
+	}
+	if p.MuxDegree == 0 {
+		p.MuxDegree = def.MuxDegree
+	}
+	if p.CellAreaF2 == 0 {
+		p.CellAreaF2 = def.CellAreaF2
+	}
+	return p
+}
+
+// Scheduler selects the memory-controller command scheduling policy.
+type Scheduler int
+
+const (
+	// SchedFRFCFS is first-ready first-come-first-serve [20], the
+	// paper's scheduler.
+	SchedFRFCFS Scheduler = iota
+	// SchedFCFS services requests strictly in arrival order.
+	SchedFCFS
+)
+
+func (s Scheduler) String() string {
+	switch s {
+	case SchedFRFCFS:
+		return "frfcfs"
+	case SchedFCFS:
+		return "fcfs"
+	default:
+		return fmt.Sprintf("Scheduler(%d)", int(s))
+	}
+}
+
+// CoreParams sizes the CPU model. Zero fields take Nehalem-like
+// defaults: 128-entry ROB, 16 MSHRs, 4-wide retire, 8 CPU cycles per
+// memory-controller cycle (3.2 GHz / 400 MHz).
+type CoreParams struct {
+	ROB            int
+	MSHRs          int
+	RetireWidth    int
+	CPUPerMemCycle int
+}
+
+// EnergyBreakdown reports simulated energy in picojoules.
+type EnergyBreakdown struct {
+	ReadPJ       float64
+	WritePJ      float64
+	BackgroundPJ float64
+	TotalPJ      float64
+	BitsSensed   uint64
+	BitsWritten  uint64
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	Design    Design
+	Benchmark string
+	SAGs, CDs int
+	Cores     int
+
+	Instructions uint64   // total retired across all cores
+	Cycles       sim.Tick // memory-controller cycles elapsed
+	// IPC is the system throughput: the sum of per-core IPCs, each
+	// measured at its core's own completion time. For one core this is
+	// simply that core's IPC.
+	IPC float64
+	// MinCoreIPC and MaxCoreIPC bound the per-core fairness spread in
+	// multi-programmed runs.
+	MinCoreIPC float64
+	MaxCoreIPC float64
+
+	Reads, Writes   uint64 // memory requests completed
+	Activations     uint64
+	SegmentHits     uint64
+	BackgroundedRds uint64  // reads completed under an in-flight write
+	AvgReadLatency  float64 // controller cycles
+	AvgWriteLatency float64
+	// Read-latency percentiles in controller cycles (log-bucket upper
+	// bounds; see stats.Histogram).
+	P50ReadLatency uint64
+	P95ReadLatency uint64
+	P99ReadLatency uint64
+	LLCMissRate    float64
+	StallCycles    uint64
+
+	Energy EnergyBreakdown
+}
+
+// SpeedupOver returns this result's IPC relative to a baseline result.
+func (r Result) SpeedupOver(base Result) float64 {
+	if base.IPC == 0 {
+		return 0
+	}
+	return r.IPC / base.IPC
+}
+
+// RelativeEnergy returns this result's total energy relative to a
+// baseline result.
+func (r Result) RelativeEnergy(base Result) float64 {
+	if base.Energy.TotalPJ == 0 {
+		return 0
+	}
+	return r.Energy.TotalPJ / base.Energy.TotalPJ
+}
+
+func (o *Options) applyDefaults() {
+	if o.SAGs == 0 {
+		o.SAGs = 8
+	}
+	if o.CDs == 0 {
+		o.CDs = 2
+	}
+	if o.Instructions == 0 {
+		o.Instructions = 200_000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.IssueLanes == 0 {
+		if o.Design == DesignFgNVMMultiIssue {
+			o.IssueLanes = 4
+		} else {
+			o.IssueLanes = 1
+		}
+	}
+	if o.MaxCycles == 0 {
+		o.MaxCycles = 2_000_000_000
+	}
+}
+
+// resolve derives the concrete geometry and access modes for a design.
+func (o *Options) resolve() (addr.Geometry, core.AccessModes, error) {
+	g := addr.PaperGeometry()
+	if o.Geometry != nil {
+		g = *o.Geometry
+	}
+	switch o.Design {
+	case DesignBaseline:
+		g.SAGs, g.CDs = 1, 1
+		return g, core.AccessModes{}, nil
+	case DesignFgNVM, DesignFgNVMMultiIssue:
+		g.SAGs, g.CDs = o.SAGs, o.CDs
+		if o.Modes != nil {
+			return g, core.AccessModes{
+				PartialActivation:  o.Modes.PartialActivation,
+				MultiActivation:    o.Modes.MultiActivation,
+				BackgroundedWrites: o.Modes.BackgroundedWrites,
+			}, nil
+		}
+		return g, core.AllModes(), nil
+	case DesignSALP:
+		// DRAM-SALP analogue: 1-D subdivision whose subarrays own their
+		// sense amplifiers, so concurrent activations need only distinct
+		// SAGs. Senses still fetch the full row (no Partial-Activation).
+		g.SAGs, g.CDs = o.SAGs, 1
+		return g, core.AccessModes{
+			MultiActivation: true, BackgroundedWrites: true, LocalSenseAmps: true,
+		}, nil
+	case DesignManyBanks:
+		g.SAGs, g.CDs = o.SAGs, o.CDs
+		mg, err := bank.ManyBanksGeometry(g)
+		if err != nil {
+			return addr.Geometry{}, core.AccessModes{}, err
+		}
+		return mg, core.AccessModes{}, nil
+	case DesignDRAM:
+		g.SAGs, g.CDs = 1, 1
+		return g, core.AccessModes{}, nil
+	default:
+		return addr.Geometry{}, core.AccessModes{}, fmt.Errorf("fgnvm: unknown design %d", int(o.Design))
+	}
+}
+
+// Run executes one simulation to completion and returns its Result.
+func Run(o Options) (Result, error) {
+	o.applyDefaults()
+	geom, modes, err := o.resolve()
+	if err != nil {
+		return Result{}, err
+	}
+	if err := geom.Validate(); err != nil {
+		return Result{}, err
+	}
+
+	tim := timing.Paper()
+	var derived *device.Derived
+	switch {
+	case o.Timings != nil && o.Device != nil:
+		return Result{}, fmt.Errorf("fgnvm: set either Timings or Device, not both")
+	case o.Timings != nil:
+		tim = *o.Timings
+	case o.Device == nil && o.Technology == TechRRAM:
+		var err error
+		tim, err = timing.New(timing.RRAM(), timing.DefaultClockMHz)
+		if err != nil {
+			return Result{}, err
+		}
+	case o.Device != nil:
+		dp := o.Device.applyDefaults()
+		d, err := device.Derive(device.Params{
+			FeatureNm: dp.FeatureNm, TileRows: dp.TileRows, TileCols: dp.TileCols,
+			MuxDegree: dp.MuxDegree, CellAreaF2: dp.CellAreaF2,
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		derived = &d
+		tim, err = timing.New(d.Timings, timing.DefaultClockMHz)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+
+	// Workload: one access stream per core. Multi-programmed cores get
+	// differently seeded copies in disjoint 512 MiB address regions.
+	var streams []trace.Stream
+	benchName := o.Benchmark
+	switch {
+	case o.Stream != nil && o.Benchmark != "":
+		return Result{}, fmt.Errorf("fgnvm: set either Benchmark or Stream, not both")
+	case o.Stream != nil:
+		if o.Cores > 1 || len(o.Mix) > 0 {
+			return Result{}, fmt.Errorf("fgnvm: custom Stream supports a single core")
+		}
+		streams = []trace.Stream{o.Stream}
+		if benchName == "" {
+			benchName = "custom"
+		}
+	case len(o.Mix) > 0 || o.Benchmark != "":
+		names := o.Mix
+		if len(names) == 0 {
+			n := o.Cores
+			if n < 1 {
+				n = 1
+			}
+			for i := 0; i < n; i++ {
+				names = append(names, o.Benchmark)
+			}
+		}
+		if len(names) > 4 {
+			// Disjoint 512 MiB regions must fit the 2 GiB capacity.
+			return Result{}, fmt.Errorf("fgnvm: at most 4 cores, got %d", len(names))
+		}
+		for i, name := range names {
+			p, ok := trace.ProfileByName(name)
+			if !ok {
+				return Result{}, fmt.Errorf("fgnvm: unknown benchmark %q", name)
+			}
+			var s trace.Stream = trace.NewGenerator(p, geom.LineBytes, geom.RowBytes(),
+				o.Seed+uint64(i)*0x9e3779b9)
+			if i > 0 {
+				s = trace.NewOffset(s, uint64(i)<<29) // 512 MiB apart
+			}
+			streams = append(streams, s)
+		}
+		if len(o.Mix) > 0 {
+			benchName = strings.Join(o.Mix, "+")
+		} else if len(names) > 1 {
+			benchName = fmt.Sprintf("%dx%s", len(names), o.Benchmark)
+		}
+	default:
+		return Result{}, fmt.Errorf("fgnvm: no workload: set Benchmark or Stream")
+	}
+
+	// Energy model: background power covers every bank's row buffer and
+	// periphery. The many-banks design has more, smaller row buffers
+	// totalling the same bits, so background power is design-invariant.
+	ecfg := energy.Config{
+		RowBufferBits: geom.RowBytes() * 8,
+		Banks:         geom.Channels * geom.Ranks * geom.Banks,
+	}
+	if derived != nil {
+		ecfg.ReadPJPerBit = derived.ReadPJPerBit
+		ecfg.WritePJPerBit = derived.WritePJPerBit
+	} else if o.Technology == TechRRAM {
+		ecfg.WritePJPerBit = rramWritePJPerBit
+	}
+	emod := energy.New(ecfg)
+
+	var sched controller.SchedulerKind
+	switch o.Scheduler {
+	case SchedFRFCFS:
+		sched = controller.FRFCFS
+	case SchedFCFS:
+		sched = controller.FCFS
+	default:
+		return Result{}, fmt.Errorf("fgnvm: unknown scheduler %d", int(o.Scheduler))
+	}
+
+	// The memory side: the NVM controller for every design except
+	// DesignDRAM, which runs the DDR reference system instead.
+	type memDevice interface {
+		cpu.MemorySystem
+		Cycle(now sim.Tick)
+		Drained() bool
+	}
+	eng := sim.NewEngine()
+	var memsys memDevice
+	var ctrl *controller.Controller
+	var dsys *dram.System
+	if o.Design == DesignDRAM {
+		dsys, err = dram.New(dram.Config{
+			Geom: geom, Tim: dram.Defaults(),
+			Interleave: addr.RowBankRankChanCol,
+		}, eng)
+		if err != nil {
+			return Result{}, err
+		}
+		memsys = dsys
+	} else {
+		ctrl, err = controller.New(controller.Config{
+			Geom: geom, Tim: tim, Modes: modes,
+			Scheduler: sched, IssueLanes: o.IssueLanes,
+			Interleave: addr.RowBankRankChanCol,
+			Energy:     emod,
+		}, eng)
+		if err != nil {
+			return Result{}, err
+		}
+		memsys = ctrl
+	}
+
+	// Per-core private LLC and core model.
+	type coreSlot struct {
+		core     *cpu.Core
+		llc      *cpu.LLC
+		finished sim.Tick
+		done     bool
+	}
+	slots := make([]*coreSlot, len(streams))
+	for i, stream := range streams {
+		var llc *cpu.LLC
+		if !o.SkipLLC {
+			llc, err = cpu.NewLLC(cpu.LLCConfig{})
+			if err != nil {
+				return Result{}, err
+			}
+			// Warm the cache on the head of the same stream so the
+			// timed region runs in steady state (capacity misses and
+			// writebacks) — the stand-in for a checkpoint restore.
+			warm := o.WarmupAccesses
+			if warm == 0 {
+				warm = 2 * (2 << 20) / 64
+			}
+			for j := 0; j < warm; j++ {
+				a, ok := stream.Next()
+				if !ok {
+					break
+				}
+				llc.Access(a.Addr, a.Write)
+			}
+		}
+		cc := cpu.CoreConfig{
+			ROB:            o.Core.ROB,
+			MSHRs:          o.Core.MSHRs,
+			RetireWidth:    o.Core.RetireWidth,
+			CPUPerMemCycle: o.Core.CPUPerMemCycle,
+			Instructions:   o.Instructions,
+		}
+		cm, err := cpu.NewCore(cc, stream, llc, memsys)
+		if err != nil {
+			return Result{}, err
+		}
+		slots[i] = &coreSlot{core: cm, llc: llc}
+	}
+
+	// Main loop: one controller cycle at a time; completions scheduled
+	// on the engine fire before the cycle's scheduling work. Finished
+	// cores stop fetching; the run ends when the last core retires its
+	// budget and memory drains.
+	var now sim.Tick
+	for ; now < o.MaxCycles; now++ {
+		eng.RunUntil(now)
+		allDone := true
+		for _, s := range slots {
+			if s.done {
+				continue
+			}
+			s.core.Cycle(now)
+			if s.core.Finished() {
+				s.done = true
+				s.finished = now
+			} else {
+				allDone = false
+			}
+		}
+		memsys.Cycle(now)
+		if allDone && memsys.Drained() {
+			break
+		}
+	}
+	if now >= o.MaxCycles {
+		return Result{}, fmt.Errorf("fgnvm: run exceeded MaxCycles=%d (core 0 retired %d of %d)",
+			o.MaxCycles, slots[0].core.Retired(), o.Instructions)
+	}
+	emod.AdvanceBackground(now)
+
+	// Per-core IPC at each core's own completion time; Result.IPC is
+	// the system throughput (sum), which equals the single core's IPC
+	// in the single-core case.
+	var sumIPC, minIPC, maxIPC float64
+	var retired, stalls uint64
+	for i, s := range slots {
+		ipc := s.core.IPC(s.finished + 1)
+		sumIPC += ipc
+		if i == 0 || ipc < minIPC {
+			minIPC = ipc
+		}
+		if ipc > maxIPC {
+			maxIPC = ipc
+		}
+		retired += s.core.Retired()
+		stalls += s.core.StallCycles()
+	}
+
+	res := Result{
+		Design:       o.Design,
+		Benchmark:    benchName,
+		SAGs:         geom.SAGs,
+		CDs:          geom.CDs,
+		Cores:        len(slots),
+		Instructions: retired,
+		Cycles:       now + 1,
+		IPC:          sumIPC,
+		MinCoreIPC:   minIPC,
+		MaxCoreIPC:   maxIPC,
+
+		StallCycles: stalls,
+	}
+	if ctrl != nil {
+		st := ctrl.Stats()
+		res.Reads = st.Reads.Value()
+		res.Writes = st.Writes.Value()
+		res.Activations = st.Activations.Value()
+		res.SegmentHits = st.SegmentHits.Value()
+		res.BackgroundedRds = st.BackgroundedRds.Value()
+		res.AvgReadLatency = st.ReadLatency.Mean()
+		res.AvgWriteLatency = st.WriteLatency.Mean()
+		res.P50ReadLatency = st.ReadLatencyHist.Percentile(50)
+		res.P95ReadLatency = st.ReadLatencyHist.Percentile(95)
+		res.P99ReadLatency = st.ReadLatencyHist.Percentile(99)
+		res.Energy = EnergyBreakdown{
+			ReadPJ:       emod.ReadPJ(),
+			WritePJ:      emod.WritePJ(),
+			BackgroundPJ: emod.BackgroundPJ(),
+			TotalPJ:      emod.TotalPJ(),
+			BitsSensed:   emod.BitsSensed(),
+			BitsWritten:  emod.BitsWritten(),
+		}
+	} else {
+		st := dsys.Stats()
+		res.Reads = st.Reads.Value()
+		res.Writes = st.Writes.Value()
+		res.Activations = st.Activations.Value()
+		res.SegmentHits = st.RowHits.Value()
+		res.AvgReadLatency = st.ReadLatency.Mean()
+		res.AvgWriteLatency = st.WriteLatency.Mean()
+		// DRAM energy is deliberately not modeled: the comparison with
+		// the NVM designs is performance-only.
+	}
+	if !o.SkipLLC {
+		// Average miss rate across the private LLCs.
+		var sum float64
+		for _, s := range slots {
+			sum += s.llc.MissRate()
+		}
+		res.LLCMissRate = sum / float64(len(slots))
+	}
+	return res, nil
+}
+
+// Benchmarks returns the names of the built-in workload profiles in
+// presentation order.
+func Benchmarks() []string {
+	ps := trace.Profiles()
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package fgnvm
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCommandLineTools builds every binary in cmd/ and exercises its
+// main paths end-to-end. Gated behind -short because it shells out to
+// the Go toolchain.
+func TestCommandLineTools(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test: skipped in -short mode")
+	}
+	bindir := t.TempDir()
+	build := exec.Command("go", "build", "-o", bindir, "./cmd/...")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/...: %v\n%s", err, out)
+	}
+	bin := func(name string) string { return filepath.Join(bindir, name) }
+	runTool := func(name string, args ...string) string {
+		t.Helper()
+		out, err := exec.Command(bin(name), args...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+		}
+		return string(out)
+	}
+	expectFail := func(name string, args ...string) {
+		t.Helper()
+		if out, err := exec.Command(bin(name), args...).CombinedOutput(); err == nil {
+			t.Fatalf("%s %v should have failed:\n%s", name, args, out)
+		}
+	}
+
+	t.Run("fgnvm-sim", func(t *testing.T) {
+		out := runTool("fgnvm-sim", "-design", "fgnvm", "-bench", "milc", "-n", "20000")
+		for _, want := range []string{"IPC", "activations", "energy"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("output missing %q:\n%s", want, out)
+			}
+		}
+		out = runTool("fgnvm-sim", "-json", "-bench", "milc", "-n", "20000")
+		if !strings.Contains(out, "\"IPC\"") {
+			t.Errorf("JSON output malformed:\n%s", out)
+		}
+		out = runTool("fgnvm-sim", "-print-config")
+		if !strings.Contains(out, "tRCD=10") {
+			t.Errorf("print-config missing timings:\n%s", out)
+		}
+		out = runTool("fgnvm-sim", "-list")
+		if !strings.Contains(out, "mcf") {
+			t.Errorf("list missing mcf:\n%s", out)
+		}
+		expectFail("fgnvm-sim", "-design", "warp-drive")
+		expectFail("fgnvm-sim", "-scheduler", "lifo")
+		expectFail("fgnvm-sim", "-tech", "core-memory")
+	})
+
+	t.Run("fgnvm-sim-config-file", func(t *testing.T) {
+		cfg := filepath.Join(t.TempDir(), "run.cfg")
+		if err := os.WriteFile(cfg, []byte("design = baseline\nbench = milc\ninstructions = 20000\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		out := runTool("fgnvm-sim", "-config", cfg)
+		if !strings.Contains(out, "baseline") {
+			t.Errorf("config file not honoured:\n%s", out)
+		}
+		bad := filepath.Join(t.TempDir(), "bad.cfg")
+		if err := os.WriteFile(bad, []byte("desine = typo\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		expectFail("fgnvm-sim", "-config", bad)
+	})
+
+	t.Run("fgnvm-bench", func(t *testing.T) {
+		out := runTool("fgnvm-bench", "-table", "1")
+		if !strings.Contains(out, "Row Latches") || !strings.Contains(out, "2325") {
+			t.Errorf("table 1 malformed:\n%s", out)
+		}
+		out = runTool("fgnvm-bench", "-fig", "4", "-benchmarks", "milc", "-n", "15000", "-csv")
+		if !strings.Contains(out, "milc") || !strings.Contains(out, "gmean") {
+			t.Errorf("figure 4 CSV malformed:\n%s", out)
+		}
+		out = runTool("fgnvm-bench", "-reliability")
+		if !strings.Contains(out, "grouped") {
+			t.Errorf("reliability output malformed:\n%s", out)
+		}
+		expectFail("fgnvm-bench") // nothing selected
+	})
+
+	t.Run("fgnvm-area", func(t *testing.T) {
+		out := runTool("fgnvm-area")
+		if !strings.Contains(out, "8x8") || !strings.Contains(out, "32x32") {
+			t.Errorf("area output malformed:\n%s", out)
+		}
+		out = runTool("fgnvm-area", "-sags", "16", "-cds", "4")
+		if !strings.Contains(out, "16x4") {
+			t.Errorf("custom point malformed:\n%s", out)
+		}
+		out = runTool("fgnvm-area", "-sweep")
+		if strings.Count(out, "\n") < 30 {
+			t.Errorf("sweep too short:\n%s", out)
+		}
+	})
+
+	t.Run("fgnvm-trace", func(t *testing.T) {
+		trc := filepath.Join(t.TempDir(), "x.trc")
+		runTool("fgnvm-trace", "-bench", "lbm", "-n", "500", "-o", trc)
+		out := runTool("fgnvm-trace", "-inspect", trc)
+		if !strings.Contains(out, "APKI") {
+			t.Errorf("inspect malformed:\n%s", out)
+		}
+		expectFail("fgnvm-trace", "-bench", "not-a-benchmark")
+		expectFail("fgnvm-trace", "-inspect", "/does/not/exist")
+	})
+
+	t.Run("fgnvm-figure3", func(t *testing.T) {
+		out := runTool("fgnvm-figure3")
+		for _, want := range []string{"Partial-Activation", "Multi-Activation", "Backgrounded Write", "SAG0", "#", "~"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("figure 3 output missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("fgnvm-sweep", func(t *testing.T) {
+		out := runTool("fgnvm-sweep", "-axis", "cds", "-values", "1,4", "-n", "15000")
+		if !strings.Contains(out, "value,ipc,speedup") || strings.Count(out, "\n") != 4 {
+			t.Errorf("sweep CSV malformed:\n%s", out)
+		}
+		expectFail("fgnvm-sweep", "-axis", "flux-capacitors")
+		expectFail("fgnvm-sweep", "-axis", "cds", "-values", "1,banana")
+	})
+}
+
+// TestNVMainFormatCLI round-trips the NVMain trace format through the
+// command-line tool.
+func TestNVMainFormatCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test: skipped in -short mode")
+	}
+	bindir := t.TempDir()
+	build := exec.Command("go", "build", "-o", bindir, "./cmd/fgnvm-trace")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	tool := filepath.Join(bindir, "fgnvm-trace")
+	trc := filepath.Join(t.TempDir(), "x.nvt")
+	if out, err := exec.Command(tool, "-format", "nvmain", "-bench", "milc", "-n", "200", "-o", trc).CombinedOutput(); err != nil {
+		t.Fatalf("generate: %v\n%s", err, out)
+	}
+	out, err := exec.Command(tool, "-format", "nvmain", "-inspect", trc).CombinedOutput()
+	if err != nil {
+		t.Fatalf("inspect: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "200 accesses") {
+		t.Fatalf("inspect output:\n%s", out)
+	}
+	if out, err := exec.Command(tool, "-format", "punch-cards").CombinedOutput(); err == nil {
+		t.Fatalf("bad format accepted:\n%s", out)
+	}
+}

@@ -1,0 +1,228 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func smallGeometry() Geometry {
+	return Geometry{
+		Channels: 2, Ranks: 2, Banks: 4,
+		Rows: 256, Cols: 16, LineBytes: 64,
+		SAGs: 4, CDs: 4,
+	}
+}
+
+func TestPaperGeometryValid(t *testing.T) {
+	g := PaperGeometry()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("paper geometry invalid: %v", err)
+	}
+	if got := g.RowBytes(); got != 4096 {
+		t.Errorf("RowBytes = %d, want 4096 (8 devices x 512B)", got)
+	}
+	if got := g.SegmentBytes(); got != 1024 {
+		t.Errorf("SegmentBytes = %d, want 1024 (4 CDs)", got)
+	}
+	if got := g.RowsPerSAG(); got != 16384 {
+		t.Errorf("RowsPerSAG = %d, want 16384", got)
+	}
+	if got := g.ColsPerCD(); got != 16 {
+		t.Errorf("ColsPerCD = %d, want 16", got)
+	}
+	// 1 chan x 1 rank x 8 banks x 64K rows x 4KB rows = 2 GiB.
+	if got := g.TotalBytes(); got != 2<<30 {
+		t.Errorf("TotalBytes = %d, want %d", got, 2<<30)
+	}
+}
+
+func TestValidateRejectsBadGeometry(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Geometry)
+	}{
+		{"zero channels", func(g *Geometry) { g.Channels = 0 }},
+		{"negative banks", func(g *Geometry) { g.Banks = -1 }},
+		{"non-pow2 rows", func(g *Geometry) { g.Rows = 100 }},
+		{"non-pow2 cols", func(g *Geometry) { g.Cols = 12 }},
+		{"zero SAGs", func(g *Geometry) { g.SAGs = 0 }},
+		{"SAGs exceed rows", func(g *Geometry) { g.SAGs = g.Rows * 2 }},
+		{"CDs exceed cols", func(g *Geometry) { g.CDs = g.Cols * 2 }},
+		{"non-pow2 line", func(g *Geometry) { g.LineBytes = 48 }},
+	}
+	for _, c := range cases {
+		g := smallGeometry()
+		c.mutate(&g)
+		if err := g.Validate(); err == nil {
+			t.Errorf("%s: validated but should not", c.name)
+		}
+	}
+}
+
+func TestSAGAndCDProjection(t *testing.T) {
+	g := smallGeometry() // 4 SAGs: low row bits; 16 cols / 4 CDs = 4 per CD
+	cases := []struct {
+		row, wantSAG int
+	}{{0, 0}, {1, 1}, {2, 2}, {3, 3}, {4, 0}, {63, 3}, {255, 3}}
+	for _, c := range cases {
+		if got := g.SAG(c.row); got != c.wantSAG {
+			t.Errorf("SAG(%d) = %d, want %d", c.row, got, c.wantSAG)
+		}
+	}
+	colCases := []struct {
+		col, wantCD int
+	}{{0, 0}, {1, 1}, {3, 3}, {4, 0}, {7, 3}, {12, 0}, {15, 3}}
+	for _, c := range colCases {
+		if got := g.CD(c.col); got != c.wantCD {
+			t.Errorf("CD(%d) = %d, want %d", c.col, got, c.wantCD)
+		}
+	}
+}
+
+func TestNewMapperRejectsBadInterleave(t *testing.T) {
+	if _, err := NewMapper(smallGeometry(), Interleave(99)); err == nil {
+		t.Fatal("bad interleave accepted")
+	}
+}
+
+func TestMustNewMapperPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNewMapper with bad geometry did not panic")
+		}
+	}()
+	MustNewMapper(Geometry{}, RowBankRankChanCol)
+}
+
+func TestEncodeDecodeKnownValues(t *testing.T) {
+	m := MustNewMapper(smallGeometry(), RowBankRankChanCol)
+	// Address 0 is channel 0, rank 0, bank 0, row 0, col 0.
+	loc := m.Decode(0)
+	if loc != (Location{}) {
+		t.Errorf("Decode(0) = %+v, want zero location", loc)
+	}
+	// One line up: col 1 under RowBankRankChanCol.
+	loc = m.Decode(64)
+	if loc.Col != 1 || loc.Row != 0 || loc.Bank != 0 {
+		t.Errorf("Decode(64) = %+v, want col=1", loc)
+	}
+	// Line offset bits are ignored.
+	if m.Decode(64+63) != loc {
+		t.Errorf("Decode not line-offset invariant")
+	}
+}
+
+func TestChannelInterleaveSpreadsLines(t *testing.T) {
+	m := MustNewMapper(smallGeometry(), RowColBankRankChan)
+	l0 := m.Decode(0)
+	l1 := m.Decode(64)
+	if l0.Channel == l1.Channel {
+		t.Errorf("RowColBankRankChan: consecutive lines in same channel (%d, %d)", l0.Channel, l1.Channel)
+	}
+}
+
+func TestRowInterleaveKeepsRow(t *testing.T) {
+	m := MustNewMapper(smallGeometry(), RowBankRankChanCol)
+	base := m.Decode(0)
+	for i := 1; i < smallGeometry().Cols; i++ {
+		loc := m.Decode(uint64(i * 64))
+		if loc.Row != base.Row || loc.Bank != base.Bank || loc.Channel != base.Channel {
+			t.Fatalf("line %d left the row: %+v vs %+v", i, loc, base)
+		}
+		if loc.Col != i {
+			t.Fatalf("line %d col = %d", i, loc.Col)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTripProperty(t *testing.T) {
+	for _, iv := range []Interleave{RowBankRankChanCol, RowColBankRankChan} {
+		m := MustNewMapper(smallGeometry(), iv)
+		mask := uint64(1)<<m.AddressBits() - 1
+		f := func(pa uint64) bool {
+			pa &= mask &^ 63 // in range, line aligned
+			loc := m.Decode(pa)
+			if !m.Valid(loc) {
+				return false
+			}
+			return m.Encode(loc) == pa
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Errorf("interleave %v: %v", iv, err)
+		}
+	}
+}
+
+func TestDecodeEncodeRoundTripProperty(t *testing.T) {
+	g := smallGeometry()
+	for _, iv := range []Interleave{RowBankRankChanCol, RowColBankRankChan} {
+		m := MustNewMapper(g, iv)
+		f := func(ch, rk, bk, row, col uint16) bool {
+			loc := Location{
+				Channel: int(ch) % g.Channels,
+				Rank:    int(rk) % g.Ranks,
+				Bank:    int(bk) % g.Banks,
+				Row:     int(row) % g.Rows,
+				Col:     int(col) % g.Cols,
+			}
+			return m.Decode(m.Encode(loc)) == loc
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Errorf("interleave %v: %v", iv, err)
+		}
+	}
+}
+
+// Distinct locations must map to distinct addresses (injectivity).
+func TestEncodeInjective(t *testing.T) {
+	g := Geometry{Channels: 2, Ranks: 1, Banks: 2, Rows: 8, Cols: 4, LineBytes: 64, SAGs: 2, CDs: 2}
+	for _, iv := range []Interleave{RowBankRankChanCol, RowColBankRankChan} {
+		m := MustNewMapper(g, iv)
+		seen := make(map[uint64]Location)
+		for ch := 0; ch < g.Channels; ch++ {
+			for bk := 0; bk < g.Banks; bk++ {
+				for row := 0; row < g.Rows; row++ {
+					for col := 0; col < g.Cols; col++ {
+						loc := Location{Channel: ch, Bank: bk, Row: row, Col: col}
+						pa := m.Encode(loc)
+						if prev, dup := seen[pa]; dup {
+							t.Fatalf("iv %v: %+v and %+v both encode to %#x", iv, prev, loc, pa)
+						}
+						seen[pa] = loc
+					}
+				}
+			}
+		}
+		want := g.Channels * g.Banks * g.Rows * g.Cols
+		if len(seen) != want {
+			t.Fatalf("iv %v: %d unique addresses, want %d", iv, len(seen), want)
+		}
+	}
+}
+
+func TestAddressBits(t *testing.T) {
+	m := MustNewMapper(smallGeometry(), RowBankRankChanCol)
+	// 64B=6, 16 cols=4, 4 banks=2, 2 ranks=1, 2 chans=1, 256 rows=8 → 22 bits.
+	if got := m.AddressBits(); got != 22 {
+		t.Errorf("AddressBits = %d, want 22", got)
+	}
+}
+
+func TestDecodeWrapsHighBits(t *testing.T) {
+	m := MustNewMapper(smallGeometry(), RowBankRankChanCol)
+	bits := m.AddressBits()
+	pa := uint64(0x123456) &^ 63
+	wrapped := pa | 1<<uint64(bits) | 1<<uint64(bits+5)
+	if m.Decode(pa) != m.Decode(wrapped) {
+		t.Error("high bits above capacity changed the decode")
+	}
+}
+
+func TestInterleaveString(t *testing.T) {
+	if RowBankRankChanCol.String() == "" || RowColBankRankChan.String() == "" {
+		t.Error("empty interleave name")
+	}
+	if Interleave(42).String() == "" {
+		t.Error("unknown interleave should still render")
+	}
+}

@@ -1,0 +1,107 @@
+// Package analytic provides a closed-form queueing model of the FgNVM
+// memory system and the open-loop traffic machinery to validate it
+// against the simulator. It answers, without simulation, the question
+// the paper's Figure 4 answers empirically: how does read latency move
+// when a bank is subdivided into concurrently-sensing tiles?
+//
+// Model: each bank is an M/D/c queue. Random (row-miss-dominated)
+// read traffic splits uniformly across banks; each service is one
+// sense window D = tRCD + tCAS; the number of servers c is the bank's
+// concurrent-sense capacity — 1 for the baseline, min(SAGs, CDs) for
+// FgNVM (a sense needs a free SAG AND a free CD). Waiting time uses
+// the standard Lee–Longton M/D/c approximation (M/M/c Erlang-C scaled
+// by the deterministic-service factor (1+1/c)/2 ... here the Cosmetatos
+// form), and the data burst adds tBURST.
+//
+// The model intentionally ignores row hits, writes and the shared bus,
+// so it is validated against the simulator under the matching
+// conditions: uniformly random single-line reads injected open-loop at
+// a fixed rate (see Measure).
+package analytic
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/timing"
+)
+
+// Params describes one design point for the model.
+type Params struct {
+	Banks           int
+	SAGs, CDs       int
+	Tim             timing.Timings
+	ArrivalPerCycle float64 // total read arrivals per controller cycle
+}
+
+// Servers returns the bank's concurrent sense capacity.
+func (p Params) Servers() int {
+	c := p.SAGs
+	if p.CDs < c {
+		c = p.CDs
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// Prediction is the model output.
+type Prediction struct {
+	Utilization   float64 // per-bank server utilization ρ
+	WaitCycles    float64 // mean queueing delay before service
+	LatencyCycles float64 // mean total read latency (wait + sense + burst)
+	Stable        bool    // ρ < 1
+}
+
+// Predict evaluates the M/D/c model.
+func Predict(p Params) (Prediction, error) {
+	if p.Banks < 1 {
+		return Prediction{}, fmt.Errorf("analytic: %d banks", p.Banks)
+	}
+	if p.ArrivalPerCycle < 0 {
+		return Prediction{}, fmt.Errorf("analytic: negative arrival rate")
+	}
+	c := float64(p.Servers())
+	d := float64(p.Tim.TRCD + p.Tim.TCAS) // deterministic service (sense window)
+	lam := p.ArrivalPerCycle / float64(p.Banks)
+	rho := lam * d / c
+	out := Prediction{Utilization: rho, Stable: rho < 1}
+	if !out.Stable {
+		out.WaitCycles = math.Inf(1)
+		out.LatencyCycles = math.Inf(1)
+		return out, nil
+	}
+	// Erlang-C (M/M/c) wait probability.
+	a := lam * d // offered load in Erlangs
+	pw := erlangC(a, int(c))
+	wqMMc := pw * d / (c * (1 - rho))
+	// Cosmetatos correction from M/M/c to M/D/c: deterministic service
+	// halves the wait asymptotically.
+	wq := wqMMc / 2 * (1 + (1-rho)*(c-1)*(math.Sqrt(4+5*c)-2)/(16*rho*c))
+	if math.IsNaN(wq) || wq < 0 {
+		wq = wqMMc / 2
+	}
+	out.WaitCycles = wq
+	out.LatencyCycles = wq + d + float64(p.Tim.TBURST)
+	return out, nil
+}
+
+// erlangC returns the probability an arrival waits in an M/M/c queue
+// with offered load a erlangs.
+func erlangC(a float64, c int) float64 {
+	if a <= 0 {
+		return 0
+	}
+	// Iterative Erlang-B, then convert.
+	b := 1.0
+	for k := 1; k <= c; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	rho := a / float64(c)
+	return b / (1 - rho*(1-b))
+}
+
+// Tick re-exported to avoid the caller importing sim for one alias.
+type Tick = sim.Tick

@@ -1,0 +1,180 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/core"
+	"repro/internal/timing"
+)
+
+func params(arrival float64, sags, cds int) Params {
+	return Params{
+		Banks: 8, SAGs: sags, CDs: cds,
+		Tim: timing.Paper(), ArrivalPerCycle: arrival,
+	}
+}
+
+func TestServers(t *testing.T) {
+	if got := params(0.01, 8, 2).Servers(); got != 2 {
+		t.Errorf("Servers(8,2) = %d, want 2 (min)", got)
+	}
+	if got := params(0.01, 1, 1).Servers(); got != 1 {
+		t.Errorf("Servers(1,1) = %d", got)
+	}
+	if got := (Params{SAGs: 0, CDs: 0}).Servers(); got != 1 {
+		t.Errorf("degenerate Servers = %d, want 1", got)
+	}
+}
+
+func TestPredictValidation(t *testing.T) {
+	if _, err := Predict(Params{Banks: 0}); err == nil {
+		t.Error("zero banks accepted")
+	}
+	p := params(0.01, 1, 1)
+	p.ArrivalPerCycle = -1
+	if _, err := Predict(p); err == nil {
+		t.Error("negative arrival accepted")
+	}
+}
+
+func TestPredictLimits(t *testing.T) {
+	// Very light load: latency ≈ sense + burst, no queueing.
+	light, err := Predict(params(0.0001, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	floor := float64(timing.Paper().TRCD + timing.Paper().TCAS + timing.Paper().TBURST)
+	if light.WaitCycles > 1 {
+		t.Errorf("light-load wait %.2f, want ~0", light.WaitCycles)
+	}
+	if math.Abs(light.LatencyCycles-floor) > 1 {
+		t.Errorf("light-load latency %.1f, want ~%.0f", light.LatencyCycles, floor)
+	}
+	// Overload: unstable.
+	heavy, err := Predict(params(1.0, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heavy.Stable || !math.IsInf(heavy.LatencyCycles, 1) {
+		t.Errorf("overloaded queue reported stable: %+v", heavy)
+	}
+}
+
+func TestPredictMonotoneInLoad(t *testing.T) {
+	prev := 0.0
+	for _, lam := range []float64{0.01, 0.05, 0.1, 0.14} {
+		pr, err := Predict(params(lam, 1, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pr.LatencyCycles < prev {
+			t.Fatalf("latency fell with load at λ=%v", lam)
+		}
+		prev = pr.LatencyCycles
+	}
+}
+
+func TestMoreServersLessWaiting(t *testing.T) {
+	base, _ := Predict(params(0.12, 1, 1))
+	fg, _ := Predict(params(0.12, 8, 2))
+	if fg.WaitCycles >= base.WaitCycles {
+		t.Fatalf("2-server wait %.2f not below 1-server %.2f", fg.WaitCycles, base.WaitCycles)
+	}
+}
+
+// TestModelMatchesSimulator is the headline validation: across load
+// levels and designs, the closed-form prediction must track the
+// simulator's open-loop measurement within a modest tolerance.
+func TestModelMatchesSimulator(t *testing.T) {
+	geom := addr.Geometry{
+		Channels: 1, Ranks: 1, Banks: 8,
+		Rows: 4096, Cols: 64, LineBytes: 64,
+		SAGs: 8, CDs: 8,
+	}
+	cases := []struct {
+		name    string
+		modes   core.AccessModes
+		sags    int
+		cds     int
+		arrival float64
+		tol     float64
+	}{
+		{"baseline-light", core.AccessModes{}, 1, 1, 0.02, 0.25},
+		{"baseline-moderate", core.AccessModes{}, 1, 1, 0.08, 0.35},
+		{"fgnvm-light", core.AllModes(), 8, 8, 0.02, 0.25},
+		{"fgnvm-heavy", core.AllModes(), 8, 8, 0.15, 0.40},
+	}
+	for _, c := range cases {
+		g := geom
+		g.SAGs, g.CDs = c.sags, c.cds
+		meas, err := Measure(MeasureParams{
+			Geom: g, Tim: timing.Paper(), Modes: c.modes,
+			ArrivalPerCycle: c.arrival, Reads: 4000,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if meas.Dropped > meas.Completed/20 {
+			t.Fatalf("%s: %d drops — open loop saturated", c.name, meas.Dropped)
+		}
+		pred, err := Predict(Params{
+			Banks: g.Banks, SAGs: c.sags, CDs: c.cds,
+			Tim: timing.Paper(), ArrivalPerCycle: c.arrival,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		relErr := math.Abs(pred.LatencyCycles-meas.AvgLatencyCycles) / meas.AvgLatencyCycles
+		if relErr > c.tol {
+			t.Errorf("%s: model %.1f vs sim %.1f cycles (%.0f%% off, tol %.0f%%)",
+				c.name, pred.LatencyCycles, meas.AvgLatencyCycles, relErr*100, c.tol*100)
+		}
+	}
+}
+
+// TestModelPredictsSubdivisionWin: both the model and the simulator
+// must agree that subdividing the bank reduces latency under load, and
+// agree on the rough size of the win.
+func TestModelPredictsSubdivisionWin(t *testing.T) {
+	const arrival = 0.10
+	geomFor := func(sags, cds int) addr.Geometry {
+		return addr.Geometry{
+			Channels: 1, Ranks: 1, Banks: 8,
+			Rows: 4096, Cols: 64, LineBytes: 64,
+			SAGs: sags, CDs: cds,
+		}
+	}
+	mBase, err := Measure(MeasureParams{
+		Geom: geomFor(1, 1), Tim: timing.Paper(),
+		ArrivalPerCycle: arrival, Reads: 4000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mFg, err := Measure(MeasureParams{
+		Geom: geomFor(8, 8), Tim: timing.Paper(), Modes: core.AllModes(),
+		ArrivalPerCycle: arrival, Reads: 4000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pBase, _ := Predict(Params{Banks: 8, SAGs: 1, CDs: 1, Tim: timing.Paper(), ArrivalPerCycle: arrival})
+	pFg, _ := Predict(Params{Banks: 8, SAGs: 8, CDs: 8, Tim: timing.Paper(), ArrivalPerCycle: arrival})
+
+	simWin := mBase.AvgLatencyCycles - mFg.AvgLatencyCycles
+	modelWin := pBase.LatencyCycles - pFg.LatencyCycles
+	if simWin <= 0 || modelWin <= 0 {
+		t.Fatalf("no subdivision win: sim %.1f, model %.1f", simWin, modelWin)
+	}
+	if ratio := modelWin / simWin; ratio < 0.4 || ratio > 2.5 {
+		t.Errorf("win magnitude disagrees: model %.1f vs sim %.1f cycles", modelWin, simWin)
+	}
+}
+
+func TestMeasureValidation(t *testing.T) {
+	if _, err := Measure(MeasureParams{ArrivalPerCycle: 0}); err == nil {
+		t.Error("zero arrival accepted")
+	}
+}

@@ -1,0 +1,116 @@
+// Open-loop measurement: inject Poisson reads straight into the memory
+// controller (no CPU, no cache, no writes) so the simulator runs under
+// exactly the conditions the queueing model assumes.
+
+package analytic
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/addr"
+	"repro/internal/controller"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/timing"
+)
+
+// MeasureParams configures an open-loop run.
+type MeasureParams struct {
+	Geom  addr.Geometry
+	Tim   timing.Timings
+	Modes core.AccessModes
+
+	ArrivalPerCycle float64 // Poisson rate of read arrivals
+	Reads           int     // reads to complete (default 5000)
+	Seed            uint64
+	MaxCycles       sim.Tick // default 10M
+}
+
+// Measured is the simulator-side counterpart of Prediction.
+type Measured struct {
+	AvgLatencyCycles float64
+	Completed        int
+	Dropped          int // arrivals refused by a full queue
+}
+
+// Measure injects uniformly-random single-line reads at the given rate
+// and reports the measured mean latency.
+func Measure(p MeasureParams) (Measured, error) {
+	if p.Reads == 0 {
+		p.Reads = 5000
+	}
+	if p.MaxCycles == 0 {
+		p.MaxCycles = 10_000_000
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.ArrivalPerCycle <= 0 {
+		return Measured{}, fmt.Errorf("analytic: non-positive arrival rate")
+	}
+	eng := sim.NewEngine()
+	ctrl, err := controller.New(controller.Config{
+		Geom: p.Geom, Tim: p.Tim, Modes: p.Modes,
+		Interleave: addr.RowBankRankChanCol,
+		// A deep queue keeps backpressure from distorting the open loop.
+		ReadQueueCap: 512, WriteQueueCap: 8,
+	}, eng)
+	if err != nil {
+		return Measured{}, err
+	}
+	mapper := addr.MustNewMapper(p.Geom, addr.RowBankRankChanCol)
+
+	rng := splitmix{s: p.Seed}
+	var m Measured
+	var sum float64
+	injected, settled := 0, 0 // settled = completed + dropped
+	// Poisson arrivals: exponential inter-arrival gaps accumulated in
+	// continuous time, injected on the cycle they fall into.
+	nextF := 0.0
+	for now := sim.Tick(0); now < p.MaxCycles && settled < p.Reads; now++ {
+		eng.RunUntil(now)
+		for injected < p.Reads && float64(now) >= nextF {
+			loc := addr.Location{
+				Channel: rng.intn(p.Geom.Channels),
+				Rank:    rng.intn(p.Geom.Ranks),
+				Bank:    rng.intn(p.Geom.Banks),
+				Row:     rng.intn(p.Geom.Rows),
+				Col:     rng.intn(p.Geom.Cols),
+			}
+			r := &mem.Request{ID: uint64(injected), Op: mem.Read, Addr: mapper.Encode(loc)}
+			r.OnComplete = func(req *mem.Request, _ sim.Tick) {
+				sum += float64(req.Latency())
+				m.Completed++
+				settled++
+			}
+			if !ctrl.Enqueue(r, now) {
+				m.Dropped++
+				settled++
+			}
+			injected++
+			nextF += -math.Log(1-rng.float()) / p.ArrivalPerCycle
+		}
+		ctrl.Cycle(now)
+	}
+	if m.Completed == 0 {
+		return m, fmt.Errorf("analytic: nothing completed")
+	}
+	m.AvgLatencyCycles = sum / float64(m.Completed)
+	return m, nil
+}
+
+type splitmix struct{ s uint64 }
+
+func (r *splitmix) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *splitmix) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func (r *splitmix) float() float64 { return float64(r.next()>>11) / float64(uint64(1)<<53) }

@@ -1,0 +1,157 @@
+// Package area implements the hardware-overhead model behind Table 1 of
+// the paper (Section 5.1): the extra row-address latches, CSL latches,
+// and local Y-select enable wiring that the FgNVM subdivision needs,
+// plus the (negligible) row-decoder delta.
+//
+// The paper obtained its latch areas by synthesizing VerilogHDL with a
+// TSMC 45 nm low-power library and its wire areas from 6F metal3 pitch
+// at F = 45 nm over the ISSCC'12 prototype's 4 mm bank span. Those tools
+// are not available here, so this package reproduces the published
+// numbers analytically: the structural formulas are taken from the
+// paper's description and the per-cell constants are calibrated once so
+// that the 8×8 ("average") and 32×32 ("maximum") configurations land on
+// Table 1's values. EXPERIMENTS.md records model-vs-paper for both.
+//
+// One inconsistency in the paper is handled explicitly: Section 5.1
+// derives a 246 µm enable bus over a 4 mm bank, which multiplies to
+// ≈0.98 mm², yet Table 1 (and the total of 0.11 mm² = 0.36 %) report
+// 0.1 mm². We keep Table 1 self-consistent by assuming only a fraction
+// of the enable bus fails to route over the tiles in the worst case
+// (OverTileShortfall); the derivation is documented where it is used.
+package area
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model parameters, all at the paper's 45 nm node.
+const (
+	// LatchUm2 is the area of one latch bit including local drivers,
+	// calibrated from Table 1's row-latch entry: 2325 µm² for 8 SAGs of
+	// 16 row-address bits → 18.164 µm² per bit. (A TSMC 45 nm LP
+	// scan DFF with buffering is ~15-20 µm², so the calibration is
+	// physically sensible.)
+	LatchUm2 = 2325.0 / (8 * 16)
+
+	// RowAddressBits is the per-SAG row-latch width: 64 K rows per bank
+	// (Table 2's device) need 16 bits.
+	RowAddressBits = 16
+
+	// CSLRegisterUm2 is the fixed per-CD register that holds the column
+	// select values, and CSLEnableUm2 the per-(SAG,CD) one-hot enable
+	// latch. Both are calibrated from Table 1's two CSL entries
+	// (636.3 µm² at 8×8, 4242 µm² at 32×32), giving a 61.86 µm²
+	// register (≈3.4 latch bits) and a 2.209 µm² enable cell.
+	CSLRegisterUm2 = 61.8575
+	CSLEnableUm2   = 2.20919
+
+	// WirePitchUm is the 6F metal3 wire-plus-space pitch at F = 45 nm:
+	// 270 nm (Section 5.1).
+	WirePitchUm = 0.270
+
+	// BankLengthUm is the span the enable wires cross: the prototype
+	// bank is 4 mm long [13].
+	BankLengthUm = 4000.0
+
+	// OverTileShortfall is the worst-case fraction of enable wires that
+	// cannot be routed above the tiles and consume real area. Table 1's
+	// 0.1 mm² for 32×32 implies 0.1 mm² / (1024 wires × 0.27 µm × 4 mm)
+	// ≈ 9 %; in the best case (8×8 and smaller) everything routes over
+	// the tiles and the overhead is zero.
+	OverTileShortfall = 0.0905
+	// OverTileFreeWires is the enable-bus width that always fits above
+	// the tiles alongside the global I/O lines (the paper's "best
+	// case"): an 8×8 design's 64 wires fit with room to spare.
+	OverTileFreeWires = 256
+
+	// ReferenceBankAreaUm2 is the area against which Table 1's
+	// percentages are quoted: 0.11 mm² = 0.36 % implies a ≈30.6 mm²
+	// bank region in the 8 Gb prototype.
+	ReferenceBankAreaUm2 = 0.11e6 / 0.0036
+)
+
+// Overheads is one column of Table 1 for a given SAGs×CDs configuration.
+type Overheads struct {
+	SAGs, CDs int
+
+	RowDecoderDeltaPct float64 // relative transistor-count change (≈0, "N/A")
+	RowLatchesUm2      float64
+	CSLLatchesUm2      float64
+	YSelLinesUm2       float64
+	TotalUm2           float64
+	TotalPct           float64 // of ReferenceBankAreaUm2
+}
+
+// Compute evaluates the overhead model for an FgNVM with the given
+// subdivision. rows is the number of rows per bank (Table 2: 64 K).
+func Compute(sags, cds, rows int) (Overheads, error) {
+	if sags <= 0 || cds <= 0 || rows <= 0 {
+		return Overheads{}, fmt.Errorf("area: non-positive dimension %dx%d rows=%d", sags, cds, rows)
+	}
+	if rows%sags != 0 {
+		return Overheads{}, fmt.Errorf("area: %d rows not divisible by %d SAGs", rows, sags)
+	}
+	o := Overheads{SAGs: sags, CDs: cds}
+
+	// Row decoder: one N-row two-stage decoder vs. S decoders of N/S
+	// rows each. Sizes grow as N·log2(N) (Section 5.1 / [14]), so the
+	// delta is tiny — Table 1 reports it as "N/A".
+	before := DecoderTransistors(rows)
+	after := float64(sags) * DecoderTransistors(rows/sags)
+	o.RowDecoderDeltaPct = (after - before) / before * 100
+
+	// Row latches: one row-address latch per SAG.
+	o.RowLatchesUm2 = float64(sags) * RowAddressBits * LatchUm2
+
+	// CSL latches: a column-select register per CD plus a one-hot
+	// Y-select enable cell per (SAG, CD).
+	o.CSLLatchesUm2 = float64(cds)*CSLRegisterUm2 + float64(sags*cds)*CSLEnableUm2
+
+	// LY-SEL enable wires: SAGs×CDs one-hot enables routed along the
+	// bank. Up to OverTileFreeWires route above the tiles for free;
+	// beyond that, the shortfall fraction of the whole bus consumes
+	// metal area.
+	wires := sags * cds
+	if wires > OverTileFreeWires {
+		o.YSelLinesUm2 = float64(wires) * WirePitchUm * BankLengthUm * OverTileShortfall
+	}
+
+	o.TotalUm2 = o.RowLatchesUm2 + o.CSLLatchesUm2 + o.YSelLinesUm2
+	o.TotalPct = o.TotalUm2 / ReferenceBankAreaUm2 * 100
+	return o, nil
+}
+
+// DecoderTransistors estimates the transistor count of a two-stage
+// (predecode + final NAND) row decoder for n rows, following the
+// N·log2(N) growth the paper cites from [14].
+func DecoderTransistors(n int) float64 {
+	if n <= 1 {
+		return 2
+	}
+	lg := math.Log2(float64(n))
+	// Final stage: one log2(N)-input gate per row (≈2 transistors per
+	// input in static CMOS); predecode adds a constant factor per
+	// address bit pair.
+	return float64(n)*2*lg + 8*lg
+}
+
+// PaperAverage returns Table 1's "Avg Overhead" configuration: an 8×8
+// FgNVM on a 64 K-row bank.
+func PaperAverage() Overheads {
+	o, err := Compute(8, 8, 65536)
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// PaperMaximum returns Table 1's "Max Overhead" configuration: a 32×32
+// FgNVM on a 64 K-row bank.
+func PaperMaximum() Overheads {
+	o, err := Compute(32, 32, 65536)
+	if err != nil {
+		panic(err)
+	}
+	return o
+}

@@ -1,0 +1,144 @@
+package area
+
+import (
+	"math"
+	"testing"
+)
+
+// within checks got is within tol (fractional) of want.
+func within(got, want, tol float64) bool {
+	if want == 0 {
+		return math.Abs(got) < 1e-9
+	}
+	return math.Abs(got-want)/math.Abs(want) <= tol
+}
+
+// TestTable1Average reproduces the "Avg Overhead" column (8×8 FgNVM).
+func TestTable1Average(t *testing.T) {
+	o := PaperAverage()
+	if !within(o.RowLatchesUm2, 2325, 0.02) {
+		t.Errorf("row latches = %.1f µm², Table 1 says 2325", o.RowLatchesUm2)
+	}
+	if !within(o.CSLLatchesUm2, 636.3, 0.02) {
+		t.Errorf("CSL latches = %.1f µm², Table 1 says 636.3", o.CSLLatchesUm2)
+	}
+	if o.YSelLinesUm2 != 0 {
+		t.Errorf("LY-SEL lines = %.1f µm², Table 1 says 0 (routes over tiles)", o.YSelLinesUm2)
+	}
+	if !within(o.TotalUm2, 2961, 0.02) {
+		t.Errorf("total = %.1f µm², Table 1 says 2961", o.TotalUm2)
+	}
+	if o.TotalPct >= 0.1 {
+		t.Errorf("total %% = %.4f, Table 1 says <0.1%%", o.TotalPct)
+	}
+}
+
+// TestTable1Maximum reproduces the "Max Overhead" column (32×32 FgNVM).
+func TestTable1Maximum(t *testing.T) {
+	o := PaperMaximum()
+	if !within(o.RowLatchesUm2, 9333, 0.02) {
+		t.Errorf("row latches = %.1f µm², Table 1 says 9333", o.RowLatchesUm2)
+	}
+	if !within(o.CSLLatchesUm2, 4242, 0.02) {
+		t.Errorf("CSL latches = %.1f µm², Table 1 says 4242", o.CSLLatchesUm2)
+	}
+	if !within(o.YSelLinesUm2, 0.1e6, 0.05) {
+		t.Errorf("LY-SEL lines = %.0f µm², Table 1 says 0.1 mm²", o.YSelLinesUm2)
+	}
+	if !within(o.TotalUm2, 0.11e6, 0.05) {
+		t.Errorf("total = %.0f µm², Table 1 says 0.11 mm²", o.TotalUm2)
+	}
+	if !within(o.TotalPct, 0.36, 0.1) {
+		t.Errorf("total %% = %.3f, Table 1 says 0.36%%", o.TotalPct)
+	}
+}
+
+func TestRowDecoderDeltaNegligible(t *testing.T) {
+	for _, sags := range []int{2, 8, 32} {
+		o, err := Compute(sags, 4, 65536)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(o.RowDecoderDeltaPct) > 35 {
+			t.Errorf("SAGs=%d: decoder delta %.2f%% not negligible", sags, o.RowDecoderDeltaPct)
+		}
+	}
+}
+
+func TestComputeValidation(t *testing.T) {
+	if _, err := Compute(0, 8, 65536); err == nil {
+		t.Error("zero SAGs accepted")
+	}
+	if _, err := Compute(8, 0, 65536); err == nil {
+		t.Error("zero CDs accepted")
+	}
+	if _, err := Compute(8, 8, 0); err == nil {
+		t.Error("zero rows accepted")
+	}
+	if _, err := Compute(7, 8, 65536); err == nil {
+		t.Error("indivisible SAGs accepted")
+	}
+}
+
+// Overhead must grow monotonically with subdivision in each dimension.
+func TestOverheadMonotone(t *testing.T) {
+	prev := 0.0
+	for _, s := range []int{1, 2, 4, 8, 16, 32} {
+		o, err := Compute(s, 8, 65536)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.TotalUm2 < prev {
+			t.Fatalf("SAGs=%d: total %.1f decreased from %.1f", s, o.TotalUm2, prev)
+		}
+		prev = o.TotalUm2
+	}
+	prev = 0
+	for _, c := range []int{1, 2, 4, 8, 16, 32} {
+		o, err := Compute(8, c, 65536)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.TotalUm2 < prev {
+			t.Fatalf("CDs=%d: total %.1f decreased from %.1f", c, o.TotalUm2, prev)
+		}
+		prev = o.TotalUm2
+	}
+}
+
+func TestDecoderTransistorsGrowth(t *testing.T) {
+	if DecoderTransistors(1) <= 0 {
+		t.Error("degenerate decoder nonpositive")
+	}
+	// N log N growth: doubling rows slightly more than doubles size.
+	a, b := DecoderTransistors(1024), DecoderTransistors(2048)
+	if b <= 2*a*0.99 || b >= 3*a {
+		t.Errorf("growth %v -> %v not N·logN-like", a, b)
+	}
+}
+
+// Splitting an N-row decoder into S N/S-row decoders must cost (or save)
+// only a small fraction — the basis of Table 1's "N/A".
+func TestDecoderSplitDelta(t *testing.T) {
+	n := 65536
+	whole := DecoderTransistors(n)
+	for _, s := range []int{2, 4, 8, 16, 32} {
+		split := float64(s) * DecoderTransistors(n/s)
+		delta := math.Abs(split-whole) / whole
+		if delta > 0.35 {
+			t.Errorf("split into %d: |delta| = %.1f%%, want small", s, delta*100)
+		}
+	}
+}
+
+func TestSmallConfigsHaveNoWireOverhead(t *testing.T) {
+	for _, dims := range [][2]int{{4, 4}, {8, 2}, {8, 8}, {16, 16}} {
+		o, err := Compute(dims[0], dims[1], 65536)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dims[0]*dims[1] <= OverTileFreeWires && o.YSelLinesUm2 != 0 {
+			t.Errorf("%dx%d: wire overhead %.1f, want 0 (fits over tiles)", dims[0], dims[1], o.YSelLinesUm2)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package bank
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/timing"
+)
+
+func geom() addr.Geometry {
+	return addr.Geometry{
+		Channels: 1, Ranks: 1, Banks: 1,
+		Rows: 64, Cols: 16, LineBytes: 64,
+		SAGs: 1, CDs: 1,
+	}
+}
+
+func TestNewBaselineValidation(t *testing.T) {
+	if _, err := NewBaseline(addr.Geometry{}, timing.Paper(), nil, 64); err == nil {
+		t.Error("bad geometry accepted")
+	}
+	if _, err := NewBaseline(geom(), timing.Timings{}, nil, 64); err == nil {
+		t.Error("bad timings accepted")
+	}
+	if _, err := NewBaseline(geom(), timing.Paper(), nil, 0); err == nil {
+		t.Error("zero drivers accepted")
+	}
+}
+
+func TestBaselineActivateReadWrite(t *testing.T) {
+	b, err := NewBaseline(geom(), timing.Paper(), nil, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.NeedsActivate(5, 0) {
+		t.Fatal("fresh bank should need activation")
+	}
+	ready := b.Activate(5, 0)
+	if ready != 10 {
+		t.Fatalf("ready = %d, want tRCD=10", ready)
+	}
+	if b.CanRead(5, ready-1) {
+		t.Fatal("read before sensing done")
+	}
+	done := b.Read(5, ready)
+	if done != ready+42 {
+		t.Fatalf("read done = %d, want %d", done, ready+42)
+	}
+	// Row hit.
+	if b.NeedsActivate(5, done) {
+		t.Fatal("open row should hit")
+	}
+	// Row miss needs re-activation.
+	if !b.NeedsActivate(6, done) {
+		t.Fatal("different row should miss")
+	}
+	wdone := b.Write(6, done)
+	if wdone != done+3+8*60+3 {
+		t.Fatalf("write done = %d, want tCWD+8*tWP+tWR later", wdone)
+	}
+	if b.CanActivate(wdone - 1) {
+		t.Fatal("bank free during write")
+	}
+	if b.Activations() != 1 || b.Writes() != 1 {
+		t.Fatalf("counters %d/%d", b.Activations(), b.Writes())
+	}
+}
+
+func TestBaselineWriteInvalidatesOpenRow(t *testing.T) {
+	b, _ := NewBaseline(geom(), timing.Paper(), nil, 64)
+	b.Activate(5, 0)
+	senseEnd := timing.Paper().TRCD + timing.Paper().TCAS
+	wdone := b.Write(5, senseEnd)
+	if !b.NeedsActivate(5, wdone) {
+		t.Fatal("row buffer should be stale after writing the open row")
+	}
+}
+
+func TestBaselineSensingOccupiesBank(t *testing.T) {
+	b, _ := NewBaseline(geom(), timing.Paper(), nil, 64)
+	ready := b.Activate(5, 0)
+	// Column reads of the sensing row pipeline within the window...
+	if !b.CanRead(5, ready) {
+		t.Fatal("column read should pipeline during sensing")
+	}
+	// ...but a new row operation must wait out the full sense window.
+	senseEnd := timing.Paper().TRCD + timing.Paper().TCAS
+	if b.CanActivate(senseEnd - 1) {
+		t.Fatal("second activation allowed during the sense window")
+	}
+	if !b.CanActivate(senseEnd) {
+		t.Fatal("bank should free at the end of the sense window")
+	}
+}
+
+func TestBaselinePanicsOnViolations(t *testing.T) {
+	b, _ := NewBaseline(geom(), timing.Paper(), nil, 64)
+	b.Activate(5, 0)
+	for name, fn := range map[string]func(){
+		"activate-busy": func() { b.Activate(6, 1) },
+		"read-miss":     func() { b.Read(9, 50) },
+		"write-busy":    func() { b.Write(5, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestBaselineMatchesDegenerateCore cross-validates the independent
+// Baseline implementation against the 1x1 core.Bank with all modes off:
+// for a long random legal schedule both must agree on every permission
+// query and every completion time.
+func TestBaselineMatchesDegenerateCore(t *testing.T) {
+	g := geom()
+	base, err := NewBaseline(g, timing.Paper(), nil, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fg := core.MustNewBank(core.Config{Geom: g, Tim: timing.Paper(), Modes: core.AccessModes{}, WriteDrivers: 64})
+
+	rng := rand.New(rand.NewSource(7))
+	now := sim.Tick(0)
+	ops := 0
+	for step := 0; step < 5000; step++ {
+		row := rng.Intn(g.Rows)
+		col := rng.Intn(g.Cols)
+		switch rng.Intn(3) {
+		case 0:
+			cb, cf := base.CanActivate(now), fg.CanActivate(row, col, now)
+			if cb != cf {
+				t.Fatalf("step %d: CanActivate diverged base=%v core=%v (now=%d)", step, cb, cf, now)
+			}
+			if cb {
+				rb, rf := base.Activate(row, now), fg.Activate(row, col, now)
+				if rb != rf {
+					t.Fatalf("step %d: Activate ready diverged %d vs %d", step, rb, rf)
+				}
+				ops++
+			}
+		case 1:
+			cb, cf := base.CanRead(row, now), fg.CanRead(row, col, now)
+			if cb != cf {
+				t.Fatalf("step %d: CanRead diverged base=%v core=%v (row=%d now=%d)", step, cb, cf, row, now)
+			}
+			if cb {
+				rb, rf := base.Read(row, now), fg.Read(row, col, now)
+				if rb != rf {
+					t.Fatalf("step %d: Read done diverged %d vs %d", step, rb, rf)
+				}
+				ops++
+			}
+		case 2:
+			cb, cf := base.CanWrite(now), fg.CanWrite(row, col, now)
+			if cb != cf {
+				t.Fatalf("step %d: CanWrite diverged base=%v core=%v (now=%d)", step, cb, cf, now)
+			}
+			if cb {
+				rb, rf := base.Write(row, now), fg.Write(row, col, now)
+				if rb != rf {
+					t.Fatalf("step %d: Write done diverged %d vs %d", step, rb, rf)
+				}
+				ops++
+			}
+		}
+		now += sim.Tick(rng.Intn(25))
+	}
+	if ops < 100 {
+		t.Fatalf("cross-validation exercised only %d ops", ops)
+	}
+	if base.Activations() != fg.Activations() || base.Writes() != fg.WritesIssued() {
+		t.Fatalf("op counts diverged: acts %d/%d writes %d/%d",
+			base.Activations(), fg.Activations(), base.Writes(), fg.WritesIssued())
+	}
+}
+
+func TestManyBanksGeometry(t *testing.T) {
+	g := addr.PaperGeometry() // 8 banks, 4x4 → 128 banks
+	mg, err := ManyBanksGeometry(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mg.Banks != 128 {
+		t.Errorf("Banks = %d, want 128 (Figure 4's comparison point)", mg.Banks)
+	}
+	if mg.Rows != g.Rows/4 || mg.Cols != g.Cols/4 {
+		t.Errorf("bank shape = %dx%d, want (SAG,CD)-pair sized", mg.Rows, mg.Cols)
+	}
+	if mg.SAGs != 1 || mg.CDs != 1 {
+		t.Errorf("subdivisions = %dx%d, want 1x1", mg.SAGs, mg.CDs)
+	}
+	if mg.TotalBytes() != g.TotalBytes() {
+		t.Errorf("capacity changed: %d vs %d", mg.TotalBytes(), g.TotalBytes())
+	}
+}
+
+func TestManyBanksGeometryRejectsBad(t *testing.T) {
+	if _, err := ManyBanksGeometry(addr.Geometry{}); err == nil {
+		t.Error("bad geometry accepted")
+	}
+	// CDs == Cols makes each derived bank 1 column wide — still valid.
+	g := geom()
+	g.SAGs, g.CDs = 4, 16
+	if _, err := ManyBanksGeometry(g); err != nil {
+		t.Errorf("edge geometry rejected: %v", err)
+	}
+}

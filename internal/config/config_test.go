@@ -1,0 +1,130 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBasics(t *testing.T) {
+	kv, err := ParseString(`
+# a comment
+design = fgnvm
+sags=8
+cds = 2   # trailing comment
+ratio = 1.5
+big = 18446744073709551615
+flag = yes
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := kv.String("design", "x"); got != "fgnvm" {
+		t.Errorf("design = %q", got)
+	}
+	if got, err := kv.Int("sags", 0); err != nil || got != 8 {
+		t.Errorf("sags = %d, %v", got, err)
+	}
+	if got, err := kv.Int("cds", 0); err != nil || got != 2 {
+		t.Errorf("cds = %d, %v", got, err)
+	}
+	if got, err := kv.Float("ratio", 0); err != nil || got != 1.5 {
+		t.Errorf("ratio = %v, %v", got, err)
+	}
+	if got, err := kv.Uint64("big", 0); err != nil || got != ^uint64(0) {
+		t.Errorf("big = %d, %v", got, err)
+	}
+	if got, err := kv.Bool("flag", false); err != nil || !got {
+		t.Errorf("flag = %v, %v", got, err)
+	}
+	if err := kv.CheckUnused(); err != nil {
+		t.Errorf("all keys consumed but: %v", err)
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	kv, err := ParseString("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kv.String("missing", "def") != "def" {
+		t.Error("string default")
+	}
+	if v, err := kv.Int("missing", 7); err != nil || v != 7 {
+		t.Error("int default")
+	}
+	if v, err := kv.Uint64("missing", 9); err != nil || v != 9 {
+		t.Error("uint default")
+	}
+	if v, err := kv.Float("missing", 2.5); err != nil || v != 2.5 {
+		t.Error("float default")
+	}
+	if v, err := kv.Bool("missing", true); err != nil || !v {
+		t.Error("bool default")
+	}
+	if kv.Has("missing") {
+		t.Error("Has on missing key")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"novalue\n",
+		"= nokey\n",
+		"dup = 1\ndup = 2\n",
+	}
+	for _, in := range cases {
+		if _, err := ParseString(in); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestTypeErrors(t *testing.T) {
+	kv, _ := ParseString("a = xyz\nb = maybe\n")
+	if _, err := kv.Int("a", 0); err == nil {
+		t.Error("bad int accepted")
+	}
+	if _, err := kv.Uint64("a", 0); err == nil {
+		t.Error("bad uint accepted")
+	}
+	if _, err := kv.Float("a", 0); err == nil {
+		t.Error("bad float accepted")
+	}
+	if _, err := kv.Bool("b", false); err == nil {
+		t.Error("bad bool accepted")
+	}
+}
+
+func TestBoolForms(t *testing.T) {
+	kv, _ := ParseString("a=true\nb=1\nc=ON\nd=false\ne=0\nf=No\n")
+	for _, k := range []string{"a", "b", "c"} {
+		if v, err := kv.Bool(k, false); err != nil || !v {
+			t.Errorf("%s should be true (%v)", k, err)
+		}
+	}
+	for _, k := range []string{"d", "e", "f"} {
+		if v, err := kv.Bool(k, true); err != nil || v {
+			t.Errorf("%s should be false (%v)", k, err)
+		}
+	}
+}
+
+func TestCaseInsensitiveKeys(t *testing.T) {
+	kv, _ := ParseString("DeSiGn = x\n")
+	if kv.String("design", "") != "x" || kv.String("DESIGN", "") != "x" {
+		t.Error("keys should be case-insensitive")
+	}
+}
+
+func TestUnusedDetection(t *testing.T) {
+	kv, _ := ParseString("used = 1\ntypo = 2\nmistake = 3\n")
+	kv.String("used", "")
+	u := kv.Unused()
+	if len(u) != 2 || u[0] != "mistake" || u[1] != "typo" {
+		t.Fatalf("Unused = %v", u)
+	}
+	err := kv.CheckUnused()
+	if err == nil || !strings.Contains(err.Error(), "typo") {
+		t.Fatalf("CheckUnused = %v", err)
+	}
+}

@@ -1,0 +1,615 @@
+// Package controller implements the memory controller of the evaluation
+// setup (Table 2): bounded read/write transaction queues, an FR-FCFS
+// scheduler [20] (plus plain FCFS and the paper's augmented multi-issue
+// FR-FCFS), write draining, shared data-bus arbitration, and per-bank
+// command scheduling against the FgNVM conflict rules.
+//
+// One Controller instance manages every channel of the memory system;
+// channels are fully independent (own queues, own data bus).
+package controller
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/timing"
+)
+
+// SchedulerKind selects the command scheduling policy.
+type SchedulerKind int
+
+const (
+	// FRFCFS is first-ready first-come-first-serve: column-ready
+	// requests are preferred over older requests that still need an
+	// activation.
+	FRFCFS SchedulerKind = iota
+	// FCFS services strictly in arrival order.
+	FCFS
+)
+
+func (s SchedulerKind) String() string {
+	switch s {
+	case FRFCFS:
+		return "FRFCFS"
+	case FCFS:
+		return "FCFS"
+	default:
+		return fmt.Sprintf("SchedulerKind(%d)", int(s))
+	}
+}
+
+// Config assembles the controller parameters. Zero values take the
+// Table 2 defaults where one exists.
+type Config struct {
+	Geom  addr.Geometry
+	Tim   timing.Timings
+	Modes core.AccessModes
+
+	Scheduler  SchedulerKind
+	IssueLanes int // commands per cycle and data-bus lanes; 1 = normal, >1 = Multi-Issue
+
+	ReadQueueCap  int // Table 2: 32
+	WriteQueueCap int // Table 2: 32
+	// WriteDrivers is the number of bits programmed in parallel across
+	// the rank. Table 2 lists 64 write drivers per device; with 8
+	// devices per rank a 64-byte line programs in a single tWP pulse,
+	// so the default is 512.
+	WriteDrivers int
+
+	// Write-drain watermarks used when Backgrounded Writes are off:
+	// draining starts at high and stops at low.
+	WriteHighWM int
+	WriteLowWM  int
+
+	Interleave addr.Interleave
+	Energy     *energy.Model // optional
+}
+
+func (c *Config) applyDefaults() {
+	if c.IssueLanes == 0 {
+		c.IssueLanes = 1
+	}
+	if c.ReadQueueCap == 0 {
+		c.ReadQueueCap = 32
+	}
+	if c.WriteQueueCap == 0 {
+		c.WriteQueueCap = 32
+	}
+	if c.WriteDrivers == 0 {
+		c.WriteDrivers = 512
+	}
+	if c.WriteHighWM == 0 {
+		c.WriteHighWM = c.WriteQueueCap * 3 / 4
+	}
+	if c.WriteLowWM == 0 {
+		c.WriteLowWM = c.WriteQueueCap / 4
+	}
+}
+
+// Stats aggregates the controller's observable behaviour over a run.
+type Stats struct {
+	Reads            stats.Counter // read requests completed
+	Writes           stats.Counter // write requests completed
+	Activations      stats.Counter // activation commands issued
+	ColumnReads      stats.Counter // column read commands issued
+	SegmentHits      stats.Counter // reads whose segment was already open at first service
+	BackgroundedRds  stats.Counter // reads issued while a write was in flight in the same bank
+	WriteDrainEvents stats.Counter // transitions into drain mode
+	BusStallCycles   stats.Counter // issuable column reads blocked only by the data bus
+	ForwardedReads   stats.Counter // reads served from a queued write's data
+	CoalescedWrites  stats.Counter // writes merged into a queued write to the same line
+	ReadLatency      stats.Distribution
+	WriteLatency     stats.Distribution
+	ReadLatencyHist  stats.Histogram // log-bucketed, for percentile reporting
+}
+
+// Controller is the memory controller front-end: the CPU enqueues
+// requests, the simulator calls Cycle once per controller clock, and
+// completions fire through the sim engine.
+type Controller struct {
+	cfg    Config
+	mapper *addr.Mapper
+	eng    *sim.Engine
+
+	banks [][][]*core.Bank // [channel][rank][bank]
+
+	readQ  []*mem.Queue // per channel
+	writeQ []*mem.Queue
+	busUse [][]sim.Tick // per channel, per lane: busy until
+	drain  []bool       // per channel: write drain active (non-backgrounded mode)
+
+	inflight int
+	st       Stats
+	hitSeen  map[*mem.Request]bool // request was segment-open at first service attempt
+
+	// hotCD[ch][rank][bank] is the CD of the bank's most recent column
+	// read: streaming reads will keep hitting it, so opportunistic
+	// writes avoid it (see writeClobbersPendingRead). -1 when unknown.
+	hotCD [][][]int
+
+	// lastReadActive[ch] is the last tick the channel's read queue was
+	// non-empty. Idle-time writes wait out a hysteresis window past it
+	// so a one-cycle gap between read bursts doesn't invite a
+	// CD-blocking write.
+	lastReadActive []sim.Tick
+}
+
+// idleWriteDelay is how many cycles the read queue must stay empty
+// before non-forced writes may issue.
+const idleWriteDelay = 64
+
+// New validates cfg and builds the controller and its bank models.
+func New(cfg Config, eng *sim.Engine) (*Controller, error) {
+	cfg.applyDefaults()
+	if eng == nil {
+		return nil, fmt.Errorf("controller: nil engine")
+	}
+	if cfg.IssueLanes < 1 {
+		return nil, fmt.Errorf("controller: IssueLanes = %d", cfg.IssueLanes)
+	}
+	if cfg.Scheduler != FRFCFS && cfg.Scheduler != FCFS {
+		return nil, fmt.Errorf("controller: unknown scheduler %d", int(cfg.Scheduler))
+	}
+	if cfg.WriteLowWM > cfg.WriteHighWM {
+		return nil, fmt.Errorf("controller: low watermark %d above high %d", cfg.WriteLowWM, cfg.WriteHighWM)
+	}
+	mapper, err := addr.NewMapper(cfg.Geom, cfg.Interleave)
+	if err != nil {
+		return nil, err
+	}
+	c := &Controller{
+		cfg:     cfg,
+		mapper:  mapper,
+		eng:     eng,
+		hitSeen: make(map[*mem.Request]bool),
+	}
+	g := cfg.Geom
+	c.banks = make([][][]*core.Bank, g.Channels)
+	for ch := 0; ch < g.Channels; ch++ {
+		c.banks[ch] = make([][]*core.Bank, g.Ranks)
+		for rk := 0; rk < g.Ranks; rk++ {
+			c.banks[ch][rk] = make([]*core.Bank, g.Banks)
+			for bk := 0; bk < g.Banks; bk++ {
+				b, err := core.NewBank(core.Config{
+					Geom: g, Tim: cfg.Tim, Modes: cfg.Modes,
+					Energy: cfg.Energy, WriteDrivers: cfg.WriteDrivers,
+				})
+				if err != nil {
+					return nil, err
+				}
+				c.banks[ch][rk][bk] = b
+			}
+		}
+	}
+	c.hotCD = make([][][]int, g.Channels)
+	for ch := range c.hotCD {
+		c.hotCD[ch] = make([][]int, g.Ranks)
+		for rk := range c.hotCD[ch] {
+			c.hotCD[ch][rk] = make([]int, g.Banks)
+			for bk := range c.hotCD[ch][rk] {
+				c.hotCD[ch][rk][bk] = -1
+			}
+		}
+	}
+	c.readQ = make([]*mem.Queue, g.Channels)
+	c.writeQ = make([]*mem.Queue, g.Channels)
+	c.busUse = make([][]sim.Tick, g.Channels)
+	c.drain = make([]bool, g.Channels)
+	c.lastReadActive = make([]sim.Tick, g.Channels)
+	for ch := range c.readQ {
+		c.readQ[ch] = mem.NewQueue(cfg.ReadQueueCap)
+		c.writeQ[ch] = mem.NewQueue(cfg.WriteQueueCap)
+		c.busUse[ch] = make([]sim.Tick, cfg.IssueLanes)
+	}
+	return c, nil
+}
+
+// Config returns the effective (defaulted) configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Stats returns a pointer to the live statistics.
+func (c *Controller) Stats() *Stats { return &c.st }
+
+// Bank exposes a bank model, mainly for tests and reporting.
+func (c *Controller) Bank(ch, rk, bk int) *core.Bank { return c.banks[ch][rk][bk] }
+
+// Enqueue decodes and accepts a request, reporting false when the
+// destination queue is full (backpressure: the caller must retry).
+//
+// Two standard controller shortcuts apply against the write queue:
+// a read matching a queued write's line is served from the write's
+// data next cycle (forwarding), and a write matching a queued write's
+// line replaces it in place (coalescing) — the line will be programmed
+// once, with the newest data.
+func (c *Controller) Enqueue(r *mem.Request, now sim.Tick) bool {
+	r.Loc = c.mapper.Decode(r.Addr)
+	r.Arrive = now
+	line := r.Addr / uint64(c.cfg.Geom.LineBytes)
+	wq := c.writeQ[r.Loc.Channel]
+
+	if r.Op == mem.Read {
+		hit := false
+		wq.Scan(func(_ int, w *mem.Request) bool {
+			if w.Addr/uint64(c.cfg.Geom.LineBytes) == line {
+				hit = true
+				return false
+			}
+			return true
+		})
+		if hit {
+			r.MarkIssued(now)
+			c.inflight++
+			c.st.ForwardedReads.Inc()
+			c.eng.Schedule(now+1, func(t sim.Tick) {
+				r.Finish(t)
+				c.st.Reads.Inc()
+				c.st.ReadLatency.Observe(float64(r.Latency()))
+				c.st.ReadLatencyHist.Observe(uint64(r.Latency()))
+				c.inflight--
+			})
+			return true
+		}
+		if !c.readQ[r.Loc.Channel].Push(r) {
+			return false
+		}
+		c.inflight++
+		return true
+	}
+
+	// Write path: coalesce into an existing write to the same line.
+	merged := false
+	wq.Scan(func(_ int, w *mem.Request) bool {
+		if w.Addr/uint64(c.cfg.Geom.LineBytes) == line {
+			merged = true
+			return false
+		}
+		return true
+	})
+	if merged {
+		r.MarkIssued(now)
+		c.inflight++
+		c.st.CoalescedWrites.Inc()
+		c.eng.Schedule(now+1, func(t sim.Tick) {
+			r.Finish(t)
+			c.st.Writes.Inc()
+			c.st.WriteLatency.Observe(float64(r.Latency()))
+			c.inflight--
+		})
+		return true
+	}
+	if !wq.Push(r) {
+		return false
+	}
+	c.inflight++
+	return true
+}
+
+// Pending returns the number of accepted but not yet completed requests.
+func (c *Controller) Pending() int { return c.inflight }
+
+// Drained reports whether no request is queued or in flight.
+func (c *Controller) Drained() bool { return c.inflight == 0 }
+
+// ReadQueueLen returns the read queue depth for a channel.
+func (c *Controller) ReadQueueLen(ch int) int { return c.readQ[ch].Len() }
+
+// WriteQueueLen returns the write queue depth for a channel.
+func (c *Controller) WriteQueueLen(ch int) int { return c.writeQ[ch].Len() }
+
+// Cycle performs one controller clock of scheduling work across all
+// channels. The caller must invoke it with strictly increasing ticks.
+func (c *Controller) Cycle(now sim.Tick) {
+	if c.cfg.Energy != nil {
+		c.cfg.Energy.AdvanceBackground(now)
+	}
+	for ch := range c.readQ {
+		c.cycleChannel(ch, now)
+	}
+}
+
+func (c *Controller) cycleChannel(ch int, now sim.Tick) {
+	if !c.readQ[ch].Empty() {
+		c.lastReadActive[ch] = now
+	}
+	c.updateDrain(ch)
+	writesFirst := c.drain[ch] || c.writeQ[ch].Full()
+	// At most one write and one activation issue per cycle: programming
+	// bandwidth is write-driver-limited and the row-decoder/latch path
+	// handles one address per cycle. Extra issue lanes raise COLUMN
+	// read throughput — the "multiple data returned via larger data
+	// bus" of the paper's Multi-Issue mode — without letting bursts of
+	// tile-blocking writes or segment-invalidating activations through.
+	wrote, activated := false, false
+	for lane := 0; lane < c.cfg.IssueLanes; lane++ {
+		issued := false
+		if writesFirst && !wrote {
+			issued = c.tryIssueWrite(ch, now)
+			wrote = issued
+		}
+		if !issued {
+			// While a write batch drains, reads ride along only on
+			// already-open segments: starting new activations mid-drain
+			// thrashes row latches against the writes.
+			var didAct bool
+			issued, didAct = c.tryIssueRead(ch, now, !activated && !writesFirst)
+			activated = activated || didAct
+		}
+		if !issued && !wrote {
+			issued = c.tryIssueWrite(ch, now)
+			wrote = issued
+		}
+		if !issued {
+			break
+		}
+	}
+}
+
+// updateDrain maintains the write-drain hysteresis: draining starts at
+// the high watermark and runs down to the low watermark, so writes pay
+// their tile-blocking cost in batches rather than one at a time in the
+// middle of read bursts. With Backgrounded Writes the threshold is the
+// full queue — deferring writes is nearly free there because a
+// draining write blocks one tile instead of the bank, so the queue is
+// allowed to back up further before the batch starts.
+func (c *Controller) updateDrain(ch int) {
+	wq := c.writeQ[ch]
+	if c.drain[ch] {
+		if wq.Len() <= c.cfg.WriteLowWM {
+			c.drain[ch] = false
+		}
+		return
+	}
+	start := c.cfg.WriteHighWM
+	if c.cfg.Modes.BackgroundedWrites {
+		start = c.cfg.WriteQueueCap
+	}
+	if wq.Len() >= start {
+		c.drain[ch] = true
+		c.st.WriteDrainEvents.Inc()
+	}
+}
+
+// busLaneFor returns a data-bus lane free for [start, start+tBURST), or
+// -1 if none. Lanes are reserved monotonically; gaps are not backfilled.
+func (c *Controller) busLaneFor(ch int, start sim.Tick) int {
+	for i, busy := range c.busUse[ch] {
+		if busy <= start {
+			return i
+		}
+	}
+	return -1
+}
+
+func (c *Controller) bankOf(r *mem.Request) *core.Bank {
+	return c.banks[r.Loc.Channel][r.Loc.Rank][r.Loc.Bank]
+}
+
+// tryIssueRead issues at most one command (column read or, when
+// mayActivate, an activation) on behalf of the read queue. It returns
+// whether anything issued and whether that something was an activation.
+func (c *Controller) tryIssueRead(ch int, now sim.Tick, mayActivate bool) (bool, bool) {
+	q := c.readQ[ch]
+	if q.Empty() {
+		return false, false
+	}
+	limit := q.Len()
+	if c.cfg.Scheduler == FCFS {
+		limit = 1
+	}
+
+	// First pass (the "first ready" of FR-FCFS): oldest request whose
+	// segment is open, sensed, and whose data burst fits on the bus.
+	for i := 0; i < limit; i++ {
+		r := q.At(i)
+		b := c.bankOf(r)
+		if !b.CanRead(r.Loc.Row, r.Loc.Col, now) {
+			continue
+		}
+		lane := c.busLaneFor(ch, now+c.cfg.Tim.TCAS)
+		if lane < 0 {
+			c.st.BusStallCycles.Inc()
+			continue // column conflict: I/O lines busy
+		}
+		c.issueColumnRead(r, b, ch, lane, i, now)
+		return true, false
+	}
+
+	if !mayActivate {
+		return false, false
+	}
+	// Second pass: oldest request that can start its activation now,
+	// as long as opening its row would not clobber a segment some other
+	// queued read is about to use (anti-thrash guard).
+	for i := 0; i < limit; i++ {
+		r := q.At(i)
+		b := c.bankOf(r)
+		if !b.NeedsActivate(r.Loc.Row, r.Loc.Col, now) {
+			continue // already sensed; waiting on bus or tCCD
+		}
+		if !b.CanActivate(r.Loc.Row, r.Loc.Col, now) {
+			continue
+		}
+		if c.activationClobbers(q, i, r, b) {
+			continue
+		}
+		if !r.Issued() {
+			r.MarkIssued(now)
+			if b.SegmentOpen(r.Loc.Row, r.Loc.Col) {
+				c.hitSeen[r] = true
+			}
+		}
+		b.Activate(r.Loc.Row, r.Loc.Col, now)
+		c.st.Activations.Inc()
+		return true, true
+	}
+	return false, false
+}
+
+// activationClobbers reports whether activating r's row would invalidate
+// an open segment that an older queued read still needs — either by
+// moving its SAG's row latch, or by re-sensing into its CD's shared
+// bank-edge sense amplifiers. Only OLDER requests are protected: the
+// oldest request is never blocked by this guard, which rules out
+// livelock.
+func (c *Controller) activationClobbers(q *mem.Queue, self int, r *mem.Request, b *core.Bank) bool {
+	sag := b.SAGOf(r.Loc.Row)
+	cd := b.CDOf(r.Loc.Col)
+	clobbers := false
+	q.Scan(func(j int, other *mem.Request) bool {
+		if j >= self {
+			return false
+		}
+		if other.Loc.Channel != r.Loc.Channel ||
+			other.Loc.Rank != r.Loc.Rank || other.Loc.Bank != r.Loc.Bank {
+			return true
+		}
+		if other.Loc.Row == r.Loc.Row {
+			return true // same row: activation helps rather than harms
+		}
+		ob := c.bankOf(other)
+		if !ob.SegmentOpen(other.Loc.Row, other.Loc.Col) {
+			return true
+		}
+		if ob.SAGOf(other.Loc.Row) == sag || ob.CDOf(other.Loc.Col) == cd {
+			clobbers = true
+			return false
+		}
+		return true
+	})
+	return clobbers
+}
+
+func (c *Controller) issueColumnRead(r *mem.Request, b *core.Bank, ch, lane, qi int, now sim.Tick) {
+	if !r.Issued() {
+		r.MarkIssued(now)
+		c.hitSeen[r] = true // ready without us ever activating for it
+	}
+	if c.hitSeen[r] {
+		c.st.SegmentHits.Inc()
+	}
+	delete(c.hitSeen, r)
+	if b.WriteInFlight(now) {
+		c.st.BackgroundedRds.Inc()
+	}
+	done := b.Read(r.Loc.Row, r.Loc.Col, now)
+	c.busUse[ch][lane] = done // bus busy until the burst ends
+	c.hotCD[r.Loc.Channel][r.Loc.Rank][r.Loc.Bank] = b.CDOf(r.Loc.Col)
+	c.st.ColumnReads.Inc()
+	c.readQ[ch].Remove(qi)
+	c.eng.Schedule(done, func(t sim.Tick) {
+		r.Finish(t)
+		c.st.Reads.Inc()
+		c.st.ReadLatency.Observe(float64(r.Latency()))
+		c.st.ReadLatencyHist.Observe(uint64(r.Latency()))
+		c.inflight--
+	})
+}
+
+// tryIssueWrite issues at most one line write, returning whether one
+// issued. Writes prefer targets that do not clobber segments pending
+// reads rely on; when the queue is full or draining, the oldest legal
+// write issues regardless.
+func (c *Controller) tryIssueWrite(ch int, now sim.Tick) bool {
+	q := c.writeQ[ch]
+	if q.Empty() {
+		return false
+	}
+	limit := q.Len()
+	if c.cfg.Scheduler == FCFS {
+		limit = 1
+	}
+	// Backlog pressure: while drain mode is active, writes may no
+	// longer be deferred just to keep tiles clear for reads.
+	force := c.drain[ch] || q.Full()
+	// A write blocks its CD for the whole programming time, so issuing
+	// one while reads are waiting almost always delays them more than
+	// the write gains. Writes therefore issue only under backlog
+	// pressure or once the read queue has been idle for a hysteresis
+	// window; Backgrounded Writes' benefit is that the write then
+	// blocks one tile, not the bank.
+	if !force && now < c.lastReadActive[ch]+idleWriteDelay {
+		return false
+	}
+
+	// Preferred pass: the oldest legal write whose (SAG, CD) does not
+	// collide with any queued read — "put the write where the reads
+	// are not", the scheduling half of Backgrounded Writes.
+	pick := -1
+	for i := 0; i < limit; i++ {
+		w := q.At(i)
+		b := c.bankOf(w)
+		if !b.CanWrite(w.Loc.Row, w.Loc.Col, now) {
+			continue
+		}
+		if c.busLaneFor(ch, now+c.cfg.Tim.TCWD) < 0 {
+			continue // write data also crosses the shared bus
+		}
+		if c.writeClobbersPendingRead(w, b) {
+			continue
+		}
+		pick = i
+		break
+	}
+	if pick < 0 && force {
+		// Under pressure: take the oldest write that is merely legal.
+		for i := 0; i < limit; i++ {
+			w := q.At(i)
+			b := c.bankOf(w)
+			if b.CanWrite(w.Loc.Row, w.Loc.Col, now) && c.busLaneFor(ch, now+c.cfg.Tim.TCWD) >= 0 {
+				pick = i
+				break
+			}
+		}
+	}
+	if pick < 0 {
+		return false
+	}
+	w := q.Remove(pick)
+	b := c.bankOf(w)
+	lane := c.busLaneFor(ch, now+c.cfg.Tim.TCWD)
+	w.MarkIssued(now)
+	done := b.Write(w.Loc.Row, w.Loc.Col, now)
+	c.busUse[ch][lane] = now + c.cfg.Tim.TCWD + c.cfg.Tim.TBURST
+	c.eng.Schedule(done, func(t sim.Tick) {
+		w.Finish(t)
+		c.st.Writes.Inc()
+		c.st.WriteLatency.Observe(float64(w.Latency()))
+		c.inflight--
+	})
+	return true
+}
+
+// writeClobbersPendingRead reports whether issuing w would invalidate a
+// sensed segment that some queued read is waiting to use, or would
+// occupy the (SAG, CD) a queued read needs next. Avoiding such writes is
+// the scheduling half of Backgrounded Writes: put the write where the
+// reads are not.
+func (c *Controller) writeClobbersPendingRead(w *mem.Request, b *core.Bank) bool {
+	sag := b.SAGOf(w.Loc.Row)
+	cd := b.CDOf(w.Loc.Col)
+	rq := c.readQ[w.Loc.Channel]
+	if rq.Empty() {
+		return false // no reads to disturb
+	}
+	if c.hotCD[w.Loc.Channel][w.Loc.Rank][w.Loc.Bank] == cd {
+		return true // streaming reads are working through this CD now
+	}
+	clash := false
+	rq.Scan(func(_ int, r *mem.Request) bool {
+		if r.Loc.Rank != w.Loc.Rank || r.Loc.Bank != w.Loc.Bank {
+			return true
+		}
+		rb := c.bankOf(r)
+		if rb.SAGOf(r.Loc.Row) == sag || rb.CDOf(r.Loc.Col) == cd {
+			clash = true
+			return false
+		}
+		return true
+	})
+	return clash
+}

@@ -1,0 +1,454 @@
+package controller
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/timing"
+)
+
+func testGeom() addr.Geometry {
+	return addr.Geometry{
+		Channels: 1, Ranks: 1, Banks: 2,
+		Rows: 64, Cols: 16, LineBytes: 64,
+		SAGs: 4, CDs: 4,
+	}
+}
+
+func newCtrl(t *testing.T, modes core.AccessModes, lanes int) (*Controller, *sim.Engine) {
+	t.Helper()
+	eng := sim.NewEngine()
+	c, err := New(Config{
+		Geom: testGeom(), Tim: timing.Paper(), Modes: modes,
+		IssueLanes: lanes, Interleave: addr.RowBankRankChanCol,
+	}, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, eng
+}
+
+// run drives the controller until drained or the cycle limit.
+func run(c *Controller, eng *sim.Engine, limit sim.Tick) sim.Tick {
+	t := eng.Now()
+	for ; t < limit; t++ {
+		eng.RunUntil(t)
+		c.Cycle(t)
+		if c.Drained() && eng.Pending() == 0 {
+			return t
+		}
+	}
+	return t
+}
+
+// addrFor builds a physical address for a location in the test geometry.
+func addrFor(t *testing.T, c *Controller, row, col, bank int) uint64 {
+	t.Helper()
+	m := addr.MustNewMapper(c.Config().Geom, c.Config().Interleave)
+	return m.Encode(addr.Location{Bank: bank, Row: row, Col: col})
+}
+
+func TestNewValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	if _, err := New(Config{Geom: testGeom(), Tim: timing.Paper()}, nil); err == nil {
+		t.Error("nil engine accepted")
+	}
+	if _, err := New(Config{Geom: addr.Geometry{}, Tim: timing.Paper()}, eng); err == nil {
+		t.Error("bad geometry accepted")
+	}
+	if _, err := New(Config{Geom: testGeom(), Tim: timing.Paper(), Scheduler: SchedulerKind(9)}, eng); err == nil {
+		t.Error("bad scheduler accepted")
+	}
+	if _, err := New(Config{Geom: testGeom(), Tim: timing.Paper(), IssueLanes: -1}, eng); err == nil {
+		t.Error("negative lanes accepted")
+	}
+	if _, err := New(Config{Geom: testGeom(), Tim: timing.Paper(), WriteLowWM: 20, WriteHighWM: 10}, eng); err == nil {
+		t.Error("inverted watermarks accepted")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	c, _ := newCtrl(t, core.AllModes(), 0)
+	cfg := c.Config()
+	if cfg.IssueLanes != 1 || cfg.ReadQueueCap != 32 || cfg.WriteQueueCap != 32 || cfg.WriteDrivers != 512 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+	if cfg.WriteHighWM != 24 || cfg.WriteLowWM != 8 {
+		t.Fatalf("watermark defaults: high=%d low=%d", cfg.WriteHighWM, cfg.WriteLowWM)
+	}
+}
+
+func TestSchedulerString(t *testing.T) {
+	if FRFCFS.String() != "FRFCFS" || FCFS.String() != "FCFS" {
+		t.Fatal("scheduler names wrong")
+	}
+	if SchedulerKind(7).String() == "" {
+		t.Fatal("unknown kind should render")
+	}
+}
+
+func TestSingleReadLatency(t *testing.T) {
+	c, eng := newCtrl(t, core.AccessModes{}, 1)
+	r := &mem.Request{ID: 1, Op: mem.Read, Addr: addrFor(t, c, 5, 2, 0)}
+	if !c.Enqueue(r, 0) {
+		t.Fatal("enqueue failed")
+	}
+	run(c, eng, 1000)
+	if !r.Done() {
+		t.Fatal("read never completed")
+	}
+	// Cycle 0: activate. Sensing ready at 10. Cycle 10: column read.
+	// Data at 10 + 38 + 4 = 52.
+	if r.Complete != 52 {
+		t.Fatalf("read completed at %d, want 52 (tRCD + tCAS + tBURST)", r.Complete)
+	}
+	if got := c.Stats().Reads.Value(); got != 1 {
+		t.Fatalf("Reads = %d", got)
+	}
+	if got := c.Stats().Activations.Value(); got != 1 {
+		t.Fatalf("Activations = %d", got)
+	}
+}
+
+func TestRowHitSkipsActivation(t *testing.T) {
+	c, eng := newCtrl(t, core.AccessModes{}, 1)
+	r1 := &mem.Request{ID: 1, Op: mem.Read, Addr: addrFor(t, c, 5, 2, 0)}
+	r2 := &mem.Request{ID: 2, Op: mem.Read, Addr: addrFor(t, c, 5, 3, 0)}
+	c.Enqueue(r1, 0)
+	c.Enqueue(r2, 0)
+	run(c, eng, 1000)
+	if c.Stats().Activations.Value() != 1 {
+		t.Fatalf("Activations = %d, want 1 (second read is a row hit)", c.Stats().Activations.Value())
+	}
+	if c.Stats().SegmentHits.Value() != 1 {
+		t.Fatalf("SegmentHits = %d, want 1", c.Stats().SegmentHits.Value())
+	}
+	// r2's burst follows r1's on the bus.
+	if r2.Complete <= r1.Complete {
+		t.Fatalf("r2 at %d should finish after r1 at %d", r2.Complete, r1.Complete)
+	}
+}
+
+func TestUnderfetchWithPartialActivation(t *testing.T) {
+	// Same row, different CDs: with Partial-Activation each segment
+	// needs its own activation (underfetch); baseline needs only one.
+	mk := func(modes core.AccessModes) uint64 {
+		c, eng := newCtrl(t, modes, 1)
+		r1 := &mem.Request{ID: 1, Op: mem.Read, Addr: addrFor(t, c, 5, 0, 0)}  // CD 0
+		r2 := &mem.Request{ID: 2, Op: mem.Read, Addr: addrFor(t, c, 5, 10, 0)} // CD 2
+		c.Enqueue(r1, 0)
+		c.Enqueue(r2, 0)
+		run(c, eng, 2000)
+		return c.Stats().Activations.Value()
+	}
+	if got := mk(core.AccessModes{}); got != 1 {
+		t.Errorf("baseline activations = %d, want 1 (full row sensed once)", got)
+	}
+	if got := mk(core.AllModes()); got != 2 {
+		t.Errorf("FgNVM activations = %d, want 2 (underfetch)", got)
+	}
+}
+
+func TestMultiActivationOverlapsSensng(t *testing.T) {
+	// Two reads to different SAGs and CDs of the same bank: FgNVM senses
+	// them in parallel, baseline serializes.
+	finish := func(modes core.AccessModes) sim.Tick {
+		c, eng := newCtrl(t, modes, 1)
+		r1 := &mem.Request{ID: 1, Op: mem.Read, Addr: addrFor(t, c, 5, 2, 0)}   // SAG1, CD2
+		r2 := &mem.Request{ID: 2, Op: mem.Read, Addr: addrFor(t, c, 20, 11, 0)} // SAG0, CD3
+		c.Enqueue(r1, 0)
+		c.Enqueue(r2, 0)
+		run(c, eng, 4000)
+		if r2.Complete > r1.Complete {
+			return r2.Complete
+		}
+		return r1.Complete
+	}
+	fg := finish(core.AllModes())
+	base := finish(core.AccessModes{})
+	if fg >= base {
+		t.Fatalf("FgNVM last completion %d not earlier than baseline %d", fg, base)
+	}
+	// FgNVM: activations at cycles 0 and 1; bursts serialize on the bus.
+	// Second read: sensed at 11, column read at 11, data at 11+42 = 53...
+	// bus conflict resolves within tBURST, so both done by ~57.
+	if fg > 60 {
+		t.Fatalf("FgNVM completion %d unexpectedly slow", fg)
+	}
+}
+
+func TestBackgroundedWriteAllowsReads(t *testing.T) {
+	// Issue a write, then a read to a different SAG/CD of the same bank.
+	// The write only starts after the idle-write hysteresis window.
+	c, eng := newCtrl(t, core.AllModes(), 1)
+	w := &mem.Request{ID: 1, Op: mem.Write, Addr: addrFor(t, c, 5, 2, 0)}  // SAG1, CD2
+	r := &mem.Request{ID: 2, Op: mem.Read, Addr: addrFor(t, c, 20, 11, 0)} // SAG0, CD3
+	c.Enqueue(w, 0)
+	run(c, eng, 70) // idle-write hysteresis (64 cycles) elapses; the write issues
+	c.Enqueue(r, eng.Now())
+	run(c, eng, 4000)
+	if !r.Done() || !w.Done() {
+		t.Fatal("requests incomplete")
+	}
+	if r.Complete >= w.Complete {
+		t.Fatalf("read at %d should complete during write (done %d)", r.Complete, w.Complete)
+	}
+	if c.Stats().BackgroundedRds.Value() != 1 {
+		t.Fatalf("BackgroundedRds = %d, want 1", c.Stats().BackgroundedRds.Value())
+	}
+}
+
+func TestBaselineWriteBlocksReads(t *testing.T) {
+	c, eng := newCtrl(t, core.AccessModes{}, 1)
+	w := &mem.Request{ID: 1, Op: mem.Write, Addr: addrFor(t, c, 5, 2, 0)}
+	c.Enqueue(w, 0)
+	run(c, eng, 70) // idle-write hysteresis (64 cycles) elapses; the write issues
+	r := &mem.Request{ID: 2, Op: mem.Read, Addr: addrFor(t, c, 20, 10, 0)}
+	c.Enqueue(r, eng.Now())
+	run(c, eng, 5000)
+	if r.Complete < w.Complete {
+		t.Fatalf("baseline read at %d finished during write (done %d)", r.Complete, w.Complete)
+	}
+}
+
+func TestWriteDrainHysteresis(t *testing.T) {
+	eng := sim.NewEngine()
+	c, err := New(Config{
+		Geom: testGeom(), Tim: timing.Paper(), Modes: core.AccessModes{},
+		WriteQueueCap: 8, WriteHighWM: 4, WriteLowWM: 1,
+	}, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		w := &mem.Request{ID: uint64(i), Op: mem.Write,
+			Addr: addrFor(t, c, i*3, (i*5)%16, i%2)}
+		if !c.Enqueue(w, 0) {
+			t.Fatal("enqueue failed")
+		}
+	}
+	run(c, eng, 100000)
+	if !c.Drained() {
+		t.Fatal("writes never drained")
+	}
+	if c.Stats().WriteDrainEvents.Value() == 0 {
+		t.Fatal("drain mode never engaged")
+	}
+	if c.Stats().Writes.Value() != 5 {
+		t.Fatalf("Writes = %d, want 5", c.Stats().Writes.Value())
+	}
+}
+
+func TestBackpressureOnFullQueue(t *testing.T) {
+	eng := sim.NewEngine()
+	c, err := New(Config{Geom: testGeom(), Tim: timing.Paper(), ReadQueueCap: 2}, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		r := &mem.Request{ID: uint64(i), Op: mem.Read, Addr: addrFor(t, c, i, 0, 0)}
+		if !c.Enqueue(r, 0) {
+			t.Fatal("enqueue into non-full queue failed")
+		}
+	}
+	r := &mem.Request{ID: 99, Op: mem.Read, Addr: addrFor(t, c, 9, 0, 0)}
+	if c.Enqueue(r, 0) {
+		t.Fatal("enqueue into full queue succeeded")
+	}
+	if c.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", c.Pending())
+	}
+}
+
+func TestFCFSServicesInOrder(t *testing.T) {
+	// Request A (row miss after B's row) arrives first; FRFCFS would
+	// serve B's row hit first, FCFS must serve A first.
+	mk := func(kind SchedulerKind) (aDone, bDone sim.Tick) {
+		eng := sim.NewEngine()
+		c, err := New(Config{Geom: testGeom(), Tim: timing.Paper(), Scheduler: kind}, eng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Warm up row 5.
+		warm := &mem.Request{ID: 0, Op: mem.Read, Addr: addrFor(t, c, 5, 2, 0)}
+		c.Enqueue(warm, 0)
+		run(c, eng, 2000)
+		// A: row 9 (miss). B: row 5 (hit).
+		a := &mem.Request{ID: 1, Op: mem.Read, Addr: addrFor(t, c, 9, 2, 0)}
+		b := &mem.Request{ID: 2, Op: mem.Read, Addr: addrFor(t, c, 5, 3, 0)}
+		now := eng.Now()
+		c.Enqueue(a, now)
+		c.Enqueue(b, now)
+		run(c, eng, 5000)
+		return a.Complete, b.Complete
+	}
+	aF, bF := mk(FRFCFS)
+	if bF >= aF {
+		t.Errorf("FRFCFS: hit B at %d should beat miss A at %d", bF, aF)
+	}
+	aC, bC := mk(FCFS)
+	if aC >= bC {
+		t.Errorf("FCFS: older A at %d should beat B at %d", aC, bC)
+	}
+}
+
+func TestMultiIssueImprovesThroughput(t *testing.T) {
+	load := func(lanes int) sim.Tick {
+		c, eng := newCtrl(t, core.AllModes(), lanes)
+		// 8 reads spread across SAGs/CDs of one bank.
+		for i := 0; i < 8; i++ {
+			r := &mem.Request{ID: uint64(i), Op: mem.Read,
+				Addr: addrFor(t, c, (i%4)*16+i, (i*5)%16, 0)}
+			c.Enqueue(r, 0)
+		}
+		return run(c, eng, 100000)
+	}
+	one := load(1)
+	four := load(4)
+	if four >= one {
+		t.Fatalf("multi-issue (4 lanes) finished at %d, single lane at %d", four, one)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	trace := func() []sim.Tick {
+		c, eng := newCtrl(t, core.AllModes(), 2)
+		var done []sim.Tick
+		for i := 0; i < 20; i++ {
+			op := mem.Read
+			if i%3 == 0 {
+				op = mem.Write
+			}
+			r := &mem.Request{ID: uint64(i), Op: op,
+				Addr: addrFor(t, c, (i*7)%64, (i*3)%16, i%2)}
+			r.OnComplete = func(req *mem.Request, now sim.Tick) {
+				done = append(done, now)
+			}
+			c.Enqueue(r, 0)
+		}
+		run(c, eng, 1000000)
+		return done
+	}
+	a, b := trace(), trace()
+	if len(a) != len(b) || len(a) != 20 {
+		t.Fatalf("completion counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at completion %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestMixedLoadDrains(t *testing.T) {
+	// A burst of interleaved reads and writes across banks must fully
+	// drain under every mode combination without deadlock.
+	for _, modes := range []core.AccessModes{{}, {PartialActivation: true},
+		{PartialActivation: true, MultiActivation: true}, core.AllModes()} {
+		c, eng := newCtrl(t, modes, 1)
+		n := 0
+		for i := 0; i < 60; i++ {
+			op := mem.Read
+			if i%4 == 0 {
+				op = mem.Write
+			}
+			r := &mem.Request{ID: uint64(i), Op: op,
+				Addr: addrFor(t, c, (i*11)%64, (i*5)%16, i%2)}
+			if c.Enqueue(r, 0) {
+				n++
+			}
+		}
+		end := run(c, eng, 2000000)
+		if !c.Drained() {
+			t.Fatalf("modes %+v: stuck with %d pending at %d", modes, c.Pending(), end)
+		}
+		if int(c.Stats().Reads.Value()+c.Stats().Writes.Value()) != n {
+			t.Fatalf("modes %+v: completed %d+%d of %d", modes,
+				c.Stats().Reads.Value(), c.Stats().Writes.Value(), n)
+		}
+	}
+}
+
+func TestFgNVMBeatsBaselineOnParallelWorkload(t *testing.T) {
+	// The headline behaviour: on a bank-conflict-heavy read workload,
+	// FgNVM with all modes should finish sooner than the baseline.
+	load := func(modes core.AccessModes) sim.Tick {
+		c, eng := newCtrl(t, modes, 1)
+		for i := 0; i < 24; i++ {
+			r := &mem.Request{ID: uint64(i), Op: mem.Read,
+				Addr: addrFor(t, c, (i*17)%64, (i*7)%16, 0)} // all in bank 0
+			c.Enqueue(r, 0)
+		}
+		return run(c, eng, 1000000)
+	}
+	fg := load(core.AllModes())
+	base := load(core.AccessModes{})
+	if fg >= base {
+		t.Fatalf("FgNVM %d cycles not faster than baseline %d", fg, base)
+	}
+}
+
+func TestReadForwardedFromWriteQueue(t *testing.T) {
+	c, eng := newCtrl(t, core.AllModes(), 1)
+	w := &mem.Request{ID: 1, Op: mem.Write, Addr: addrFor(t, c, 5, 2, 0)}
+	r := &mem.Request{ID: 2, Op: mem.Read, Addr: addrFor(t, c, 5, 2, 0)}
+	c.Enqueue(w, 0)
+	c.Enqueue(r, 0)
+	run(c, eng, 10000)
+	if !r.Done() {
+		t.Fatal("forwarded read incomplete")
+	}
+	if r.Complete != 1 {
+		t.Fatalf("forwarded read completed at %d, want 1 (next cycle)", r.Complete)
+	}
+	if c.Stats().ForwardedReads.Value() != 1 {
+		t.Fatalf("ForwardedReads = %d", c.Stats().ForwardedReads.Value())
+	}
+	// The read never touched a bank.
+	if c.Stats().Activations.Value() != 0 || c.Stats().ColumnReads.Value() != 0 {
+		t.Fatal("forwarded read issued device commands")
+	}
+}
+
+func TestWriteCoalescing(t *testing.T) {
+	c, eng := newCtrl(t, core.AllModes(), 1)
+	w1 := &mem.Request{ID: 1, Op: mem.Write, Addr: addrFor(t, c, 5, 2, 0)}
+	w2 := &mem.Request{ID: 2, Op: mem.Write, Addr: addrFor(t, c, 5, 2, 0)}
+	w3 := &mem.Request{ID: 3, Op: mem.Write, Addr: addrFor(t, c, 9, 2, 0)} // different line
+	c.Enqueue(w1, 0)
+	c.Enqueue(w2, 0)
+	c.Enqueue(w3, 0)
+	run(c, eng, 100000)
+	if !c.Drained() {
+		t.Fatal("did not drain")
+	}
+	if c.Stats().CoalescedWrites.Value() != 1 {
+		t.Fatalf("CoalescedWrites = %d, want 1", c.Stats().CoalescedWrites.Value())
+	}
+	// Only two lines were actually programmed.
+	bank := c.Bank(0, 0, 0)
+	if bank.WritesIssued() != 2 {
+		t.Fatalf("device writes = %d, want 2", bank.WritesIssued())
+	}
+	if !w2.Done() || w2.Complete != 1 {
+		t.Fatalf("coalesced write completed at %d, want 1", w2.Complete)
+	}
+}
+
+func TestReadNotForwardedFromDifferentLine(t *testing.T) {
+	c, eng := newCtrl(t, core.AllModes(), 1)
+	w := &mem.Request{ID: 1, Op: mem.Write, Addr: addrFor(t, c, 5, 2, 0)}
+	r := &mem.Request{ID: 2, Op: mem.Read, Addr: addrFor(t, c, 5, 3, 0)}
+	c.Enqueue(w, 0)
+	c.Enqueue(r, 0)
+	run(c, eng, 100000)
+	if c.Stats().ForwardedReads.Value() != 0 {
+		t.Fatal("different line forwarded")
+	}
+	if c.Stats().ColumnReads.Value() != 1 {
+		t.Fatal("read should have gone to the bank")
+	}
+}

@@ -1,0 +1,199 @@
+package controller
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/timing"
+)
+
+// TestStressRandomTraffic pushes randomized open/closed traffic through
+// every mode combination, scheduler, and lane count, and checks the
+// liveness and accounting invariants: every accepted request completes
+// exactly once, latencies are positive, reads arrive no earlier than
+// the minimum physical latency, and the controller drains.
+func TestStressRandomTraffic(t *testing.T) {
+	modesList := []core.AccessModes{
+		{},
+		{PartialActivation: true},
+		{PartialActivation: true, MultiActivation: true},
+		core.AllModes(),
+		{MultiActivation: true, BackgroundedWrites: true, LocalSenseAmps: true},
+	}
+	geoms := []addr.Geometry{
+		{Channels: 1, Ranks: 1, Banks: 2, Rows: 64, Cols: 16, LineBytes: 64, SAGs: 4, CDs: 4},
+		{Channels: 2, Ranks: 2, Banks: 4, Rows: 128, Cols: 32, LineBytes: 64, SAGs: 8, CDs: 2},
+	}
+	for gi, g := range geoms {
+		for mi, modes := range modesList {
+			for _, lanes := range []int{1, 4} {
+				for _, sched := range []SchedulerKind{FRFCFS, FCFS} {
+					name := [4]int{gi, mi, lanes, int(sched)}
+					eng := sim.NewEngine()
+					c, err := New(Config{
+						Geom: g, Tim: timing.Paper(), Modes: modes,
+						IssueLanes: lanes, Scheduler: sched,
+						Energy: energy.New(energy.Config{RowBufferBits: g.RowBytes() * 8, Banks: g.Banks}),
+					}, eng)
+					if err != nil {
+						t.Fatalf("%v: %v", name, err)
+					}
+					m := addr.MustNewMapper(g, addr.RowBankRankChanCol)
+					rng := rand.New(rand.NewSource(int64(gi*100 + mi*10 + lanes)))
+
+					minReadLat := timing.Paper().ReadLatency // tCAS+tBURST at best
+					completed := 0
+					subFloorReads := 0 // must all be write-queue forwards
+					var enqueued int
+					var now sim.Tick
+					pending := 300
+					for now = 0; now < 1_000_000 && (pending > 0 || !c.Drained()); now++ {
+						eng.RunUntil(now)
+						// Random arrivals with bursts.
+						for pending > 0 && rng.Intn(6) == 0 {
+							op := mem.Read
+							if rng.Intn(4) == 0 {
+								op = mem.Write
+							}
+							loc := addr.Location{
+								Channel: rng.Intn(g.Channels),
+								Rank:    rng.Intn(g.Ranks),
+								Bank:    rng.Intn(g.Banks),
+								Row:     rng.Intn(g.Rows),
+								Col:     rng.Intn(g.Cols),
+							}
+							r := &mem.Request{ID: uint64(enqueued), Op: op, Addr: m.Encode(loc)}
+							r.OnComplete = func(req *mem.Request, at sim.Tick) {
+								completed++
+								if req.Latency() == 0 {
+									t.Errorf("%v: zero latency for %s", name, req)
+								}
+								if req.Op == mem.Read && req.Latency() < minReadLat {
+									subFloorReads++
+								}
+							}
+							if c.Enqueue(r, now) {
+								pending--
+							}
+						}
+						c.Cycle(now)
+					}
+					if pending > 0 || !c.Drained() || eng.Pending() != 0 {
+						t.Fatalf("%v: stuck at %d with %d to enqueue, %d pending, %d events",
+							name, now, pending, c.Pending(), eng.Pending())
+					}
+					if completed != 300 {
+						t.Fatalf("%v: completed %d of 300", name, completed)
+					}
+					st := c.Stats()
+					if st.Reads.Value()+st.Writes.Value() != 300 {
+						t.Fatalf("%v: stats count %d+%d != 300", name, st.Reads.Value(), st.Writes.Value())
+					}
+					if st.ReadLatencyHist.Count() != st.Reads.Value() {
+						t.Fatalf("%v: histogram count %d != reads %d",
+							name, st.ReadLatencyHist.Count(), st.Reads.Value())
+					}
+					// The only reads allowed below the physical floor
+					// are the ones served from the write queue.
+					if uint64(subFloorReads) != st.ForwardedReads.Value() {
+						t.Fatalf("%v: %d sub-floor reads but %d forwards",
+							name, subFloorReads, st.ForwardedReads.Value())
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStressDeterminismAcrossModes re-runs one stress configuration and
+// demands bit-identical completion times.
+func TestStressDeterminismAcrossModes(t *testing.T) {
+	run := func() []sim.Tick {
+		g := addr.Geometry{Channels: 2, Ranks: 1, Banks: 4, Rows: 128, Cols: 32, LineBytes: 64, SAGs: 8, CDs: 4}
+		eng := sim.NewEngine()
+		c, err := New(Config{Geom: g, Tim: timing.Paper(), Modes: core.AllModes(), IssueLanes: 2}, eng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := addr.MustNewMapper(g, addr.RowColBankRankChan)
+		rng := rand.New(rand.NewSource(99))
+		var done []sim.Tick
+		id := uint64(0)
+		for now := sim.Tick(0); now < 200_000; now++ {
+			eng.RunUntil(now)
+			if id < 200 && rng.Intn(4) == 0 {
+				op := mem.Read
+				if rng.Intn(3) == 0 {
+					op = mem.Write
+				}
+				r := &mem.Request{ID: id, Op: op, Addr: uint64(rng.Intn(1<<22) * 64)}
+				_ = m
+				r.OnComplete = func(_ *mem.Request, at sim.Tick) { done = append(done, at) }
+				if c.Enqueue(r, now) {
+					id++
+				}
+			}
+			c.Cycle(now)
+			if id == 200 && c.Drained() && eng.Pending() == 0 {
+				break
+			}
+		}
+		return done
+	}
+	a, b := run(), run()
+	if len(a) != len(b) || len(a) != 200 {
+		t.Fatalf("completion counts %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("completion %d diverged: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// TestChannelIsolation verifies traffic on one channel cannot be
+// delayed by bank conflicts on another: two identical request ladders
+// on separate channels must finish simultaneously.
+func TestChannelIsolation(t *testing.T) {
+	g := addr.Geometry{Channels: 2, Ranks: 1, Banks: 2, Rows: 64, Cols: 16, LineBytes: 64, SAGs: 4, CDs: 4}
+	eng := sim.NewEngine()
+	c, err := New(Config{Geom: g, Tim: timing.Paper(), Modes: core.AllModes()}, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := addr.MustNewMapper(g, addr.RowBankRankChanCol)
+	var done [2][]sim.Tick
+	for ch := 0; ch < 2; ch++ {
+		for i := 0; i < 10; i++ {
+			ch := ch
+			r := &mem.Request{
+				ID: uint64(ch*100 + i), Op: mem.Read,
+				Addr: m.Encode(addr.Location{Channel: ch, Row: i * 3, Col: i}),
+			}
+			r.OnComplete = func(_ *mem.Request, at sim.Tick) {
+				done[ch] = append(done[ch], at)
+			}
+			if !c.Enqueue(r, 0) {
+				t.Fatal("enqueue failed")
+			}
+		}
+	}
+	for now := sim.Tick(0); now < 100_000 && !c.Drained(); now++ {
+		eng.RunUntil(now)
+		c.Cycle(now)
+	}
+	if len(done[0]) != 10 || len(done[1]) != 10 {
+		t.Fatalf("completions %d/%d", len(done[0]), len(done[1]))
+	}
+	for i := range done[0] {
+		if done[0][i] != done[1][i] {
+			t.Fatalf("channels diverged at %d: %d vs %d — channels must be independent",
+				i, done[0][i], done[1][i])
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Tile-grid state rendering: an ASCII reproduction of the paper's
+// Figure 3, which illustrates Partial-Activation, Multi-Activation and
+// Backgrounded Writes as shaded tiles in the SAG × CD grid.
+
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// TileState describes what one (SAG, CD) tile is doing at a given time.
+type TileState int
+
+const (
+	// TileIdle: no operation, nothing latched.
+	TileIdle TileState = iota
+	// TileOpen: a sensed segment is latched and ready to read.
+	TileOpen
+	// TileSensing: an activation is in flight.
+	TileSensing
+	// TileWriting: a write pulse train is in flight.
+	TileWriting
+)
+
+func (s TileState) String() string {
+	switch s {
+	case TileIdle:
+		return "idle"
+	case TileOpen:
+		return "open"
+	case TileSensing:
+		return "sensing"
+	case TileWriting:
+		return "writing"
+	default:
+		return fmt.Sprintf("TileState(%d)", int(s))
+	}
+}
+
+// symbol is the grid glyph: the paper shades active column muxes black;
+// we use '#' for writing, '~' for sensing, 'o' for open, '.' for idle.
+func (s TileState) symbol() string {
+	switch s {
+	case TileOpen:
+		return "o"
+	case TileSensing:
+		return "~"
+	case TileWriting:
+		return "#"
+	default:
+		return "."
+	}
+}
+
+// TileStateAt reports the state of the (sag, cd) tile at time now.
+func (b *Bank) TileStateAt(sag, cd int, now sim.Tick) TileState {
+	if now < b.cdWrite[cd] && now < b.sagWrite[sag] {
+		// Both resources are held by a write; this tile is the writer
+		// only if the write actually targeted it. The per-tile check:
+		// a write through (sag, cd) holds both exactly.
+		if b.sagWrite[sag] == b.cdWrite[cd] {
+			return TileWriting
+		}
+	}
+	if now < b.sagBusy[sag] && now < b.cdBusy[cd] && b.openSeg[sag][cd] != -1 && now < b.segReady[sag][cd] {
+		return TileSensing
+	}
+	if b.openSeg[sag][cd] != -1 && b.openRow[sag] == b.openSeg[sag][cd] && now >= b.segReady[sag][cd] {
+		return TileOpen
+	}
+	return TileIdle
+}
+
+// RenderState draws the SAG × CD tile grid at time now, one row per
+// SAG, one column per CD — the layout of Figure 3. Legend:
+// '.' idle, 'o' segment open, '~' sensing, '#' writing.
+func (b *Bank) RenderState(now sim.Tick) string {
+	var sb strings.Builder
+	sb.WriteString("      ")
+	for c := 0; c < b.geom.CDs; c++ {
+		fmt.Fprintf(&sb, "CD%-2d ", c)
+	}
+	sb.WriteString("\n")
+	for s := 0; s < b.geom.SAGs; s++ {
+		fmt.Fprintf(&sb, "SAG%-2d ", s)
+		for c := 0; c < b.geom.CDs; c++ {
+			fmt.Fprintf(&sb, " %s   ", b.TileStateAt(s, c, now).symbol())
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

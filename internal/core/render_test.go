@@ -1,0 +1,74 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/timing"
+)
+
+func TestTileStateLifecycle(t *testing.T) {
+	b := fgBank(t, AllModes())
+	// Fresh bank: everything idle.
+	for s := 0; s < 4; s++ {
+		for c := 0; c < 4; c++ {
+			if got := b.TileStateAt(s, c, 0); got != TileIdle {
+				t.Fatalf("fresh tile (%d,%d) = %v", s, c, got)
+			}
+		}
+	}
+	ready := b.Activate(5, 2, 0) // SAG 1, CD 2
+	if got := b.TileStateAt(1, 2, 1); got != TileSensing {
+		t.Errorf("mid-sense state = %v, want sensing", got)
+	}
+	if got := b.TileStateAt(1, 2, ready); got != TileOpen {
+		t.Errorf("post-sense state = %v, want open", got)
+	}
+	// Unrelated tile stays idle.
+	if got := b.TileStateAt(0, 0, 1); got != TileIdle {
+		t.Errorf("unrelated tile = %v, want idle", got)
+	}
+	// Write a different tile (SAG 0, CD 3).
+	b.Write(20, 7, ready)
+	if got := b.TileStateAt(0, 3, ready+1); got != TileWriting {
+		t.Errorf("mid-write state = %v, want writing", got)
+	}
+	// After it completes: idle (write leaves nothing latched).
+	if got := b.TileStateAt(0, 3, ready+b.WriteOccupancy()); got != TileWriting && got != TileIdle {
+		t.Errorf("post-write state = %v", got)
+	}
+}
+
+func TestTileStateString(t *testing.T) {
+	for _, s := range []TileState{TileIdle, TileOpen, TileSensing, TileWriting} {
+		if s.String() == "" || strings.HasPrefix(s.String(), "TileState(") {
+			t.Errorf("state %d has no name", int(s))
+		}
+	}
+	if TileState(9).String() == "" {
+		t.Error("unknown state should render")
+	}
+}
+
+func TestRenderStateShowsFigure3Panels(t *testing.T) {
+	// Recreate Figure 3(c): upper-left sensing, lower-right writing.
+	g := testGeom()
+	g.SAGs, g.CDs, g.Rows, g.Cols = 2, 2, 8, 8
+	b := MustNewBank(Config{Geom: g, Tim: timing.Paper(), Modes: AllModes(), WriteDrivers: 512})
+	b.Write(1, 1, 0)    // SAG 1, CD 1
+	b.Activate(0, 0, 1) // SAG 0, CD 0
+	out := b.RenderState(3)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("render has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "CD0") || !strings.Contains(lines[0], "CD1") {
+		t.Errorf("header missing CDs: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "~") {
+		t.Errorf("SAG0 row should show sensing: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "#") {
+		t.Errorf("SAG1 row should show writing: %q", lines[2])
+	}
+}

@@ -1,0 +1,297 @@
+// The out-of-order core model: in-order fetch and retire around a
+// reorder-buffer window, loads blocking retirement until their fill
+// returns, stores and writebacks flowing to memory without blocking
+// (unless structural resources run out). This reproduces the mechanism
+// by which memory latency and memory-level parallelism become IPC,
+// which is what Figure 4 measures.
+
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// MemorySystem is the core's view of memory: accept a request now, or
+// refuse it (backpressure). Both the FgNVM controller and the DRAM
+// reference system implement it.
+type MemorySystem interface {
+	Enqueue(r *mem.Request, now sim.Tick) bool
+}
+
+// CoreConfig sizes the core. Zero fields take Nehalem-like defaults.
+type CoreConfig struct {
+	ROB            int    // reorder buffer entries (default 128)
+	MSHRs          int    // outstanding misses (default 16)
+	RetireWidth    int    // instructions per CPU cycle (default 4)
+	CPUPerMemCycle int    // CPU cycles per controller cycle (default 8: 3.2 GHz / 400 MHz)
+	Instructions   uint64 // retire budget; 0 means run until the stream ends
+}
+
+func (c *CoreConfig) applyDefaults() {
+	if c.ROB == 0 {
+		c.ROB = 128
+	}
+	if c.MSHRs == 0 {
+		c.MSHRs = 16
+	}
+	if c.RetireWidth == 0 {
+		c.RetireWidth = 4
+	}
+	if c.CPUPerMemCycle == 0 {
+		c.CPUPerMemCycle = 8
+	}
+}
+
+// loadEntry tracks an in-flight demand load occupying a ROB slot.
+type loadEntry struct {
+	idx  uint64 // instruction index in program order
+	done bool
+}
+
+// Core consumes an access stream, filters it through the LLC, issues
+// misses to the memory controller, and advances an instruction clock
+// gated by the ROB window.
+type Core struct {
+	cfg    CoreConfig
+	stream trace.Stream
+	llc    *LLC
+	ctrl   MemorySystem
+
+	fetched uint64 // instructions dispatched into the window
+	retired uint64
+
+	loads       []*loadEntry // FIFO of outstanding demand loads
+	outstanding int          // MSHR occupancy (loads + store-miss fills)
+
+	pendingGap    uint32 // plain instructions left before the held access
+	heldAcc       trace.Access
+	haveAcc       bool
+	heldRes       LLCResult // cached LLC outcome for the held access
+	heldProcessed bool      // heldRes is valid (avoids re-accessing the LLC on retry)
+	streamDone    bool
+
+	pendingWB *mem.Request // writeback waiting for write-queue space
+
+	nextID uint64
+
+	// Stats.
+	demandLoads uint64
+	storeMisses uint64
+	writebacks  uint64
+	stallCycles uint64 // memory cycles with zero retirement
+}
+
+// NewCore wires a core to its stream, cache and memory controller.
+// llc may be nil, in which case every access is a miss (pre-filtered
+// trace).
+func NewCore(cfg CoreConfig, s trace.Stream, llc *LLC, ctrl MemorySystem) (*Core, error) {
+	cfg.applyDefaults()
+	if s == nil {
+		return nil, fmt.Errorf("cpu: nil stream")
+	}
+	if ctrl == nil {
+		return nil, fmt.Errorf("cpu: nil controller")
+	}
+	if cfg.ROB < 1 || cfg.MSHRs < 1 || cfg.RetireWidth < 1 || cfg.CPUPerMemCycle < 1 {
+		return nil, fmt.Errorf("cpu: non-positive core parameter %+v", cfg)
+	}
+	return &Core{cfg: cfg, stream: s, llc: llc, ctrl: ctrl}, nil
+}
+
+// Finished reports whether the core has retired its budget (or fully
+// drained an exhausted stream).
+func (c *Core) Finished() bool {
+	if c.cfg.Instructions > 0 && c.retired >= c.cfg.Instructions {
+		return true
+	}
+	return c.streamDone && !c.haveAcc && c.pendingGap == 0 &&
+		c.pendingWB == nil &&
+		c.retired == c.fetched && len(c.loads) == 0
+}
+
+// Retired returns the number of instructions retired so far.
+func (c *Core) Retired() uint64 { return c.retired }
+
+// StallCycles returns the number of memory cycles with zero retirement.
+func (c *Core) StallCycles() uint64 { return c.stallCycles }
+
+// DemandLoads returns the number of load misses sent to memory.
+func (c *Core) DemandLoads() uint64 { return c.demandLoads }
+
+// StoreMisses returns the number of store-miss line fills sent.
+func (c *Core) StoreMisses() uint64 { return c.storeMisses }
+
+// Writebacks returns the number of dirty-eviction writes sent.
+func (c *Core) Writebacks() uint64 { return c.writebacks }
+
+// IPC returns retired instructions per CPU cycle after elapsed memory
+// cycles.
+func (c *Core) IPC(memCycles sim.Tick) float64 {
+	if memCycles == 0 {
+		return 0
+	}
+	return float64(c.retired) / (float64(memCycles) * float64(c.cfg.CPUPerMemCycle))
+}
+
+// Cycle advances the core by one memory-controller cycle: retire up to
+// width×ratio instructions, then refill the window, issuing misses.
+func (c *Core) Cycle(now sim.Tick) {
+	budget := c.cfg.RetireWidth * c.cfg.CPUPerMemCycle
+	retiredThis := 0
+
+	for budget > 0 {
+		if c.cfg.Instructions > 0 && c.retired >= c.cfg.Instructions {
+			break
+		}
+		if len(c.loads) > 0 && c.loads[0].idx == c.retired {
+			if !c.loads[0].done {
+				break // oldest instruction is a load still in flight
+			}
+			c.loads = c.loads[1:]
+			c.retired++
+			budget--
+			retiredThis++
+			continue
+		}
+		// Retire plain instructions up to the next outstanding load or
+		// the fetch frontier.
+		lim := c.fetched
+		if len(c.loads) > 0 && c.loads[0].idx < lim {
+			lim = c.loads[0].idx
+		}
+		if c.cfg.Instructions > 0 && c.retired+uint64(budget) > c.cfg.Instructions {
+			// Never retire past the budget.
+			if lim > c.cfg.Instructions {
+				lim = c.cfg.Instructions
+			}
+		}
+		n := uint64(budget)
+		if avail := lim - c.retired; avail < n {
+			n = avail
+		}
+		if n == 0 {
+			break
+		}
+		c.retired += n
+		budget -= int(n)
+		retiredThis += int(n)
+	}
+	if retiredThis == 0 && !c.Finished() {
+		c.stallCycles++
+	}
+
+	c.fetch(now)
+}
+
+// fetch refills the window up to ROB instructions past retirement.
+func (c *Core) fetch(now sim.Tick) {
+	for c.fetched < c.retired+uint64(c.cfg.ROB) {
+		// Flush any request blocked on queue space first, in order.
+		if c.pendingWB != nil {
+			if !c.ctrl.Enqueue(c.pendingWB, now) {
+				return
+			}
+			c.pendingWB = nil
+			c.writebacks++
+		}
+
+		if c.pendingGap > 0 {
+			room := c.retired + uint64(c.cfg.ROB) - c.fetched
+			n := uint64(c.pendingGap)
+			if room < n {
+				n = room
+			}
+			c.fetched += n
+			c.pendingGap -= uint32(n)
+			if c.pendingGap > 0 {
+				return // window full of plain instructions
+			}
+		}
+
+		if !c.haveAcc {
+			a, ok := c.stream.Next()
+			if !ok {
+				c.streamDone = true
+				return
+			}
+			c.heldAcc = a
+			c.haveAcc = true
+			c.pendingGap = a.Gap
+			continue // consume the gap first
+		}
+
+		// The held access dispatches as one instruction. The LLC is
+		// consulted exactly once per access; a fetch stall retries with
+		// the cached outcome.
+		a := c.heldAcc
+		if !c.heldProcessed {
+			if c.llc != nil {
+				c.heldRes = c.llc.Access(a.Addr, a.Write)
+			} else {
+				c.heldRes = LLCResult{Miss: true}
+			}
+			c.heldProcessed = true
+		}
+		if !c.heldRes.Miss {
+			// LLC hit: costs nothing extra at this fidelity.
+			c.fetched++
+			c.haveAcc = false
+			c.heldProcessed = false
+			continue
+		}
+		// Dirty eviction first: it must reach memory eventually, and we
+		// preserve order by holding fetch until it enqueues.
+		if c.heldRes.HasWriteback {
+			wb := &mem.Request{ID: c.id(), Op: mem.Write, Addr: c.heldRes.Writeback}
+			c.heldRes.HasWriteback = false // never re-issue on retry
+			if !c.ctrl.Enqueue(wb, now) {
+				c.pendingWB = wb
+				return
+			}
+			c.writebacks++
+		}
+		if c.outstanding >= c.cfg.MSHRs {
+			return // no MSHR for the fill
+		}
+		fill := &mem.Request{ID: c.id(), Op: mem.Read, Addr: a.Addr}
+		if a.Write {
+			// Store miss: the fill occupies an MSHR but does not block
+			// retirement (stores drain through the store buffer).
+			fill.OnComplete = func(_ *mem.Request, _ sim.Tick) { c.outstanding-- }
+			if !c.ctrl.Enqueue(fill, now) {
+				return
+			}
+			c.outstanding++
+			c.storeMisses++
+			c.fetched++
+			c.haveAcc = false
+			c.heldProcessed = false
+			continue
+		}
+		{
+			entry := &loadEntry{idx: c.fetched}
+			fill.OnComplete = func(_ *mem.Request, _ sim.Tick) {
+				entry.done = true
+				c.outstanding--
+			}
+			if !c.ctrl.Enqueue(fill, now) {
+				return
+			}
+			c.outstanding++
+			c.loads = append(c.loads, entry)
+			c.demandLoads++
+		}
+		c.fetched++
+		c.haveAcc = false
+		c.heldProcessed = false
+	}
+}
+
+func (c *Core) id() uint64 {
+	c.nextID++
+	return c.nextID
+}

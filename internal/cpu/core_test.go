@@ -1,0 +1,224 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/controller"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/timing"
+	"repro/internal/trace"
+)
+
+func testGeom() addr.Geometry {
+	return addr.Geometry{
+		Channels: 1, Ranks: 1, Banks: 4,
+		Rows: 256, Cols: 16, LineBytes: 64,
+		SAGs: 4, CDs: 4,
+	}
+}
+
+func harness(t *testing.T, modes core.AccessModes, s trace.Stream, llc *LLC, cc CoreConfig) (*Core, *controller.Controller, *sim.Engine) {
+	t.Helper()
+	eng := sim.NewEngine()
+	ctrl, err := controller.New(controller.Config{
+		Geom: testGeom(), Tim: timing.Paper(), Modes: modes,
+	}, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCore(cc, s, llc, ctrl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, ctrl, eng
+}
+
+// drive runs the simulation until the core finishes and memory drains.
+func drive(t *testing.T, c *Core, ctrl *controller.Controller, eng *sim.Engine, limit sim.Tick) sim.Tick {
+	t.Helper()
+	now := eng.Now()
+	for ; now < limit; now++ {
+		eng.RunUntil(now)
+		c.Cycle(now)
+		ctrl.Cycle(now)
+		if c.Finished() && ctrl.Drained() {
+			return now
+		}
+	}
+	t.Fatalf("simulation did not finish within %d cycles (retired %d)", limit, c.Retired())
+	return now
+}
+
+func TestNewCoreValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	ctrl, _ := controller.New(controller.Config{Geom: testGeom(), Tim: timing.Paper()}, eng)
+	if _, err := NewCore(CoreConfig{}, nil, nil, ctrl); err == nil {
+		t.Error("nil stream accepted")
+	}
+	if _, err := NewCore(CoreConfig{}, trace.NewSliceStream(nil), nil, nil); err == nil {
+		t.Error("nil controller accepted")
+	}
+	if _, err := NewCore(CoreConfig{ROB: -1}, trace.NewSliceStream(nil), nil, ctrl); err == nil {
+		t.Error("negative ROB accepted")
+	}
+}
+
+func TestPureComputeRetiresAtFullWidth(t *testing.T) {
+	// One access with a huge gap: almost all instructions are plain, so
+	// IPC approaches RetireWidth.
+	s := trace.NewSliceStream([]trace.Access{{Gap: 100000, Addr: 0}})
+	c, ctrl, eng := harness(t, core.AllModes(), s, nil, CoreConfig{Instructions: 64000})
+	end := drive(t, c, ctrl, eng, 100000)
+	ipc := c.IPC(end + 1)
+	if ipc < 3.5 {
+		t.Fatalf("compute-bound IPC = %.2f, want near 4", ipc)
+	}
+}
+
+func TestSingleLoadStallsRetirement(t *testing.T) {
+	// A load at instruction 0 with nothing else: the core stalls for
+	// the full memory latency.
+	s := trace.NewSliceStream([]trace.Access{{Gap: 0, Addr: 64}})
+	c, ctrl, eng := harness(t, core.AllModes(), s, nil, CoreConfig{})
+	end := drive(t, c, ctrl, eng, 10000)
+	if c.DemandLoads() != 1 {
+		t.Fatalf("DemandLoads = %d", c.DemandLoads())
+	}
+	// Memory latency ≈ 52 cycles (activate+read); the run can't be
+	// dramatically shorter or longer.
+	if end < 50 || end > 80 {
+		t.Fatalf("run took %d mem cycles, want ~52-60", end)
+	}
+	if c.StallCycles() < 40 {
+		t.Fatalf("StallCycles = %d, want most of the run", c.StallCycles())
+	}
+}
+
+func TestMLPOverlapsLoads(t *testing.T) {
+	// 8 independent loads to different banks back-to-back vs spread out:
+	// with a 128-entry ROB they all fit in the window and must overlap,
+	// so total time is far less than 8x the single-load latency.
+	var accs []trace.Access
+	m := addr.MustNewMapper(testGeom(), addr.RowBankRankChanCol)
+	for i := 0; i < 8; i++ {
+		pa := m.Encode(addr.Location{Bank: i % 4, Row: i * 3, Col: i})
+		accs = append(accs, trace.Access{Gap: 0, Addr: pa})
+	}
+	s := trace.NewSliceStream(accs)
+	c, ctrl, eng := harness(t, core.AllModes(), s, nil, CoreConfig{})
+	end := drive(t, c, ctrl, eng, 10000)
+	if end > 8*52*3/4 {
+		t.Fatalf("8 parallel loads took %d cycles; expected strong overlap (single load ≈ 52)", end)
+	}
+	if c.DemandLoads() != 8 {
+		t.Fatalf("DemandLoads = %d", c.DemandLoads())
+	}
+}
+
+func TestROBLimitsMLP(t *testing.T) {
+	// With ROB=1 loads serialize; with ROB=128 they overlap.
+	mk := func(rob int) sim.Tick {
+		var accs []trace.Access
+		m := addr.MustNewMapper(testGeom(), addr.RowBankRankChanCol)
+		for i := 0; i < 6; i++ {
+			pa := m.Encode(addr.Location{Bank: i % 4, Row: i * 5, Col: i})
+			accs = append(accs, trace.Access{Gap: 0, Addr: pa})
+		}
+		c, ctrl, eng := harness(t, core.AllModes(), trace.NewSliceStream(accs), nil, CoreConfig{ROB: rob})
+		return drive(t, c, ctrl, eng, 100000)
+	}
+	serial := mk(1)
+	wide := mk(128)
+	if wide*2 >= serial {
+		t.Fatalf("ROB=128 (%d cycles) should be far faster than ROB=1 (%d)", wide, serial)
+	}
+}
+
+func TestStoreMissesDoNotBlockRetirement(t *testing.T) {
+	// A single store miss followed by compute: retirement proceeds
+	// while the fill is outstanding.
+	s := trace.NewSliceStream([]trace.Access{
+		{Gap: 0, Addr: 64, Write: true},
+		{Gap: 1000, Addr: 0},
+	})
+	c, ctrl, eng := harness(t, core.AllModes(), s, nil, CoreConfig{Instructions: 900})
+	end := drive(t, c, ctrl, eng, 10000)
+	if c.StoreMisses() != 1 {
+		t.Fatalf("StoreMisses = %d", c.StoreMisses())
+	}
+	// 900 instructions at 32/cycle ≈ 29 cycles; a blocking store would
+	// add the write latency (~490 cycles).
+	if end > 100 {
+		t.Fatalf("store miss blocked retirement: %d cycles", end)
+	}
+}
+
+func TestLLCFiltersAndWritesBack(t *testing.T) {
+	// Two accesses to the same line: one miss, one hit. Then force an
+	// eviction of the dirtied line.
+	llc := MustNewLLC(LLCConfig{SizeBytes: 128, Ways: 2, LineBytes: 64})
+	s := trace.NewSliceStream([]trace.Access{
+		{Gap: 0, Addr: 0, Write: true}, // miss, allocate dirty
+		{Gap: 0, Addr: 0},              // hit
+		{Gap: 0, Addr: 64},             // miss
+		{Gap: 0, Addr: 128},            // miss, evicts 0 → writeback
+	})
+	c, ctrl, eng := harness(t, core.AllModes(), s, llc, CoreConfig{})
+	drive(t, c, ctrl, eng, 100000)
+	if llc.Hits() != 1 || llc.Misses() != 3 {
+		t.Fatalf("LLC hits/misses = %d/%d, want 1/3", llc.Hits(), llc.Misses())
+	}
+	if c.Writebacks() != 1 {
+		t.Fatalf("Writebacks = %d, want 1", c.Writebacks())
+	}
+	// 1 store miss + 2 demand loads reached memory.
+	if c.StoreMisses() != 1 || c.DemandLoads() != 2 {
+		t.Fatalf("store/demand = %d/%d, want 1/2", c.StoreMisses(), c.DemandLoads())
+	}
+}
+
+func TestInstructionBudgetStopsRun(t *testing.T) {
+	p, _ := trace.ProfileByName("milc")
+	g := trace.NewGenerator(p, 64, 4096, 1)
+	c, ctrl, eng := harness(t, core.AllModes(), g, nil, CoreConfig{Instructions: 5000})
+	drive(t, c, ctrl, eng, 10_000_000)
+	if c.Retired() != 5000 {
+		t.Fatalf("Retired = %d, want exactly the 5000 budget", c.Retired())
+	}
+}
+
+func TestDeterministicIPC(t *testing.T) {
+	run := func() float64 {
+		p, _ := trace.ProfileByName("mcf")
+		g := trace.NewGenerator(p, 64, 4096, 7)
+		c, ctrl, eng := harness(t, core.AllModes(), g, MustNewLLC(LLCConfig{SizeBytes: 64 << 10}), CoreConfig{Instructions: 20000})
+		end := drive(t, c, ctrl, eng, 10_000_000)
+		return c.IPC(end + 1)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("IPC not deterministic: %v vs %v", a, b)
+	}
+	if a <= 0 || a > 4 {
+		t.Fatalf("IPC %v out of physical range", a)
+	}
+}
+
+func TestMemoryBoundWorkloadSensitiveToModes(t *testing.T) {
+	// The core+memory stack end-to-end: FgNVM must outperform the
+	// baseline on a memory-intensive profile.
+	run := func(modes core.AccessModes) float64 {
+		p, _ := trace.ProfileByName("mcf")
+		g := trace.NewGenerator(p, 64, 4096, 7)
+		c, ctrl, eng := harness(t, modes, g, nil, CoreConfig{Instructions: 20000})
+		end := drive(t, c, ctrl, eng, 50_000_000)
+		return c.IPC(end + 1)
+	}
+	fg := run(core.AllModes())
+	base := run(core.AccessModes{})
+	if fg <= base {
+		t.Fatalf("FgNVM IPC %.4f not above baseline %.4f", fg, base)
+	}
+}

@@ -1,0 +1,192 @@
+// Package device is an NVSim-style analytic model of the PCM array
+// (the paper's reference [11]): it derives access timings, per-bit
+// energies, and tile area from the process node and tile geometry.
+//
+// The FgNVM paper takes its timing numbers from the 20 nm 8 Gb PRAM
+// prototype [13] (Table 2) and justifies sensing tiles from outside the
+// array with NVSim's observation that current-mode sense time scales
+// sub-linearly with bitline length. This package reproduces that chain:
+// its constants are calibrated once so that the prototype's tile
+// geometry yields exactly Table 2's tRCD/tCAS and the evaluation's
+// 2 pJ/bit read and 16 pJ/bit write, and the model then predicts how
+// those numbers move as the tile shrinks or grows — the paper notes
+// real tiles range from 512×512 to 4K×4K cells.
+//
+// Model structure (Elmore-style, as in NVSim):
+//
+//	tDecode = d0 + d1·log2(rows)               row decoder chain
+//	tWL     = kWL·cols²·(20/F)                 wordline RC (quadratic in length)
+//	tSense  = s0 + s1·√rows                    current-mode sensing, sub-linear
+//	tMux    = m0·log2(muxDegree)               Y-select tree
+//	tRCD    = tDecode + tWL
+//	tCAS    = tSense + tMux + tIO
+//	eRead   = (rows·cBL·V²)/q + eSA            bitline + sense amp, per bit
+//	eWrite  = eCell(material) per bit          RESET-dominated, geometry-free
+package device
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/energy"
+	"repro/internal/timing"
+)
+
+// Params describes one PCM device's array organization.
+type Params struct {
+	// FeatureNm is the process feature size F in nanometres.
+	// The prototype is a 20 nm device.
+	FeatureNm float64
+	// TileRows and TileCols are the cell dimensions of one tile
+	// (512–4096 in real devices per the paper).
+	TileRows int
+	TileCols int
+	// MuxDegree is the Y-select down-selection ratio from bitlines to
+	// I/O lines (the prototype uses deep multiplexing; 32 is typical).
+	MuxDegree int
+	// CellAreaF2 is the cell size in F² units (a 1T1R PCM cell is
+	// ~10–20 F²; the dense prototype is ~4–6 F²).
+	CellAreaF2 float64
+}
+
+// Prototype returns the array organization of the 20 nm prototype [13]
+// as modeled here: 1024×1024-cell tiles, 32:1 Y-select, 5 F² cells.
+func Prototype() Params {
+	return Params{
+		FeatureNm:  20,
+		TileRows:   1024,
+		TileCols:   1024,
+		MuxDegree:  32,
+		CellAreaF2: 5,
+	}
+}
+
+// Model constants, calibrated so Prototype() reproduces Table 2 and the
+// Section 6 energy constants exactly (see TestPrototypeCalibration).
+const (
+	// Decoder: d0 + d1·log2(rows); a 1024-row decoder contributes 5 ns.
+	d0Ns = 1.0
+	d1Ns = 0.4 // ×log2(rows)
+
+	// Wordline RC at F=20 nm: kWL·cols². 1024 cols → 20 ns, so that
+	// tRCD = 1 + 0.4·10 + 20 = 25 ns (Table 2).
+	kWLNs = 20.0 / (1024.0 * 1024.0)
+
+	// Current-mode sensing: s0 + s1·√rows. √1024 = 32; with s0 = 26 ns
+	// and s1 = 2 ns the prototype senses in 90 ns.
+	s0Ns = 26.0
+	s1Ns = 2.0
+
+	// Y-select tree: m0·log2(mux). 32:1 → 2.5 ns.
+	m0Ns = 0.5
+	// I/O and global routing fixed cost.
+	tIONs = 2.5
+
+	// Read energy: bitline charging (rows·cBL·V²) plus the sense amp.
+	// Calibrated: 1024 rows → 2 pJ/bit total, split ~75/25.
+	cBLfFPerCell = 0.452 // fF of bitline capacitance per cell at 20 nm
+	vRead        = 1.8   // the prototype's 1.8 V supply
+	eSAPJ        = 0.5   // sense amplifier energy per bit
+
+	// Write energy per bit: phase-change RESET current dominated,
+	// independent of array geometry (Section 6 uses 16 pJ/bit).
+	eWritePJ = 16.0
+
+	// Write pulse: material property, not geometry (Table 2: 150 ns).
+	tWPNs = 150.0
+)
+
+// Derived holds everything the simulator needs from the device model.
+type Derived struct {
+	Timings timing.PCMTimingsNS
+	// ReadPJPerBit and WritePJPerBit feed energy.Config.
+	ReadPJPerBit  float64
+	WritePJPerBit float64
+	// TileAreaUm2 is the cell-array area of one tile.
+	TileAreaUm2 float64
+	// ArrayEfficiency is cell area over cell+periphery area for the
+	// tile (drivers and Y-select grow with the perimeter).
+	ArrayEfficiency float64
+}
+
+// Validate checks the parameters are physical.
+func (p Params) Validate() error {
+	if p.FeatureNm <= 0 {
+		return fmt.Errorf("device: feature size %v nm", p.FeatureNm)
+	}
+	if p.TileRows < 2 || p.TileCols < 2 {
+		return fmt.Errorf("device: tile %dx%d too small", p.TileRows, p.TileCols)
+	}
+	if p.TileRows > 1<<16 || p.TileCols > 1<<16 {
+		return fmt.Errorf("device: tile %dx%d unrealistically large", p.TileRows, p.TileCols)
+	}
+	if p.MuxDegree < 1 {
+		return fmt.Errorf("device: mux degree %d", p.MuxDegree)
+	}
+	if p.CellAreaF2 <= 0 {
+		return fmt.Errorf("device: cell area %v F²", p.CellAreaF2)
+	}
+	return nil
+}
+
+// Derive evaluates the analytic model.
+func Derive(p Params) (Derived, error) {
+	if err := p.Validate(); err != nil {
+		return Derived{}, err
+	}
+	rows := float64(p.TileRows)
+	cols := float64(p.TileCols)
+	scale := 20.0 / p.FeatureNm // wire RC worsens below 20 nm
+
+	tDecode := d0Ns + d1Ns*math.Log2(rows)
+	tWL := kWLNs * cols * cols * scale
+	tSense := s0Ns + s1Ns*math.Sqrt(rows)
+	tMux := m0Ns * math.Log2(float64(p.MuxDegree))
+
+	trcd := tDecode + tWL
+	tcas := tSense + tMux + tIONs
+
+	// Bitline energy: charging rows·cBL to vRead, per sensed bit.
+	eBL := rows * cBLfFPerCell * 1e-15 * vRead * vRead * 1e12 // pJ
+	eRead := eBL + eSAPJ
+
+	d := Derived{
+		Timings: timing.PCMTimingsNS{
+			TRCDns: trcd,
+			TCASns: tcas,
+			TRASns: 0,
+			TRPns:  0,
+			TCWDns: 7.5,
+			TWPns:  tWPNs,
+			TWRns:  7.5,
+			TCCDcy: 4,
+			TBURST: 4,
+		},
+		ReadPJPerBit:  eRead,
+		WritePJPerBit: eWritePJ,
+	}
+
+	// Area: cells plus perimeter periphery (wordline drivers along the
+	// rows, Y-select/write drivers along the columns). Periphery depth
+	// is ~40 F on each edge.
+	f := p.FeatureNm * 1e-3 // µm
+	cellEdge := math.Sqrt(p.CellAreaF2) * f
+	arrayW := cols * cellEdge
+	arrayH := rows * cellEdge
+	periph := 40 * f
+	total := (arrayW + periph) * (arrayH + periph)
+	d.TileAreaUm2 = total
+	d.ArrayEfficiency = (arrayW * arrayH) / total
+	return d, nil
+}
+
+// EnergyConfig converts the derived per-bit costs into an energy-model
+// configuration for a memory with the given row-buffer size and banks.
+func (d Derived) EnergyConfig(rowBufferBits, banks int) energy.Config {
+	return energy.Config{
+		ReadPJPerBit:  d.ReadPJPerBit,
+		WritePJPerBit: d.WritePJPerBit,
+		RowBufferBits: rowBufferBits,
+		Banks:         banks,
+	}
+}

@@ -1,0 +1,182 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/timing"
+)
+
+// TestPrototypeCalibration pins the model to its calibration targets:
+// the 20 nm prototype tile must reproduce Table 2's latencies and the
+// evaluation's per-bit energies.
+func TestPrototypeCalibration(t *testing.T) {
+	d, err := Derive(Prototype())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Timings.TRCDns; math.Abs(got-25) > 0.01 {
+		t.Errorf("tRCD = %v ns, want 25 (Table 2)", got)
+	}
+	if got := d.Timings.TCASns; math.Abs(got-95) > 0.01 {
+		t.Errorf("tCAS = %v ns, want 95 (Table 2)", got)
+	}
+	if got := d.Timings.TWPns; got != 150 {
+		t.Errorf("tWP = %v ns, want 150 (Table 2)", got)
+	}
+	if got := d.ReadPJPerBit; math.Abs(got-2.0) > 0.05 {
+		t.Errorf("read energy = %v pJ/bit, want 2 (Section 6)", got)
+	}
+	if got := d.WritePJPerBit; got != 16 {
+		t.Errorf("write energy = %v pJ/bit, want 16 (Section 6)", got)
+	}
+	// The derived set must convert into valid controller timings.
+	if _, err := timing.New(d.Timings, timing.DefaultClockMHz); err != nil {
+		t.Errorf("derived timings rejected: %v", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"zero feature", func(p *Params) { p.FeatureNm = 0 }},
+		{"tiny tile", func(p *Params) { p.TileRows = 1 }},
+		{"huge tile", func(p *Params) { p.TileCols = 1 << 20 }},
+		{"zero mux", func(p *Params) { p.MuxDegree = 0 }},
+		{"zero cell", func(p *Params) { p.CellAreaF2 = 0 }},
+	}
+	for _, c := range cases {
+		p := Prototype()
+		c.mutate(&p)
+		if _, err := Derive(p); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+}
+
+// TestSenseTimeSubLinear checks the property the paper leans on: sense
+// time grows sub-linearly with bitline length (rows), so cells can be
+// sensed from outside the array.
+func TestSenseTimeSubLinear(t *testing.T) {
+	small := Prototype()
+	small.TileRows = 512
+	big := Prototype()
+	big.TileRows = 2048
+	ds, err := Derive(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Derive(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows grew 4x; tCAS must grow by strictly less than 4x — in fact
+	// less than 2x (sqrt scaling of the sensing term).
+	if db.Timings.TCASns >= 2*ds.Timings.TCASns {
+		t.Errorf("tCAS %v → %v ns for 4x rows: not sub-linear", ds.Timings.TCASns, db.Timings.TCASns)
+	}
+	if db.Timings.TCASns <= ds.Timings.TCASns {
+		t.Errorf("tCAS did not grow with bitline length")
+	}
+}
+
+func TestWordlineQuadraticInCols(t *testing.T) {
+	narrow := Prototype()
+	narrow.TileCols = 512
+	wide := Prototype()
+	wide.TileCols = 2048
+	dn, _ := Derive(narrow)
+	dw, _ := Derive(wide)
+	// tRCD = decoder + kWL·cols²: the WL component grows 16x for 4x
+	// cols, so tRCD(wide) must exceed tRCD(narrow) by more than 8x the
+	// narrow WL term.
+	if dw.Timings.TRCDns <= dn.Timings.TRCDns {
+		t.Fatal("tRCD did not grow with wordline length")
+	}
+	wlNarrow := kWLNs * 512 * 512
+	wlWide := kWLNs * 2048 * 2048
+	if math.Abs((dw.Timings.TRCDns-dn.Timings.TRCDns)-(wlWide-wlNarrow)) > 1 {
+		t.Errorf("tRCD delta %v ns, want ~%v (quadratic WL)", dw.Timings.TRCDns-dn.Timings.TRCDns, wlWide-wlNarrow)
+	}
+}
+
+func TestReadEnergyScalesWithRows(t *testing.T) {
+	small := Prototype()
+	small.TileRows = 512
+	big := Prototype()
+	big.TileRows = 4096
+	ds, _ := Derive(small)
+	db, _ := Derive(big)
+	if db.ReadPJPerBit <= ds.ReadPJPerBit {
+		t.Error("longer bitlines should cost more read energy")
+	}
+	// Write energy is a material property: geometry-invariant.
+	if db.WritePJPerBit != ds.WritePJPerBit {
+		t.Error("write energy should not depend on geometry")
+	}
+}
+
+func TestSmallerProcessSlowerWires(t *testing.T) {
+	at20, _ := Derive(Prototype())
+	p := Prototype()
+	p.FeatureNm = 10
+	at10, _ := Derive(p)
+	if at10.Timings.TRCDns <= at20.Timings.TRCDns {
+		t.Error("scaling to 10 nm should worsen wordline RC")
+	}
+}
+
+func TestArrayEfficiency(t *testing.T) {
+	d, _ := Derive(Prototype())
+	if d.ArrayEfficiency <= 0 || d.ArrayEfficiency >= 1 {
+		t.Fatalf("ArrayEfficiency = %v, want in (0,1)", d.ArrayEfficiency)
+	}
+	// Bigger tiles amortize periphery: efficiency must rise.
+	big := Prototype()
+	big.TileRows, big.TileCols = 4096, 4096
+	db, _ := Derive(big)
+	if db.ArrayEfficiency <= d.ArrayEfficiency {
+		t.Error("larger tile should have higher array efficiency")
+	}
+	if d.TileAreaUm2 <= 0 {
+		t.Error("non-positive tile area")
+	}
+}
+
+func TestEnergyConfig(t *testing.T) {
+	d, _ := Derive(Prototype())
+	cfg := d.EnergyConfig(8192, 8)
+	if cfg.ReadPJPerBit != d.ReadPJPerBit || cfg.WritePJPerBit != d.WritePJPerBit {
+		t.Error("per-bit costs not propagated")
+	}
+	if cfg.RowBufferBits != 8192 || cfg.Banks != 8 {
+		t.Error("shape not propagated")
+	}
+}
+
+// Property: all derived quantities stay positive and finite across the
+// realistic tile range the paper quotes (512..4096 per side).
+func TestDeriveSaneAcrossTileRange(t *testing.T) {
+	f := func(rPow, cPow uint8) bool {
+		p := Prototype()
+		p.TileRows = 512 << (rPow % 4) // 512..4096
+		p.TileCols = 512 << (cPow % 4)
+		d, err := Derive(p)
+		if err != nil {
+			return false
+		}
+		vals := []float64{d.Timings.TRCDns, d.Timings.TCASns, d.ReadPJPerBit, d.TileAreaUm2, d.ArrayEfficiency}
+		for _, v := range vals {
+			if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,117 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestDefaults(t *testing.T) {
+	m := New(Config{RowBufferBits: 8192, Banks: 8})
+	m.Sense(8192)
+	if got := m.ReadPJ(); got != 16384 {
+		t.Errorf("ReadPJ = %v, want 16384 (8192 bits x 2 pJ)", got)
+	}
+	m.Write(512)
+	if got := m.WritePJ(); got != 8192 {
+		t.Errorf("WritePJ = %v, want 8192 (512 bits x 16 pJ)", got)
+	}
+	if m.Senses() != 1 || m.Writes() != 1 {
+		t.Errorf("op counts = %d/%d, want 1/1", m.Senses(), m.Writes())
+	}
+	if m.BitsSensed() != 8192 || m.BitsWritten() != 512 {
+		t.Errorf("bit counts = %d/%d", m.BitsSensed(), m.BitsWritten())
+	}
+	if m.TotalPJ() != m.ReadPJ()+m.WritePJ()+m.BackgroundPJ() {
+		t.Error("TotalPJ inconsistent")
+	}
+}
+
+func TestPartialActivationSavesEnergy(t *testing.T) {
+	// Section 6: baseline senses 1 KB; 8x2 senses 512 B; 8x8 128 B; 8x32 32 B.
+	base := New(Config{})
+	base.Sense(8192) // 1 KB
+	cfg82 := New(Config{})
+	cfg82.Sense(4096) // 512 B
+	cfg88 := New(Config{})
+	cfg88.Sense(1024) // 128 B
+	cfg832 := New(Config{})
+	cfg832.Sense(256) // 32 B
+	if cfg82.ReadPJ() != base.ReadPJ()/2 {
+		t.Error("8x2 sensing should halve read energy")
+	}
+	if cfg88.ReadPJ() != base.ReadPJ()/8 {
+		t.Error("8x8 sensing should be 1/8 read energy")
+	}
+	if cfg832.ReadPJ() != base.ReadPJ()/32 {
+		t.Error("8x32 sensing should be 1/32 read energy")
+	}
+}
+
+func TestBackgroundAccumulation(t *testing.T) {
+	m := New(Config{RowBufferBits: 1000, Banks: 2, BackgroundWindow: 10})
+	m.AdvanceBackground(10)
+	// 0.08 pJ/bit x 1000 bits x 2 banks x (10/10 windows) = 160 pJ.
+	if got := m.BackgroundPJ(); math.Abs(got-160) > 1e-9 {
+		t.Errorf("BackgroundPJ = %v, want 160", got)
+	}
+	// Idempotent for the same tick; monotone after.
+	m.AdvanceBackground(10)
+	if got := m.BackgroundPJ(); math.Abs(got-160) > 1e-9 {
+		t.Errorf("BackgroundPJ after repeat = %v, want 160", got)
+	}
+	m.AdvanceBackground(5) // going backwards is ignored
+	if got := m.BackgroundPJ(); math.Abs(got-160) > 1e-9 {
+		t.Errorf("BackgroundPJ after backwards = %v, want 160", got)
+	}
+	m.AdvanceBackground(20)
+	if got := m.BackgroundPJ(); math.Abs(got-320) > 1e-9 {
+		t.Errorf("BackgroundPJ = %v, want 320", got)
+	}
+}
+
+func TestCustomPerBitCosts(t *testing.T) {
+	m := New(Config{ReadPJPerBit: 1, WritePJPerBit: 2, BackgroundPJPerBit: 0.5,
+		BackgroundWindow: 1, RowBufferBits: 4, Banks: 1})
+	m.Sense(10)
+	m.Write(10)
+	m.AdvanceBackground(1)
+	if m.ReadPJ() != 10 || m.WritePJ() != 20 {
+		t.Errorf("custom costs: read=%v write=%v", m.ReadPJ(), m.WritePJ())
+	}
+	if m.BackgroundPJ() != 2 {
+		t.Errorf("custom bg: %v, want 2", m.BackgroundPJ())
+	}
+}
+
+// Property: energy totals are nonnegative and monotone under any
+// operation sequence, and split accounting sums to the total.
+func TestEnergyMonotoneProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		m := New(Config{RowBufferBits: 128, Banks: 4})
+		prev := 0.0
+		tick := uint64(0)
+		for _, op := range ops {
+			switch op % 3 {
+			case 0:
+				m.Sense(int(op % 512))
+			case 1:
+				m.Write(int(op % 512))
+			case 2:
+				tick += uint64(op % 100)
+				m.AdvanceBackground(sim.Tick(tick))
+			}
+			tot := m.TotalPJ()
+			if tot < prev-1e-9 {
+				return false
+			}
+			prev = tot
+		}
+		return math.Abs(m.TotalPJ()-(m.ReadPJ()+m.WritePJ()+m.BackgroundPJ())) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

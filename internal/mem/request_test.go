@@ -1,0 +1,158 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestOpString(t *testing.T) {
+	if Read.String() != "READ" || Write.String() != "WRITE" {
+		t.Fatal("bad op names")
+	}
+	if Op(9).String() == "" {
+		t.Fatal("unknown op should render")
+	}
+}
+
+func TestRequestLifecycle(t *testing.T) {
+	var completedAt sim.Tick
+	r := &Request{ID: 7, Op: Read, Addr: 0x1000, Arrive: 10}
+	r.OnComplete = func(req *Request, now sim.Tick) { completedAt = now }
+
+	if r.Issued() || r.Done() {
+		t.Fatal("fresh request already issued/done")
+	}
+	r.MarkIssued(15)
+	r.MarkIssued(20) // repeat keeps first
+	if !r.Issued() || r.Issue != 15 {
+		t.Fatalf("Issue = %d, want 15", r.Issue)
+	}
+	r.Finish(50)
+	if !r.Done() || r.Complete != 50 || completedAt != 50 {
+		t.Fatalf("Complete = %d cb = %d, want 50", r.Complete, completedAt)
+	}
+	if r.Latency() != 40 {
+		t.Fatalf("Latency = %d, want 40", r.Latency())
+	}
+}
+
+func TestFinishTwicePanics(t *testing.T) {
+	r := &Request{ID: 1}
+	r.Finish(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Finish did not panic")
+		}
+	}()
+	r.Finish(6)
+}
+
+func TestLatencyBeforeFinishPanics(t *testing.T) {
+	r := &Request{ID: 1, Arrive: 3}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Latency of unfinished request did not panic")
+		}
+	}()
+	_ = r.Latency()
+}
+
+func TestRequestStringHasFields(t *testing.T) {
+	r := &Request{ID: 3, Op: Write, Addr: 0xabc0}
+	s := r.String()
+	if s == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestQueueBasics(t *testing.T) {
+	q := NewQueue(2)
+	if q.Cap() != 2 || !q.Empty() || q.Full() || q.Len() != 0 {
+		t.Fatal("fresh queue state wrong")
+	}
+	a := &Request{ID: 1}
+	b := &Request{ID: 2}
+	c := &Request{ID: 3}
+	if !q.Push(a) || !q.Push(b) {
+		t.Fatal("push into non-full queue failed")
+	}
+	if q.Push(c) {
+		t.Fatal("push into full queue succeeded")
+	}
+	if !q.Full() || q.Len() != 2 {
+		t.Fatal("queue should be full with 2")
+	}
+	if q.At(0).ID != 1 || q.At(1).ID != 2 {
+		t.Fatal("age order broken")
+	}
+	got := q.Remove(0)
+	if got.ID != 1 || q.Len() != 1 || q.At(0).ID != 2 {
+		t.Fatal("Remove(0) broke order")
+	}
+}
+
+func TestQueueZeroCapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewQueue(0) did not panic")
+		}
+	}()
+	NewQueue(0)
+}
+
+func TestQueueScanOrderAndEarlyStop(t *testing.T) {
+	q := NewQueue(8)
+	for i := 1; i <= 5; i++ {
+		q.Push(&Request{ID: uint64(i)})
+	}
+	var seen []uint64
+	q.Scan(func(i int, r *Request) bool {
+		seen = append(seen, r.ID)
+		return r.ID < 3 // stop after seeing 3
+	})
+	if len(seen) != 3 || seen[0] != 1 || seen[2] != 3 {
+		t.Fatalf("Scan visited %v", seen)
+	}
+}
+
+// Property: any sequence of pushes and removals preserves FIFO age order
+// of the survivors.
+func TestQueueOrderProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		q := NewQueue(16)
+		next := uint64(1)
+		var model []uint64
+		for _, op := range ops {
+			if op%3 != 0 || len(model) == 0 {
+				r := &Request{ID: next}
+				next++
+				if q.Push(r) {
+					model = append(model, r.ID)
+				} else if len(model) != 16 {
+					return false // refused push while not full
+				}
+			} else {
+				i := int(op/3) % len(model)
+				got := q.Remove(i)
+				if got.ID != model[i] {
+					return false
+				}
+				model = append(model[:i], model[i+1:]...)
+			}
+		}
+		if q.Len() != len(model) {
+			return false
+		}
+		for i, id := range model {
+			if q.At(i).ID != id {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

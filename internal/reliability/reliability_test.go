@@ -1,0 +1,154 @@
+package reliability
+
+import (
+	"testing"
+)
+
+func TestLayoutString(t *testing.T) {
+	if LayoutInterleaved.String() != "interleaved" || LayoutGrouped.String() != "grouped" {
+		t.Fatal("layout names wrong")
+	}
+	if Layout(9).String() == "" {
+		t.Fatal("unknown layout should render")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Simulate(Params{}, LayoutGrouped, ECC{WordBits: 0}); err == nil {
+		t.Error("zero word bits accepted")
+	}
+	if _, err := Simulate(Params{}, LayoutGrouped, ECC{WordBits: 48, CorrectBits: 1}); err == nil {
+		t.Error("non-tiling word size accepted")
+	}
+	if _, err := Simulate(Params{TileCols: 64, LineBits: 512, TileRows: 64},
+		LayoutGrouped, SECDED()); err == nil {
+		t.Error("tile narrower than a line accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := Params{Trials: 5000, Seed: 7}
+	a, err := Simulate(p, LayoutGrouped, SECDED())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(p, LayoutGrouped, SECDED())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+// TestSingleBitAlwaysCorrected: with only 1×1 clusters, SECDED corrects
+// every strike under either layout.
+func TestSingleBitAlwaysCorrected(t *testing.T) {
+	p := Params{Trials: 20000, ClusterDist: []float64{1}}
+	for _, l := range []Layout{LayoutInterleaved, LayoutGrouped} {
+		o, err := Simulate(p, l, SECDED())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.Uncorrectable != 0 {
+			t.Errorf("%v: %d single-bit strikes uncorrectable", l, o.Uncorrectable)
+		}
+		if o.MaxFlipsPerWord != 1 {
+			t.Errorf("%v: MaxFlipsPerWord = %d", l, o.MaxFlipsPerWord)
+		}
+	}
+}
+
+// TestPaperConcernHolds is the quantitative form of Section 3.2's
+// concern: under SECDED, the grouped layout is strictly more vulnerable
+// to multi-bit clusters than the interleaved layout, because adjacent
+// columns share an ECC word.
+func TestPaperConcernHolds(t *testing.T) {
+	p := Params{Trials: 50000}
+	inter, err := Simulate(p, LayoutInterleaved, SECDED())
+	if err != nil {
+		t.Fatal(err)
+	}
+	grouped, err := Simulate(p, LayoutGrouped, SECDED())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grouped.PUncorrectable <= inter.PUncorrectable {
+		t.Fatalf("grouped P(unc) %.4f not above interleaved %.4f — the paper's concern should be visible",
+			grouped.PUncorrectable, inter.PUncorrectable)
+	}
+	// Interleaving pushes the burst into different words: horizontal
+	// neighbours never share a word, so only vertical stacking within
+	// one column group matters and SECDED absorbs most strikes.
+	if inter.PUncorrectable > 0.2 {
+		t.Errorf("interleaved SECDED P(unc) %.4f implausibly high", inter.PUncorrectable)
+	}
+}
+
+// TestStrongerCodeRescuesGroupedLayout: a 4-bit-correcting per-line
+// code brings the grouped layout's failure probability down to (or
+// below) interleaved-SECDED levels — what "assume sufficient
+// resilience" has to mean in practice.
+func TestStrongerCodeRescuesGroupedLayout(t *testing.T) {
+	p := Params{Trials: 50000}
+	groupedSEC, err := Simulate(p, LayoutGrouped, SECDED())
+	if err != nil {
+		t.Fatal(err)
+	}
+	groupedBCH, err := Simulate(p, LayoutGrouped, BCH4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if groupedBCH.PUncorrectable >= groupedSEC.PUncorrectable {
+		t.Fatalf("BCH4 %.4f not below SECDED %.4f on the grouped layout",
+			groupedBCH.PUncorrectable, groupedSEC.PUncorrectable)
+	}
+}
+
+func TestCompareCoversGrid(t *testing.T) {
+	outs, err := Compare(Params{Trials: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 4 {
+		t.Fatalf("Compare returned %d outcomes", len(outs))
+	}
+	seen := map[string]bool{}
+	for _, o := range outs {
+		seen[o.Layout.String()+o.Code.Name] = true
+		if o.Trials != 2000 || o.Corrected+o.Uncorrectable != o.Trials {
+			t.Errorf("outcome accounting broken: %+v", o)
+		}
+	}
+	if len(seen) != 4 {
+		t.Fatalf("grid not covered: %v", seen)
+	}
+}
+
+// TestWordOfGeometry sanity-checks the two mappings directly.
+func TestWordOfGeometry(t *testing.T) {
+	const wordBits, lineBits, cols = 64, 512, 1024
+	// Grouped: adjacent columns share a word.
+	a := wordOf(LayoutGrouped, 3, 100, wordBits, lineBits, cols)
+	b := wordOf(LayoutGrouped, 3, 101, wordBits, lineBits, cols)
+	if a != b {
+		t.Error("grouped: adjacent columns should share a word")
+	}
+	// Grouped: different rows never share.
+	c := wordOf(LayoutGrouped, 4, 100, wordBits, lineBits, cols)
+	if a == c {
+		t.Error("grouped: different rows share a word")
+	}
+	// Interleaved: adjacent columns never share a word.
+	d := wordOf(LayoutInterleaved, 3, 100, wordBits, lineBits, cols)
+	e := wordOf(LayoutInterleaved, 3, 101, wordBits, lineBits, cols)
+	if d == e {
+		t.Error("interleaved: adjacent columns share a word")
+	}
+	// Interleaved: cells a stride apart do share one.
+	stride := cols / lineBits
+	f := wordOf(LayoutInterleaved, 3, 100+stride, wordBits, lineBits, cols)
+	if d != f {
+		t.Error("interleaved: same-line neighbours should share a word")
+	}
+}

@@ -1,0 +1,204 @@
+// Package report renders simulation results as aligned text tables,
+// ASCII bar charts (for the figure reproductions), and CSV, so the
+// benchmark harness can print the same rows and series the paper
+// reports.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows of string cells and renders them with aligned
+// columns.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends a row. Short rows are padded with empty cells; long
+// rows extend the column count.
+func (t *Table) AddRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+// AddRowf appends a row where each cell is formatted with fmt.Sprintf
+// from pairs of (format, value) — convenience for numeric rows.
+func (t *Table) AddRowValues(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case int:
+			row[i] = fmt.Sprintf("%d", v)
+		case uint64:
+			row[i] = fmt.Sprintf("%d", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.AddRow(row...)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	cols := len(t.header)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.header)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	writeRow := func(r []string) error {
+		var b strings.Builder
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(r) {
+				cell = r[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		return err
+	}
+	if len(t.header) > 0 {
+		if err := writeRow(t.header); err != nil {
+			return err
+		}
+		var sep []string
+		for i := 0; i < cols; i++ {
+			sep = append(sep, strings.Repeat("-", widths[i]))
+		}
+		if err := writeRow(sep); err != nil {
+			return err
+		}
+	}
+	for _, r := range t.rows {
+		if err := writeRow(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSV writes the table as comma-separated values (cells containing
+// commas or quotes are quoted).
+func (t *Table) CSV(w io.Writer) error {
+	writeRow := func(r []string) error {
+		cells := make([]string, len(r))
+		for i, c := range r {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			cells[i] = c
+		}
+		_, err := fmt.Fprintln(w, strings.Join(cells, ","))
+		return err
+	}
+	if len(t.header) > 0 {
+		if err := writeRow(t.header); err != nil {
+			return err
+		}
+	}
+	for _, r := range t.rows {
+		if err := writeRow(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BarChart renders grouped horizontal ASCII bars — the textual stand-in
+// for the paper's figures. Each entry has a label and one value per
+// series.
+type BarChart struct {
+	title   string
+	series  []string
+	labels  []string
+	values  [][]float64 // [entry][series]
+	maxBar  int
+	unitFmt string
+}
+
+// NewBarChart creates a chart with the given per-entry series names.
+func NewBarChart(title string, series ...string) *BarChart {
+	return &BarChart{title: title, series: series, maxBar: 40, unitFmt: "%.2f"}
+}
+
+// Add appends one labelled entry with len(series) values.
+func (b *BarChart) Add(label string, values ...float64) {
+	b.labels = append(b.labels, label)
+	b.values = append(b.values, values)
+}
+
+// Render writes the chart to w. Bars are scaled to the maximum value.
+func (b *BarChart) Render(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, b.title); err != nil {
+		return err
+	}
+	maxV := 0.0
+	for _, vs := range b.values {
+		for _, v := range vs {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	labelW := 0
+	for _, l := range b.labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	seriesW := 0
+	for _, s := range b.series {
+		if len(s) > seriesW {
+			seriesW = len(s)
+		}
+	}
+	for i, l := range b.labels {
+		for j, v := range b.values[i] {
+			sName := ""
+			if j < len(b.series) {
+				sName = b.series[j]
+			}
+			lbl := ""
+			if j == 0 {
+				lbl = l
+			}
+			bar := int(v / maxV * float64(b.maxBar))
+			if v > 0 && bar == 0 {
+				bar = 1
+			}
+			if _, err := fmt.Fprintf(w, "  %-*s %-*s |%s %s\n",
+				labelW, lbl, seriesW, sName,
+				strings.Repeat("#", bar), fmt.Sprintf(b.unitFmt, v)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

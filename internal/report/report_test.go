@@ -1,0 +1,136 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("a-much-longer-name", "22")
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("rendered %d lines, want 4 (header, sep, 2 rows):\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Errorf("header line %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("separator line %q", lines[1])
+	}
+	// Columns align: "value" header column starts at the same offset in
+	// every line.
+	col := strings.Index(lines[0], "value")
+	if !strings.HasPrefix(lines[2][col:], "1") {
+		t.Errorf("misaligned row: %q", lines[2])
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("a")
+	tb.AddRow("x", "extra", "more")
+	tb.AddRow()
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "more") {
+		t.Error("long row truncated")
+	}
+}
+
+func TestAddRowValues(t *testing.T) {
+	tb := NewTable("s", "f", "i", "u", "other")
+	tb.AddRowValues("str", 1.23456, 42, uint64(7), []int{1})
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"str", "1.235", "42", "7", "[1]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow("plain", "with,comma")
+	tb.AddRow("q\"uote", "line")
+	var buf bytes.Buffer
+	if err := tb.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"with,comma"`) {
+		t.Errorf("comma cell not quoted: %s", out)
+	}
+	if !strings.Contains(out, `"q""uote"`) {
+		t.Errorf("quote cell not escaped: %s", out)
+	}
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Errorf("header wrong: %s", out)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	c := NewBarChart("Speedup", "FGNVM", "128Bk")
+	c.Add("mcf", 1.2, 1.5)
+	c.Add("lbm", 1.1, 1.0)
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Speedup") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "mcf") || !strings.Contains(out, "lbm") {
+		t.Error("labels missing")
+	}
+	if strings.Count(out, "|") != 4 {
+		t.Errorf("expected 4 bars, output:\n%s", out)
+	}
+	// The largest value (1.5) must have the longest bar.
+	longest := 0
+	for _, line := range strings.Split(out, "\n") {
+		n := strings.Count(line, "#")
+		if n > longest {
+			longest = n
+		}
+		if strings.Contains(line, "1.50") && n != 40 {
+			t.Errorf("max bar not full width: %q", line)
+		}
+	}
+	if longest != 40 {
+		t.Errorf("longest bar %d, want 40", longest)
+	}
+}
+
+func TestBarChartZeroValues(t *testing.T) {
+	c := NewBarChart("Empty", "s")
+	c.Add("x", 0)
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err) // must not divide by zero
+	}
+}
+
+func TestBarChartTinyNonZero(t *testing.T) {
+	c := NewBarChart("t", "s")
+	c.Add("big", 100)
+	c.Add("tiny", 0.001)
+	var buf bytes.Buffer
+	c.Render(&buf)
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.Contains(line, "tiny") && !strings.Contains(line, "#") {
+			t.Error("non-zero value should render at least one bar mark")
+		}
+	}
+}

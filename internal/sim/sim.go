@@ -1,0 +1,150 @@
+// Package sim provides the discrete-event simulation kernel used by the
+// FgNVM memory-system simulator.
+//
+// The kernel is deliberately small: a Tick clock, a deterministic
+// priority queue of events, and an Engine that dispatches them. Components
+// that are naturally cycle-stepped (the memory controller, the CPU core)
+// run as repeating events; components that are naturally latency-based
+// (bank sensing, write pulses, data bursts) schedule one-shot completions.
+//
+// Determinism: two events scheduled for the same Tick fire in the order
+// they were scheduled (FIFO within a tick), which makes simulation results
+// reproducible across runs and platforms.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Tick is a point in simulated time, measured in memory-controller clock
+// cycles since the start of simulation.
+type Tick uint64
+
+// MaxTick is the largest representable simulation time. It is used as an
+// "idle forever" sentinel by components that have no pending work.
+const MaxTick = Tick(^uint64(0))
+
+// Event is a callback scheduled to run at a specific Tick.
+type Event func(now Tick)
+
+// item is a scheduled event inside the queue.
+type item struct {
+	when Tick
+	seq  uint64 // tie-breaker: schedule order within the same tick
+	fn   Event
+}
+
+// eventHeap implements heap.Interface ordered by (when, seq).
+type eventHeap []item
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(item)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Engine owns the simulated clock and the event queue.
+//
+// The zero value is a ready-to-use engine at time 0.
+type Engine struct {
+	now    Tick
+	seq    uint64
+	events eventHeap
+}
+
+// NewEngine returns an engine with its clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Tick { return e.now }
+
+// Pending returns the number of events that have been scheduled but not
+// yet dispatched.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule arranges for fn to run at the absolute time when.
+// Scheduling in the past (when < Now) panics: it always indicates a
+// modelling bug, and silently reordering time would corrupt results.
+func (e *Engine) Schedule(when Tick, fn Event) {
+	if when < e.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", when, e.now))
+	}
+	if fn == nil {
+		panic("sim: schedule nil event")
+	}
+	e.seq++
+	heap.Push(&e.events, item{when: when, seq: e.seq, fn: fn})
+}
+
+// ScheduleAfter arranges for fn to run delay ticks from now.
+func (e *Engine) ScheduleAfter(delay Tick, fn Event) {
+	e.Schedule(e.now+delay, fn)
+}
+
+// Step dispatches the single earliest pending event, advancing the clock
+// to its timestamp. It reports false if the queue was empty.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	it := heap.Pop(&e.events).(item)
+	e.now = it.when
+	it.fn(it.when)
+	return true
+}
+
+// RunUntil dispatches events until the queue is empty or the next event
+// is strictly after limit. The clock never advances past limit.
+// It returns the number of events dispatched.
+func (e *Engine) RunUntil(limit Tick) int {
+	n := 0
+	for len(e.events) > 0 && e.events[0].when <= limit {
+		e.Step()
+		n++
+	}
+	if e.now < limit {
+		e.now = limit
+	}
+	return n
+}
+
+// Run dispatches all pending events (including events scheduled by the
+// events being dispatched) and returns the number dispatched. Use with
+// care: a self-rescheduling event makes this loop forever, so components
+// that tick every cycle should be driven with RunUntil.
+func (e *Engine) Run() int {
+	n := 0
+	for e.Step() {
+		n++
+	}
+	return n
+}
+
+// Advance moves the clock forward to when without dispatching anything.
+// It panics if events earlier than when are still pending, or if when is
+// in the past: skipping over scheduled work is always a bug.
+func (e *Engine) Advance(when Tick) {
+	if when < e.now {
+		panic(fmt.Sprintf("sim: advance backwards from %d to %d", e.now, when))
+	}
+	if len(e.events) > 0 && e.events[0].when < when {
+		panic(fmt.Sprintf("sim: advance to %d would skip event at %d", when, e.events[0].when))
+	}
+	e.now = when
+}

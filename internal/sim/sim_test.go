@@ -1,0 +1,270 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineZeroValue(t *testing.T) {
+	var e Engine
+	if e.Now() != 0 {
+		t.Fatalf("zero engine Now = %d, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("zero engine Pending = %d, want 0", e.Pending())
+	}
+	if e.Step() {
+		t.Fatal("Step on empty engine reported true")
+	}
+}
+
+func TestScheduleAndStep(t *testing.T) {
+	e := NewEngine()
+	var fired []Tick
+	e.Schedule(10, func(now Tick) { fired = append(fired, now) })
+	e.Schedule(5, func(now Tick) { fired = append(fired, now) })
+	e.Schedule(7, func(now Tick) { fired = append(fired, now) })
+
+	for e.Step() {
+	}
+	want := []Tick{5, 7, 10}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now = %d, want 10", e.Now())
+	}
+}
+
+func TestFIFOWithinTick(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(42, func(Tick) { order = append(order, i) })
+	}
+	e.Run()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("order[%d] = %d, want %d (same-tick events must be FIFO)", i, got, i)
+		}
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(5, func(Tick) {})
+	e.Step()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.Schedule(1, func(Tick) {})
+}
+
+func TestScheduleNilPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling nil event did not panic")
+		}
+	}()
+	e.Schedule(1, nil)
+}
+
+func TestScheduleAfter(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(100, func(now Tick) {
+		e.ScheduleAfter(5, func(now Tick) {
+			if now != 105 {
+				t.Errorf("nested event at %d, want 105", now)
+			}
+		})
+	})
+	e.Run()
+	if e.Now() != 105 {
+		t.Fatalf("Now = %d, want 105", e.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Tick
+	for _, w := range []Tick{1, 5, 10, 15} {
+		w := w
+		e.Schedule(w, func(now Tick) { fired = append(fired, now) })
+	}
+	n := e.RunUntil(10)
+	if n != 3 {
+		t.Fatalf("RunUntil dispatched %d events, want 3", n)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now = %d, want 10 (clock advances to limit)", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	n = e.RunUntil(20)
+	if n != 1 || e.Now() != 20 {
+		t.Fatalf("second RunUntil: n=%d Now=%d, want 1, 20", n, e.Now())
+	}
+}
+
+func TestRunUntilIdleAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	if n := e.RunUntil(1000); n != 0 {
+		t.Fatalf("dispatched %d, want 0", n)
+	}
+	if e.Now() != 1000 {
+		t.Fatalf("Now = %d, want 1000", e.Now())
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	e := NewEngine()
+	e.Advance(50)
+	if e.Now() != 50 {
+		t.Fatalf("Now = %d, want 50", e.Now())
+	}
+}
+
+func TestAdvanceSkippingEventPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func(Tick) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance past pending event did not panic")
+		}
+	}()
+	e.Advance(20)
+}
+
+func TestAdvanceBackwardsPanics(t *testing.T) {
+	e := NewEngine()
+	e.Advance(20)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance backwards did not panic")
+		}
+	}()
+	e.Advance(10)
+}
+
+func TestSelfReschedulingTicker(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tickFn Event
+	tickFn = func(now Tick) {
+		count++
+		e.Schedule(now+1, tickFn)
+	}
+	e.Schedule(0, tickFn)
+	e.RunUntil(99)
+	if count != 100 {
+		t.Fatalf("ticker fired %d times over [0,99], want 100", count)
+	}
+}
+
+// TestEventOrderProperty: regardless of insertion order, events fire in
+// nondecreasing time order, and same-time events fire in insertion order.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		e := NewEngine()
+		type rec struct {
+			when Tick
+			seq  int
+		}
+		var fired []rec
+		for i, tm := range times {
+			i, when := i, Tick(tm)
+			e.Schedule(when, func(now Tick) {
+				fired = append(fired, rec{now, i})
+			})
+		}
+		e.Run()
+		if len(fired) != len(times) {
+			return false
+		}
+		// Nondecreasing time; FIFO within equal times.
+		for i := 1; i < len(fired); i++ {
+			if fired[i].when < fired[i-1].when {
+				return false
+			}
+			if fired[i].when == fired[i-1].when && fired[i].seq < fired[i-1].seq {
+				return false
+			}
+		}
+		// The multiset of fire times equals the multiset scheduled.
+		want := make([]int, len(times))
+		for i, tm := range times {
+			want[i] = int(tm)
+		}
+		got := make([]int, len(fired))
+		for i, r := range fired {
+			got[i] = int(r.when)
+		}
+		sort.Ints(want)
+		sort.Ints(got)
+		for i := range want {
+			if want[i] != got[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHeapStress exercises the queue with interleaved schedule/step
+// operations and verifies the clock never goes backwards.
+func TestHeapStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	e := NewEngine()
+	last := Tick(0)
+	dispatched := 0
+	for i := 0; i < 5000; i++ {
+		if rng.Intn(3) != 0 || e.Pending() == 0 {
+			delta := Tick(rng.Intn(100))
+			e.Schedule(e.Now()+delta, func(now Tick) {
+				if now < last {
+					t.Errorf("clock went backwards: %d after %d", now, last)
+				}
+				last = now
+				dispatched++
+			})
+		} else {
+			e.Step()
+		}
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("events left over: %d", e.Pending())
+	}
+	if dispatched == 0 {
+		t.Fatal("stress test dispatched nothing")
+	}
+}
+
+func BenchmarkScheduleStep(b *testing.B) {
+	e := NewEngine()
+	fn := func(Tick) {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(e.Now()+Tick(i%64), fn)
+		if i%2 == 1 {
+			e.Step()
+		}
+	}
+	for e.Step() {
+	}
+}

@@ -1,0 +1,186 @@
+// Package timing models the timing parameters of the simulated PCM
+// device and their conversion into memory-controller clock cycles.
+//
+// The parameter set mirrors Table 2 of the FgNVM paper (DAC'16), which in
+// turn is based on the 20 nm 8 Gb PRAM prototype (ISSCC'12 [13]):
+//
+//	tRCD = 25 ns    row-to-column delay (sensing time for an activation)
+//	tCAS = 95 ns    column access latency (read)
+//	tRAS = 0 ns     no restore needed: NVM reads are non-destructive
+//	tRP  = 0 ns     no precharge needed: no bitline restore in PCM
+//	tCCD = 4 cy     column-to-column delay
+//	tBURST = 4 cy   data burst length on the bus
+//	tCWD = 7.5 ns   write command to data delay
+//	tWP  = 150 ns   write pulse (the long PCM programming time)
+//	tWR  = 7.5 ns   write recovery
+//
+// Durations that the paper expresses in nanoseconds are converted to
+// cycles with a ceiling division at the configured clock; durations the
+// paper expresses in cycles are used directly.
+package timing
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// PCMTimingsNS holds the nanosecond-domain parameters of a device.
+type PCMTimingsNS struct {
+	TRCDns float64 // activation (sensing) latency
+	TCASns float64 // column read latency
+	TRASns float64 // row active minimum (0 for PCM)
+	TRPns  float64 // precharge (0 for PCM)
+	TCWDns float64 // write command to write data
+	TWPns  float64 // write pulse
+	TWRns  float64 // write recovery
+	TCCDcy uint64  // column-to-column, already in cycles
+	TBURST uint64  // burst duration, already in cycles
+}
+
+// PaperPCM returns the Table 2 parameter set.
+func PaperPCM() PCMTimingsNS {
+	return PCMTimingsNS{
+		TRCDns: 25,
+		TCASns: 95,
+		TRASns: 0,
+		TRPns:  0,
+		TCWDns: 7.5,
+		TWPns:  150,
+		TWRns:  7.5,
+		TCCDcy: 4,
+		TBURST: 4,
+	}
+}
+
+// RRAM returns a representative HfOx resistive-RAM parameter set. The
+// paper's techniques apply to "NVM technologies with large difference
+// in on/off state, such as PCM and RRAM" (Section 2); RRAM cells
+// switch roughly 2–3× faster than PCM programs and read somewhat
+// faster thanks to a larger resistance ratio. Values follow the NVSim
+// RRAM corner commonly used in architecture studies.
+func RRAM() PCMTimingsNS {
+	return PCMTimingsNS{
+		TRCDns: 15,
+		TCASns: 40,
+		TRASns: 0,
+		TRPns:  0,
+		TCWDns: 7.5,
+		TWPns:  50,
+		TWRns:  7.5,
+		TCCDcy: 4,
+		TBURST: 4,
+	}
+}
+
+// Timings is the cycle-domain view used by the controller and bank
+// models. All fields are in memory-controller clock cycles.
+type Timings struct {
+	ClockMHz float64 // controller clock; the paper's setup uses 400 MHz
+
+	TRCD   sim.Tick // activate → column command
+	TCAS   sim.Tick // column read command → first data beat
+	TRAS   sim.Tick // activate → precharge minimum
+	TRP    sim.Tick // precharge duration
+	TCCD   sim.Tick // column command → column command
+	TBURST sim.Tick // data bus occupancy per column access
+	TCWD   sim.Tick // column write command → write data
+	TWP    sim.Tick // write pulse duration
+	TWR    sim.Tick // write recovery after data
+
+	// Derived convenience values.
+	ReadLatency  sim.Tick // TCAS + TBURST: command to last data beat
+	WriteLatency sim.Tick // TCWD + TWP + TWR: command until tile is free
+}
+
+// DefaultClockMHz is the memory-controller clock used throughout the
+// paper reproduction: 400 MHz (tCK = 2.5 ns), the usual NVMain PCM clock.
+const DefaultClockMHz = 400.0
+
+// CyclesCeil converts a nanosecond duration to clock cycles, rounding up.
+func CyclesCeil(ns, clockMHz float64) sim.Tick {
+	if ns <= 0 {
+		return 0
+	}
+	tck := 1000.0 / clockMHz // ns per cycle
+	cy := ns / tck
+	t := sim.Tick(cy)
+	if float64(t) < cy {
+		t++
+	}
+	return t
+}
+
+// New converts a nanosecond parameter set into cycle-domain Timings at
+// the given controller clock.
+func New(ns PCMTimingsNS, clockMHz float64) (Timings, error) {
+	if clockMHz <= 0 {
+		return Timings{}, fmt.Errorf("timing: non-positive clock %v MHz", clockMHz)
+	}
+	if ns.TRCDns < 0 || ns.TCASns < 0 || ns.TRASns < 0 || ns.TRPns < 0 ||
+		ns.TCWDns < 0 || ns.TWPns < 0 || ns.TWRns < 0 {
+		return Timings{}, fmt.Errorf("timing: negative timing parameter in %+v", ns)
+	}
+	if ns.TBURST == 0 {
+		return Timings{}, fmt.Errorf("timing: zero tBURST")
+	}
+	t := Timings{
+		ClockMHz: clockMHz,
+		TRCD:     CyclesCeil(ns.TRCDns, clockMHz),
+		TCAS:     CyclesCeil(ns.TCASns, clockMHz),
+		TRAS:     CyclesCeil(ns.TRASns, clockMHz),
+		TRP:      CyclesCeil(ns.TRPns, clockMHz),
+		TCCD:     sim.Tick(ns.TCCDcy),
+		TBURST:   sim.Tick(ns.TBURST),
+		TCWD:     CyclesCeil(ns.TCWDns, clockMHz),
+		TWP:      CyclesCeil(ns.TWPns, clockMHz),
+		TWR:      CyclesCeil(ns.TWRns, clockMHz),
+	}
+	t.ReadLatency = t.TCAS + t.TBURST
+	t.WriteLatency = t.TCWD + t.TWP + t.TWR
+	return t, nil
+}
+
+// MustNew is New but panics on error; for use with known-good literals.
+func MustNew(ns PCMTimingsNS, clockMHz float64) Timings {
+	t, err := New(ns, clockMHz)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Paper returns the Table 2 timings at the default 400 MHz clock:
+// tRCD=10cy, tCAS=38cy, tCWD=3cy, tWP=60cy, tWR=3cy, tCCD=4cy, tBURST=4cy.
+func Paper() Timings { return MustNew(PaperPCM(), DefaultClockMHz) }
+
+// NsPerCycle returns the duration of one controller cycle in ns.
+func (t Timings) NsPerCycle() float64 { return 1000.0 / t.ClockMHz }
+
+// ToNS converts a cycle count back into nanoseconds at this clock.
+func (t Timings) ToNS(cy sim.Tick) float64 { return float64(cy) * t.NsPerCycle() }
+
+// String summarizes the cycle-domain values, e.g. for -print-config.
+func (t Timings) String() string {
+	return fmt.Sprintf(
+		"clock=%.0fMHz tRCD=%d tCAS=%d tRAS=%d tRP=%d tCCD=%d tBURST=%d tCWD=%d tWP=%d tWR=%d (cycles)",
+		t.ClockMHz, t.TRCD, t.TCAS, t.TRAS, t.TRP, t.TCCD, t.TBURST, t.TCWD, t.TWP, t.TWR)
+}
+
+// Validate checks internal consistency of a cycle-domain Timings value,
+// for configurations constructed directly rather than via New.
+func (t Timings) Validate() error {
+	if t.ClockMHz <= 0 {
+		return fmt.Errorf("timing: non-positive clock %v", t.ClockMHz)
+	}
+	if t.TBURST == 0 {
+		return fmt.Errorf("timing: zero tBURST")
+	}
+	if t.ReadLatency != t.TCAS+t.TBURST {
+		return fmt.Errorf("timing: ReadLatency %d != TCAS+TBURST %d", t.ReadLatency, t.TCAS+t.TBURST)
+	}
+	if t.WriteLatency != t.TCWD+t.TWP+t.TWR {
+		return fmt.Errorf("timing: WriteLatency %d != TCWD+TWP+TWR %d", t.WriteLatency, t.TCWD+t.TWP+t.TWR)
+	}
+	return nil
+}

@@ -1,0 +1,193 @@
+package timing
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestPaperTimingsAt400MHz(t *testing.T) {
+	tm := Paper()
+	// Table 2 at tCK = 2.5 ns.
+	cases := []struct {
+		name string
+		got  sim.Tick
+		want sim.Tick
+	}{
+		{"tRCD", tm.TRCD, 10}, // 25 ns
+		{"tCAS", tm.TCAS, 38}, // 95 ns
+		{"tRAS", tm.TRAS, 0},  // 0 ns
+		{"tRP", tm.TRP, 0},    // 0 ns
+		{"tCCD", tm.TCCD, 4},  // cycles
+		{"tBURST", tm.TBURST, 4},
+		{"tCWD", tm.TCWD, 3}, // 7.5 ns
+		{"tWP", tm.TWP, 60},  // 150 ns
+		{"tWR", tm.TWR, 3},   // 7.5 ns
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s = %d cycles, want %d", c.name, c.got, c.want)
+		}
+	}
+	if tm.ReadLatency != 42 {
+		t.Errorf("ReadLatency = %d, want 42", tm.ReadLatency)
+	}
+	if tm.WriteLatency != 66 {
+		t.Errorf("WriteLatency = %d, want 66", tm.WriteLatency)
+	}
+	if err := tm.Validate(); err != nil {
+		t.Errorf("paper timings do not validate: %v", err)
+	}
+}
+
+func TestCyclesCeil(t *testing.T) {
+	cases := []struct {
+		ns    float64
+		clock float64
+		want  sim.Tick
+	}{
+		{0, 400, 0},
+		{-1, 400, 0},
+		{2.5, 400, 1},
+		{2.6, 400, 2},
+		{25, 400, 10},
+		{7.5, 400, 3},
+		{1, 1000, 1},
+		{0.5, 1000, 1},
+		{150, 400, 60},
+	}
+	for _, c := range cases {
+		if got := CyclesCeil(c.ns, c.clock); got != c.want {
+			t.Errorf("CyclesCeil(%v ns @ %v MHz) = %d, want %d", c.ns, c.clock, got, c.want)
+		}
+	}
+}
+
+func TestNewRejectsBadInput(t *testing.T) {
+	if _, err := New(PaperPCM(), 0); err == nil {
+		t.Error("zero clock accepted")
+	}
+	if _, err := New(PaperPCM(), -5); err == nil {
+		t.Error("negative clock accepted")
+	}
+	bad := PaperPCM()
+	bad.TRCDns = -1
+	if _, err := New(bad, 400); err == nil {
+		t.Error("negative tRCD accepted")
+	}
+	bad = PaperPCM()
+	bad.TBURST = 0
+	if _, err := New(bad, 400); err == nil {
+		t.Error("zero tBURST accepted")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew with bad clock did not panic")
+		}
+	}()
+	MustNew(PaperPCM(), 0)
+}
+
+func TestToNSRoundTrip(t *testing.T) {
+	tm := Paper()
+	if got := tm.ToNS(tm.TRCD); got != 25 {
+		t.Errorf("ToNS(tRCD) = %v ns, want 25", got)
+	}
+	if got := tm.NsPerCycle(); got != 2.5 {
+		t.Errorf("NsPerCycle = %v, want 2.5", got)
+	}
+}
+
+func TestStringMentionsAllParams(t *testing.T) {
+	s := Paper().String()
+	for _, want := range []string{"tRCD=10", "tCAS=38", "tWP=60", "tBURST=4", "400MHz"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+// Property: ceiling conversion never undershoots the requested duration
+// and overshoots by less than one cycle.
+func TestCyclesCeilProperty(t *testing.T) {
+	f := func(nsRaw uint16, clockRaw uint8) bool {
+		ns := float64(nsRaw) / 10.0
+		clock := float64(clockRaw%200) + 100 // 100..299 MHz
+		cy := CyclesCeil(ns, clock)
+		tck := 1000.0 / clock
+		dur := float64(cy) * tck
+		if dur < ns {
+			return false // undershoot: timing violation
+		}
+		if ns > 0 && dur-ns >= tck {
+			return false // more than one cycle of slack
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: at any valid clock, the derived latencies stay consistent.
+func TestDerivedLatencyProperty(t *testing.T) {
+	f := func(clockRaw uint8) bool {
+		clock := float64(clockRaw) + 50 // 50..305 MHz
+		tm, err := New(PaperPCM(), clock)
+		if err != nil {
+			return false
+		}
+		return tm.Validate() == nil &&
+			tm.ReadLatency == tm.TCAS+tm.TBURST &&
+			tm.WriteLatency == tm.TCWD+tm.TWP+tm.TWR
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	tm := Paper()
+	tm.ReadLatency++
+	if tm.Validate() == nil {
+		t.Error("corrupted ReadLatency validated")
+	}
+	tm = Paper()
+	tm.WriteLatency = 0
+	if tm.Validate() == nil {
+		t.Error("corrupted WriteLatency validated")
+	}
+	tm = Paper()
+	tm.ClockMHz = 0
+	if tm.Validate() == nil {
+		t.Error("zero clock validated")
+	}
+	tm = Paper()
+	tm.TBURST = 0
+	tm.ReadLatency = tm.TCAS
+	if tm.Validate() == nil {
+		t.Error("zero tBURST validated")
+	}
+}
+
+func TestRRAMPreset(t *testing.T) {
+	tm, err := New(RRAM(), DefaultClockMHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcm := Paper()
+	if tm.TWP >= pcm.TWP {
+		t.Errorf("RRAM tWP %d not below PCM %d", tm.TWP, pcm.TWP)
+	}
+	if tm.TCAS >= pcm.TCAS {
+		t.Errorf("RRAM tCAS %d not below PCM %d", tm.TCAS, pcm.TCAS)
+	}
+	if err := tm.Validate(); err != nil {
+		t.Errorf("RRAM timings invalid: %v", err)
+	}
+}

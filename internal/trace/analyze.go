@@ -1,0 +1,68 @@
+// Trace analysis: summary statistics of an access stream, used by
+// fgnvm-trace -inspect and by the profile-calibration tests.
+
+package trace
+
+import "fmt"
+
+// Summary describes the aggregate behaviour of an access sequence.
+type Summary struct {
+	Accesses     int
+	Instructions uint64
+	APKI         float64 // accesses per kilo-instruction
+	WriteFrac    float64
+	SeqFrac      float64 // fraction continuing sequentially (next line)
+	MinAddr      uint64
+	MaxAddr      uint64
+	FootprintMiB float64 // distinct 1 MiB regions touched
+	UniqueLines  int
+}
+
+// Analyze computes a Summary over accs with the given line size.
+func Analyze(accs []Access, lineBytes int) Summary {
+	var s Summary
+	s.Accesses = len(accs)
+	if len(accs) == 0 {
+		return s
+	}
+	if lineBytes <= 0 {
+		lineBytes = 64
+	}
+	lines := make(map[uint64]struct{}, len(accs))
+	regions := make(map[uint64]struct{})
+	writes, seq := 0, 0
+	s.MinAddr, s.MaxAddr = accs[0].Addr, accs[0].Addr
+	for i, a := range accs {
+		s.Instructions += uint64(a.Gap) + 1
+		if a.Write {
+			writes++
+		}
+		if a.Addr < s.MinAddr {
+			s.MinAddr = a.Addr
+		}
+		if a.Addr > s.MaxAddr {
+			s.MaxAddr = a.Addr
+		}
+		if i > 0 && a.Addr == accs[i-1].Addr+uint64(lineBytes) {
+			seq++
+		}
+		lines[a.Addr/uint64(lineBytes)] = struct{}{}
+		regions[a.Addr>>20] = struct{}{}
+	}
+	s.APKI = float64(s.Accesses) / (float64(s.Instructions) / 1000)
+	s.WriteFrac = float64(writes) / float64(s.Accesses)
+	s.SeqFrac = float64(seq) / float64(s.Accesses)
+	s.UniqueLines = len(lines)
+	s.FootprintMiB = float64(len(regions))
+	return s
+}
+
+// String renders the summary for human consumption.
+func (s Summary) String() string {
+	if s.Accesses == 0 {
+		return "empty trace"
+	}
+	return fmt.Sprintf(
+		"%d accesses / %d instructions: APKI=%.1f writes=%.1f%% sequential=%.1f%% footprint≈%.0fMiB (%d lines)",
+		s.Accesses, s.Instructions, s.APKI, s.WriteFrac*100, s.SeqFrac*100, s.FootprintMiB, s.UniqueLines)
+}

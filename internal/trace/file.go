@@ -1,0 +1,78 @@
+// Trace file I/O: a line-oriented text format compatible with simple
+// external tooling. Each line is
+//
+//	<gap> <hex address> <R|W>
+//
+// Lines starting with '#' and blank lines are ignored.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteTrace streams n accesses from s to w in the text format.
+// It returns the number of accesses written.
+func WriteTrace(w io.Writer, s Stream, n uint64) (uint64, error) {
+	bw := bufio.NewWriter(w)
+	var count uint64
+	for count < n {
+		a, ok := s.Next()
+		if !ok {
+			break
+		}
+		op := "R"
+		if a.Write {
+			op = "W"
+		}
+		if _, err := fmt.Fprintf(bw, "%d %x %s\n", a.Gap, a.Addr, op); err != nil {
+			return count, err
+		}
+		count++
+	}
+	return count, bw.Flush()
+}
+
+// ReadTrace parses a text trace from r into memory.
+func ReadTrace(r io.Reader) ([]Access, error) {
+	var out []Access
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("trace: line %d: want 3 fields, got %d", lineNo, len(fields))
+		}
+		gap, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad gap %q: %v", lineNo, fields[0], err)
+		}
+		pa, err := strconv.ParseUint(fields[1], 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad address %q: %v", lineNo, fields[1], err)
+		}
+		var wr bool
+		switch fields[2] {
+		case "R", "r":
+			wr = false
+		case "W", "w":
+			wr = true
+		default:
+			return nil, fmt.Errorf("trace: line %d: bad op %q (want R or W)", lineNo, fields[2])
+		}
+		out = append(out, Access{Gap: uint32(gap), Addr: pa, Write: wr})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %v", err)
+	}
+	return out, nil
+}

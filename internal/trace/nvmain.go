@@ -1,0 +1,122 @@
+// NVMain trace-format interoperability. NVMain 2.0 — the simulator the
+// paper's evaluation ran on — consumes text traces of the form
+//
+//	<cycle> <R|W> <hex address> <hex data> [threadId]
+//
+// one request per line, where <cycle> is the CPU cycle the request was
+// issued and <data> is the 64-byte payload as a hex string (ignored by
+// timing simulation). This file converts between that format and the
+// package's Access streams, so traces can move between this simulator
+// and an NVMain installation in either direction.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// nvmainCPI is the instructions-per-cycle assumption used to convert
+// between our instruction-gap representation and NVMain's absolute CPU
+// cycle stamps. NVMain's gem5 front end issues roughly one instruction
+// per CPU cycle into the trace window.
+const nvmainCPI = 1
+
+// WriteNVMainTrace converts up to n accesses from s into NVMain's trace
+// format. The data payload is written as 64 zero bytes (timing
+// simulators ignore it); cycle stamps accumulate the instruction gaps.
+func WriteNVMainTrace(w io.Writer, s Stream, n uint64) (uint64, error) {
+	bw := bufio.NewWriter(w)
+	var count, cycle uint64
+	zeroData := strings.Repeat("0", 128) // 64 bytes of payload
+	for count < n {
+		a, ok := s.Next()
+		if !ok {
+			break
+		}
+		cycle += uint64(a.Gap) * nvmainCPI
+		op := "R"
+		if a.Write {
+			op = "W"
+		}
+		if _, err := fmt.Fprintf(bw, "%d %s %X %s 0\n", cycle, op, a.Addr, zeroData); err != nil {
+			return count, err
+		}
+		cycle++ // the access itself
+		count++
+	}
+	return count, bw.Flush()
+}
+
+// ReadNVMainTrace parses an NVMain-format trace into Accesses. Cycle
+// stamps convert back into instruction gaps; the data payload and
+// thread id are validated for shape but otherwise ignored.
+func ReadNVMainTrace(r io.Reader) ([]Access, error) {
+	var out []Access
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
+	var prevCycle uint64
+	first := true
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 || len(fields) > 5 {
+			return nil, fmt.Errorf("trace: nvmain line %d: want 3-5 fields, got %d", lineNo, len(fields))
+		}
+		cycle, err := strconv.ParseUint(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: nvmain line %d: bad cycle %q", lineNo, fields[0])
+		}
+		var wr bool
+		switch strings.ToUpper(fields[1]) {
+		case "R":
+		case "W":
+			wr = true
+		default:
+			return nil, fmt.Errorf("trace: nvmain line %d: bad op %q", lineNo, fields[1])
+		}
+		pa, err := strconv.ParseUint(strings.TrimPrefix(strings.ToLower(fields[2]), "0x"), 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: nvmain line %d: bad address %q", lineNo, fields[2])
+		}
+		if len(fields) >= 4 && fields[3] != "" {
+			if _, err := strconv.ParseUint(fields[3], 16, 0); err != nil && len(fields[3]) > 0 {
+				// Data payloads can exceed uint64; only verify hex shape.
+				for _, c := range fields[3] {
+					if !strings.ContainsRune("0123456789abcdefABCDEF", c) {
+						return nil, fmt.Errorf("trace: nvmain line %d: bad data payload", lineNo)
+					}
+				}
+			}
+		}
+		if cycle < prevCycle {
+			return nil, fmt.Errorf("trace: nvmain line %d: cycle %d before %d", lineNo, cycle, prevCycle)
+		}
+		gap := uint64(0)
+		if !first {
+			gap = (cycle - prevCycle) / nvmainCPI
+			if gap > 0 {
+				gap-- // the previous access consumed one cycle
+			}
+		} else {
+			gap = cycle
+		}
+		if gap > 1<<31 {
+			gap = 1 << 31
+		}
+		out = append(out, Access{Gap: uint32(gap), Addr: pa, Write: wr})
+		prevCycle = cycle
+		first = false
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: nvmain read: %v", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNVMainWriteFormat(t *testing.T) {
+	accs := []Access{
+		{Gap: 10, Addr: 0x1000},
+		{Gap: 0, Addr: 0x2000, Write: true},
+	}
+	var buf bytes.Buffer
+	n, err := WriteNVMainTrace(&buf, NewSliceStream(accs), 10)
+	if err != nil || n != 2 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines: %v", lines)
+	}
+	f0 := strings.Fields(lines[0])
+	if f0[0] != "10" || f0[1] != "R" || f0[2] != "1000" {
+		t.Fatalf("first line %q", lines[0])
+	}
+	if len(f0[3]) != 128 {
+		t.Fatalf("payload length %d, want 128 hex chars", len(f0[3]))
+	}
+	f1 := strings.Fields(lines[1])
+	if f1[0] != "11" || f1[1] != "W" || f1[2] != "2000" {
+		t.Fatalf("second line %q", lines[1])
+	}
+}
+
+func TestNVMainRoundTrip(t *testing.T) {
+	p, _ := ProfileByName("milc")
+	g := NewGenerator(p, 64, 4096, 11)
+	var orig []Access
+	for i := 0; i < 300; i++ {
+		a, _ := g.Next()
+		orig = append(orig, a)
+	}
+	var buf bytes.Buffer
+	if _, err := WriteNVMainTrace(&buf, NewSliceStream(orig), uint64(len(orig))); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadNVMainTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(orig) {
+		t.Fatalf("length %d, want %d", len(back), len(orig))
+	}
+	for i := range orig {
+		if back[i].Addr != orig[i].Addr || back[i].Write != orig[i].Write {
+			t.Fatalf("access %d: %+v != %+v", i, back[i], orig[i])
+		}
+		if i > 0 && back[i].Gap != orig[i].Gap {
+			t.Fatalf("access %d gap: %d != %d", i, back[i].Gap, orig[i].Gap)
+		}
+	}
+}
+
+func TestNVMainReadVariants(t *testing.T) {
+	// Minimal 3-field lines, 0x prefixes, lowercase ops, comments.
+	in := "# comment\n5 r 0x40\n9 W 80 DEADBEEF 1\n"
+	accs, err := ReadNVMainTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(accs) != 2 || accs[0].Addr != 0x40 || accs[0].Write || !accs[1].Write || accs[1].Addr != 0x80 {
+		t.Fatalf("parsed %+v", accs)
+	}
+}
+
+func TestNVMainReadErrors(t *testing.T) {
+	cases := []string{
+		"x R 40\n",            // bad cycle
+		"1 Q 40\n",            // bad op
+		"1 R zz\n",            // bad address
+		"1 R\n",               // too few fields
+		"1 R 40 00 0 extra\n", // too many fields
+		"9 R 40\n5 R 80\n",    // cycles go backwards
+		"1 R 40 NOT-HEX 0\n",  // bad payload
+	}
+	for _, in := range cases {
+		if _, err := ReadNVMainTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
