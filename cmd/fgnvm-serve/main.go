@@ -1,0 +1,91 @@
+// Command fgnvm-serve runs the FgNVM simulator as an HTTP/JSON
+// service: simulations on a bounded worker pool, identical in-flight
+// requests coalesced into one run, completed results memoized in an
+// LRU cache, and cancellation threaded down to the simulation loop so
+// disconnected clients stop burning CPU.
+//
+//	fgnvm-serve -addr :8080 -workers 8 -queue 64 -cache 256
+//
+//	curl -d '{"design":"fgnvm","benchmark":"mcf"}' localhost:8080/v1/run
+//	curl -d '{"benchmarks":["mcf","lbm"],"instructions":50000}' localhost:8080/v1/figure4
+//	curl -d '{"axis":"cds","values":[1,2,4,8]}' localhost:8080/v1/sweep
+//	curl localhost:8080/metrics
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener stops, and
+// in-flight runs drain before the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fgnvm-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 64, "queued requests beyond executing before 429s (negative: none)")
+		cache    = flag.Int("cache", 256, "result-cache entries (negative disables)")
+		timeout  = flag.Duration("timeout", 0, "default per-request timeout (0 = none; requests may set timeout_ms)")
+		maxInstr = flag.Uint64("max-instructions", 5_000_000, "reject runs longer than this (0 = unlimited)")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	)
+	flag.Parse()
+	if *workers == 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+
+	svc := server.New(server.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheEntries:    *cache,
+		DefaultTimeout:  *timeout,
+		MaxInstructions: *maxInstr,
+	})
+	hs := &http.Server{Addr: *addr, Handler: svc}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("fgnvm-serve: listening on %s (workers=%d queue=%d cache=%d)",
+			*addr, *workers, *queue, *cache)
+		errCh <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("fgnvm-serve: shutting down, draining in-flight runs (budget %s)", *drain)
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	err := hs.Shutdown(sctx)
+	svc.Close()
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	log.Printf("fgnvm-serve: drained, bye")
+	return nil
+}

@@ -11,47 +11,24 @@
 //	fgnvm-sweep -axis tile -values 512,1024,2048,4096
 //
 // Every row also reports the baseline-relative speedup and energy so
-// the output plots directly against the paper's figures.
+// the output plots directly against the paper's figures. Sweep points
+// run concurrently (-parallel, default GOMAXPROCS) on a bounded pool;
+// each simulation is deterministic and rows print in axis-value order,
+// so output is byte-identical at any parallelism.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	fgnvm "repro"
 )
-
-// axis applies one sweep value to an Options set.
-type axis struct {
-	name    string
-	apply   func(o *fgnvm.Options, v int)
-	defs    string
-	affects string
-}
-
-var axes = []axis{
-	{"cds", func(o *fgnvm.Options, v int) { o.CDs = v }, "1,2,4,8,16,32", "column divisions"},
-	{"sags", func(o *fgnvm.Options, v int) { o.SAGs = v }, "2,4,8,16,32", "subarray groups"},
-	{"lanes", func(o *fgnvm.Options, v int) { o.IssueLanes = v }, "1,2,4,8", "issue lanes"},
-	{"cores", func(o *fgnvm.Options, v int) { o.Cores = v }, "1,2,4", "cores sharing memory"},
-	{"rob", func(o *fgnvm.Options, v int) { o.Core.ROB = v }, "64,128,256,512", "reorder buffer entries"},
-	{"mshrs", func(o *fgnvm.Options, v int) { o.Core.MSHRs = v }, "8,16,32,64", "outstanding misses"},
-	{"tile", func(o *fgnvm.Options, v int) {
-		o.Device = &fgnvm.DeviceParams{TileRows: v, TileCols: v}
-	}, "512,1024,2048,4096", "device tile side (cells)"},
-}
-
-func findAxis(name string) *axis {
-	for i := range axes {
-		if axes[i].name == name {
-			return &axes[i]
-		}
-	}
-	return nil
-}
 
 func main() {
 	if err := run(); err != nil {
@@ -62,8 +39,8 @@ func main() {
 
 func run() error {
 	var names []string
-	for _, a := range axes {
-		names = append(names, a.name)
+	for _, a := range fgnvm.SweepAxes() {
+		names = append(names, a.Name)
 	}
 	var (
 		axisName = flag.String("axis", "cds", "sweep axis: "+strings.Join(names, ", "))
@@ -72,62 +49,45 @@ func run() error {
 		design   = flag.String("design", "fgnvm", "design under sweep")
 		instr    = flag.Uint64("n", 100_000, "instructions per run")
 		seed     = flag.Uint64("seed", 1, "workload seed")
+		parallel = flag.Int("parallel", 0, "concurrent sweep points (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	ax := findAxis(*axisName)
-	if ax == nil {
-		return fmt.Errorf("unknown axis %q (want one of %s)", *axisName, strings.Join(names, ", "))
-	}
-	vs := *values
-	if vs == "" {
-		vs = ax.defs
+	ax, err := fgnvm.SweepAxisByName(*axisName)
+	if err != nil {
+		return err
 	}
 	var sweep []int
-	for _, f := range strings.Split(vs, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil {
-			return fmt.Errorf("bad value %q: %v", f, err)
+	if *values != "" {
+		for _, f := range strings.Split(*values, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				return fmt.Errorf("bad value %q: %v", f, err)
+			}
+			sweep = append(sweep, v)
 		}
-		sweep = append(sweep, v)
 	}
 	d, err := fgnvm.ParseDesign(*design)
 	if err != nil {
 		return err
 	}
 
-	// Baseline for normalization: same workload/core knobs, baseline
-	// design, the axis value left at default where that is meaningful.
-	baseOpts := fgnvm.Options{
-		Design: fgnvm.DesignBaseline, Benchmark: *bench,
-		Instructions: *instr, Seed: *seed,
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := fgnvm.SweepContext(ctx, fgnvm.SweepParams{
+		Axis: *axisName, Values: sweep, Design: d, Benchmark: *bench,
+		Instructions: *instr, Seed: *seed, Parallel: *parallel,
+	})
+	if err != nil {
+		return err
 	}
-	fmt.Printf("# axis=%s (%s) bench=%s design=%s n=%d\n", ax.name, ax.affects, *bench, *design, *instr)
+
+	fmt.Printf("# axis=%s (%s) bench=%s design=%s n=%d\n", ax.Name, ax.Affects, *bench, *design, *instr)
 	fmt.Println("value,ipc,speedup,rel_energy,avg_read_lat,p95_read_lat,bg_reads")
-	for _, v := range sweep {
-		o := fgnvm.Options{
-			Design: d, SAGs: 8, CDs: 2, Benchmark: *bench,
-			Instructions: *instr, Seed: *seed,
-		}
-		ax.apply(&o, v)
-		b := baseOpts
-		// Core-side and workload-side axes must hit the baseline too,
-		// or the normalization would mix effects.
-		switch ax.name {
-		case "cores", "rob", "mshrs", "tile":
-			ax.apply(&b, v)
-		}
-		base, err := fgnvm.Run(b)
-		if err != nil {
-			return fmt.Errorf("baseline at %s=%d: %w", ax.name, v, err)
-		}
-		r, err := fgnvm.Run(o)
-		if err != nil {
-			return fmt.Errorf("%s=%d: %w", ax.name, v, err)
-		}
+	for _, pt := range res.Points {
 		fmt.Printf("%d,%.4f,%.3f,%.3f,%.1f,%d,%d\n",
-			v, r.IPC, r.SpeedupOver(base), r.RelativeEnergy(base),
-			r.AvgReadLatency, r.P95ReadLatency, r.BackgroundedRds)
+			pt.Value, pt.IPC, pt.Speedup, pt.RelEnergy,
+			pt.AvgReadLatency, pt.P95ReadLatency, pt.BackgroundedRds)
 	}
 	return nil
 }

@@ -6,6 +6,8 @@
 package fgnvm
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -51,37 +53,45 @@ func (p *ExperimentParams) applyDefaults() {
 	}
 }
 
-// forEach runs fn for every benchmark index on a bounded worker pool
-// and returns the first error. Workers write into caller-preallocated
-// slots, so output order is deterministic regardless of scheduling.
-func forEach(benchmarks []string, workers int, fn func(i int, bench string) error) error {
-	type job struct {
-		i     int
-		bench string
-	}
-	jobs := make(chan job)
-	errs := make([]error, len(benchmarks))
+// forEach runs fn for every benchmark index on a bounded worker pool.
+// Workers write into caller-preallocated slots, so output order is
+// deterministic regardless of scheduling. All worker errors are
+// aggregated (in index order) with errors.Join, so a multi-benchmark
+// failure reports every failing run rather than only the first by
+// index. Cancelling ctx stops dispatching further work; its error is
+// included in the aggregate.
+func forEach(ctx context.Context, benchmarks []string, workers int, fn func(i int, bench string) error) error {
+	return forEachN(ctx, len(benchmarks), workers, func(i int) error {
+		return fn(i, benchmarks[i])
+	})
+}
+
+// forEachN is the index-only core of forEach, shared with the sweep
+// harness: run fn(0..n-1) on a bounded pool and join all errors.
+func forEachN(ctx context.Context, n, workers int, fn func(i int) error) error {
+	jobs := make(chan int)
+	errs := make([]error, n)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for j := range jobs {
-				errs[j.i] = fn(j.i, j.bench)
+			for i := range jobs {
+				errs[i] = fn(i)
 			}
 		}()
 	}
-	for i, b := range benchmarks {
-		jobs <- job{i, b}
+dispatch:
+	for i := 0; i < n; i++ {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return errors.Join(append(errs, ctx.Err())...)
 }
 
 // Figure4Row is one benchmark's bar group in Figure 4: IPC speedups
@@ -109,12 +119,18 @@ type Figure4Result struct {
 // units), and 8×2 FgNVM with the augmented multi-issue FR-FCFS, all
 // normalized to the baseline NVM prototype.
 func Figure4(p ExperimentParams) (Figure4Result, error) {
+	return Figure4Context(context.Background(), p)
+}
+
+// Figure4Context is Figure4 with cancellation: ctx aborts in-flight
+// simulations and stops dispatching further benchmarks.
+func Figure4Context(ctx context.Context, p ExperimentParams) (Figure4Result, error) {
 	p.applyDefaults()
 	var out Figure4Result
 	out.Rows = make([]Figure4Row, len(p.Benchmarks))
-	err := forEach(p.Benchmarks, p.Parallel, func(i int, bench string) error {
+	err := forEach(ctx, p.Benchmarks, p.Parallel, func(i int, bench string) error {
 		runOne := func(d Design) (Result, error) {
-			return Run(Options{
+			return RunContext(ctx, Options{
 				Design: d, SAGs: 8, CDs: 2,
 				Benchmark: bench, Instructions: p.Instructions, Seed: p.Seed,
 			})
@@ -188,11 +204,17 @@ type Figure5Result struct {
 // with 2, 8, and 32 column divisions (8 SAGs each) normalized to the
 // baseline that senses the full row buffer on every activation.
 func Figure5(p ExperimentParams) (Figure5Result, error) {
+	return Figure5Context(context.Background(), p)
+}
+
+// Figure5Context is Figure5 with cancellation: ctx aborts in-flight
+// simulations and stops dispatching further benchmarks.
+func Figure5Context(ctx context.Context, p ExperimentParams) (Figure5Result, error) {
 	p.applyDefaults()
 	var out Figure5Result
 	out.Rows = make([]Figure5Row, len(p.Benchmarks))
-	err := forEach(p.Benchmarks, p.Parallel, func(i int, bench string) error {
-		base, err := Run(Options{
+	err := forEach(ctx, p.Benchmarks, p.Parallel, func(i int, bench string) error {
+		base, err := RunContext(ctx, Options{
 			Design: DesignBaseline, Benchmark: bench,
 			Instructions: p.Instructions, Seed: p.Seed,
 		})
@@ -204,7 +226,7 @@ func Figure5(p ExperimentParams) (Figure5Result, error) {
 			cds  int
 			dest *float64
 		}{{2, &row.E8x2}, {8, &row.E8x8}, {32, &row.E8x32}} {
-			r, err := Run(Options{
+			r, err := RunContext(ctx, Options{
 				Design: DesignFgNVM, SAGs: 8, CDs: cfg.cds,
 				Benchmark: bench, Instructions: p.Instructions, Seed: p.Seed,
 			})
@@ -276,12 +298,17 @@ type SummaryResult struct {
 
 // Summary runs both figures and derives the headline numbers.
 func Summary(p ExperimentParams) (SummaryResult, error) {
+	return SummaryContext(context.Background(), p)
+}
+
+// SummaryContext is Summary with cancellation.
+func SummaryContext(ctx context.Context, p ExperimentParams) (SummaryResult, error) {
 	var s SummaryResult
 	var err error
-	if s.Fig4, err = Figure4(p); err != nil {
+	if s.Fig4, err = Figure4Context(ctx, p); err != nil {
 		return s, err
 	}
-	if s.Fig5, err = Figure5(p); err != nil {
+	if s.Fig5, err = Figure5Context(ctx, p); err != nil {
 		return s, err
 	}
 	s.PerfImprovementPct = (s.Fig4.GeoMeanMultiIssue - 1) * 100

@@ -1,6 +1,9 @@
 package fgnvm
 
 import (
+	"context"
+	"errors"
+	"strings"
 	"testing"
 )
 
@@ -93,6 +96,53 @@ func TestFigure4UnknownBenchmarkFails(t *testing.T) {
 	}
 	if _, err := Figure5(p); err == nil {
 		t.Fatal("unknown benchmark accepted by Figure5")
+	}
+}
+
+func TestForEachAggregatesAllErrors(t *testing.T) {
+	// Two broken benchmarks: the error must name both, not just the
+	// first by index (multi-benchmark failures used to be masked).
+	p := tinyParams()
+	p.Benchmarks = []string{"bogus-one", "mcf", "bogus-two"}
+	_, err := Figure4(p)
+	if err == nil {
+		t.Fatal("broken benchmarks accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "bogus-one") || !strings.Contains(msg, "bogus-two") {
+		t.Errorf("aggregated error missing a failure: %v", err)
+	}
+}
+
+func TestForEachNJoinsWorkerErrors(t *testing.T) {
+	errA := errors.New("worker A failed")
+	errB := errors.New("worker B failed")
+	err := forEachN(context.Background(), 4, 2, func(i int) error {
+		switch i {
+		case 1:
+			return errA
+		case 3:
+			return errB
+		}
+		return nil
+	})
+	if !errors.Is(err, errA) || !errors.Is(err, errB) {
+		t.Errorf("joined error lost a worker failure: %v", err)
+	}
+	if err := forEachN(context.Background(), 3, 2, func(int) error { return nil }); err != nil {
+		t.Errorf("all-success forEachN returned %v", err)
+	}
+}
+
+func TestFigure4ContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Figure4Context(ctx, tinyParams())
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled Figure4Context err = %v, want context.Canceled", err)
+	}
+	if _, err := Figure5Context(ctx, tinyParams()); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled Figure5Context err = %v, want context.Canceled", err)
 	}
 }
 

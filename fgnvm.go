@@ -27,7 +27,9 @@
 package fgnvm
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"strings"
 
 	"repro/internal/addr"
@@ -328,18 +330,21 @@ type Result struct {
 }
 
 // SpeedupOver returns this result's IPC relative to a baseline result.
+// A baseline with zero IPC has no meaningful ratio and yields NaN, so a
+// broken baseline run cannot masquerade as "no speedup".
 func (r Result) SpeedupOver(base Result) float64 {
 	if base.IPC == 0 {
-		return 0
+		return math.NaN()
 	}
 	return r.IPC / base.IPC
 }
 
 // RelativeEnergy returns this result's total energy relative to a
-// baseline result.
+// baseline result. A baseline with zero total energy (e.g. the
+// performance-only DRAM design) has no meaningful ratio and yields NaN.
 func (r Result) RelativeEnergy(base Result) float64 {
 	if base.Energy.TotalPJ == 0 {
-		return 0
+		return math.NaN()
 	}
 	return r.Energy.TotalPJ / base.Energy.TotalPJ
 }
@@ -414,6 +419,23 @@ func (o *Options) resolve() (addr.Geometry, core.AccessModes, error) {
 
 // Run executes one simulation to completion and returns its Result.
 func Run(o Options) (Result, error) {
+	return RunContext(context.Background(), o)
+}
+
+// ctxCheckMask throttles the cancellation poll in the main loop: ctx is
+// consulted once every 4096 controller cycles (~10 µs simulated), which
+// keeps the check off the profile while bounding the response to a
+// cancellation at a few microseconds of wall time.
+const ctxCheckMask = 1<<12 - 1
+
+// RunContext executes one simulation to completion, honouring ctx:
+// cancellation or deadline expiry stops the simulation loop promptly and
+// returns ctx's error. A run abandoned by its caller therefore stops
+// burning CPU instead of running to its retire budget.
+func RunContext(ctx context.Context, o Options) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	o.applyDefaults()
 	geom, modes, err := o.resolve()
 	if err != nil {
@@ -611,6 +633,11 @@ func Run(o Options) (Result, error) {
 	// budget and memory drains.
 	var now sim.Tick
 	for ; now < o.MaxCycles; now++ {
+		if now&ctxCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
+		}
 		eng.RunUntil(now)
 		allDone := true
 		for _, s := range slots {

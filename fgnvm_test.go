@@ -1,8 +1,12 @@
 package fgnvm
 
 import (
+	"context"
+	"errors"
+	"math"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/addr"
 	"repro/internal/timing"
@@ -247,9 +251,60 @@ func TestSpeedupAndRelativeEnergyHelpers(t *testing.T) {
 	if got := r.RelativeEnergy(base); got != 0.5 {
 		t.Errorf("RelativeEnergy = %v", got)
 	}
+	// Regression: a broken baseline (zero IPC / zero energy) must not
+	// masquerade as "no speedup" — the ratio is meaningless, so NaN.
 	var zero Result
-	if r.SpeedupOver(zero) != 0 || r.RelativeEnergy(zero) != 0 {
-		t.Error("zero baseline should yield 0, not a division panic")
+	if !math.IsNaN(r.SpeedupOver(zero)) {
+		t.Errorf("SpeedupOver(zero baseline) = %v, want NaN", r.SpeedupOver(zero))
+	}
+	if !math.IsNaN(r.RelativeEnergy(zero)) {
+		t.Errorf("RelativeEnergy(zero baseline) = %v, want NaN", r.RelativeEnergy(zero))
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	// Already-cancelled context: no work at all.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, Options{Benchmark: "mcf"}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled RunContext err = %v, want context.Canceled", err)
+	}
+
+	// Cancellation mid-run: the simulation loop must notice promptly
+	// instead of running out its full retire budget.
+	ctx, cancel = context.WithCancel(context.Background())
+	started := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		close(started)
+		_, err := RunContext(ctx, Options{
+			Design: DesignFgNVM, Benchmark: "mcf", Instructions: 50_000_000,
+		})
+		done <- err
+	}()
+	<-started
+	time.Sleep(10 * time.Millisecond) // let the run enter its main loop
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("mid-run cancel err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled run did not return promptly")
+	}
+
+	// Run (no context) still works and equals RunContext(Background).
+	a, err := Run(Options{Benchmark: "mcf", Instructions: tinyInstr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunContext(context.Background(), Options{Benchmark: "mcf", Instructions: tinyInstr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("Run and RunContext(Background) disagree on identical Options")
 	}
 }
 

@@ -1,0 +1,76 @@
+// Result cache: a fixed-capacity LRU keyed by the canonical request
+// hash, storing the exact serialized response bytes. Simulations are
+// deterministic (same resolved Options ⇒ identical Result), so a hit
+// is byte-identical to re-running the simulation — the property the
+// serving layer's throughput rests on.
+
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a thread-safe LRU of serialized responses. A Cache with
+// capacity < 1 is disabled: Get always misses and Add is a no-op.
+type Cache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+// NewCache returns an LRU holding at most capacity entries.
+func NewCache(capacity int) *Cache {
+	return &Cache{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached bytes for key, marking it most recently used.
+// Callers must not mutate the returned slice.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Add stores val under key, evicting the least recently used entry
+// when over capacity. An existing entry is replaced.
+func (c *Cache) Add(key string, val []byte) {
+	if c.cap < 1 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, val: val})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.items, last.Value.(*cacheEntry).key)
+	}
+}
+
+// Len reports the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

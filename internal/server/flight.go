@@ -1,0 +1,96 @@
+// Request coalescing: a singleflight variant with reference-counted
+// cancellation. Identical requests arriving while an equivalent
+// simulation is in flight join it instead of starting their own run;
+// the underlying work is cancelled only when the *last* interested
+// waiter has gone away, so one impatient client cannot kill a result
+// that other clients are still waiting for.
+
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup deduplicates concurrent work by key.
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+
+	// onCoalesce, when set, is invoked each time a caller joins an
+	// existing flight — at join time, so observers (the /metrics
+	// coalesced counter) see waiters while the flight is still running.
+	onCoalesce func()
+}
+
+// flight is one in-progress computation and its waiters.
+type flight struct {
+	cancel  context.CancelFunc
+	waiters int
+	done    chan struct{} // closed when val/err are set
+	val     []byte
+	err     error
+}
+
+// do returns the result of fn for key, coalescing concurrent calls:
+// the first caller starts fn on a context owned by the flight (values
+// inherited from ctx, lifetime not), later callers wait for the same
+// result and report shared=true. A caller whose own ctx ends detaches
+// with ctx's error; when the last waiter detaches, the flight context
+// is cancelled so the abandoned work stops promptly.
+func (g *flightGroup) do(ctx context.Context, key string, fn func(context.Context) ([]byte, error)) (val []byte, shared bool, err error) {
+	g.mu.Lock()
+	if g.flights == nil {
+		g.flights = make(map[string]*flight)
+	}
+	if f, ok := g.flights[key]; ok {
+		f.waiters++
+		g.mu.Unlock()
+		if g.onCoalesce != nil {
+			g.onCoalesce()
+		}
+		return f.wait(ctx, g, key, true)
+	}
+	fctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	f := &flight{cancel: cancel, waiters: 1, done: make(chan struct{})}
+	g.flights[key] = f
+	g.mu.Unlock()
+
+	go func() {
+		v, err := fn(fctx)
+		g.mu.Lock()
+		f.val, f.err = v, err
+		if g.flights[key] == f {
+			delete(g.flights, key)
+		}
+		g.mu.Unlock()
+		close(f.done)
+		cancel()
+	}()
+	return f.wait(ctx, g, key, false)
+}
+
+// wait blocks until the flight completes or ctx ends, whichever first.
+func (f *flight) wait(ctx context.Context, g *flightGroup, key string, shared bool) ([]byte, bool, error) {
+	select {
+	case <-f.done:
+		return f.val, shared, f.err
+	case <-ctx.Done():
+		g.detach(key, f)
+		return nil, shared, ctx.Err()
+	}
+}
+
+// detach removes one waiter; the last one out cancels the flight.
+func (g *flightGroup) detach(key string, f *flight) {
+	g.mu.Lock()
+	f.waiters--
+	last := f.waiters == 0
+	if last && g.flights[key] == f {
+		delete(g.flights, key)
+	}
+	g.mu.Unlock()
+	if last {
+		f.cancel()
+	}
+}

@@ -1,0 +1,58 @@
+// Service observability: plain-text counters and gauges served at
+// GET /metrics, plus a log-bucketed wall-clock latency histogram for
+// completed simulations (reusing internal/stats, the same machinery
+// that reports the simulated read-latency percentiles).
+
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/stats"
+)
+
+// metrics holds the service counters. Counters are atomics so the hot
+// path never contends; the histogram has its own mutex.
+type metrics struct {
+	requests    atomic.Uint64 // requests accepted by a /v1 endpoint
+	runsStarted atomic.Uint64 // simulations actually begun on a worker
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+	coalesced   atomic.Uint64 // requests that joined an in-flight run
+	rejected    atomic.Uint64 // 429s from a saturated pool
+	canceled    atomic.Uint64 // client cancellations and timeouts
+	errored     atomic.Uint64 // internal failures
+
+	mu        sync.Mutex
+	latencyMS stats.Histogram // wall-clock per completed run, milliseconds
+}
+
+// observeLatency records one completed run's wall-clock time.
+func (m *metrics) observeLatency(ms uint64) {
+	m.mu.Lock()
+	m.latencyMS.Observe(ms)
+	m.mu.Unlock()
+}
+
+// writeTo renders the metrics in a flat "name value" text format.
+func (m *metrics) writeTo(w io.Writer, queueDepth int, inflight int64) {
+	fmt.Fprintf(w, "fgnvm_requests_total %d\n", m.requests.Load())
+	fmt.Fprintf(w, "fgnvm_runs_started_total %d\n", m.runsStarted.Load())
+	fmt.Fprintf(w, "fgnvm_cache_hits_total %d\n", m.cacheHits.Load())
+	fmt.Fprintf(w, "fgnvm_cache_misses_total %d\n", m.cacheMisses.Load())
+	fmt.Fprintf(w, "fgnvm_coalesced_total %d\n", m.coalesced.Load())
+	fmt.Fprintf(w, "fgnvm_rejected_total %d\n", m.rejected.Load())
+	fmt.Fprintf(w, "fgnvm_canceled_total %d\n", m.canceled.Load())
+	fmt.Fprintf(w, "fgnvm_errors_total %d\n", m.errored.Load())
+	fmt.Fprintf(w, "fgnvm_queue_depth %d\n", queueDepth)
+	fmt.Fprintf(w, "fgnvm_inflight_runs %d\n", inflight)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fmt.Fprintf(w, "fgnvm_run_latency_ms_count %d\n", m.latencyMS.Count())
+	fmt.Fprintf(w, "fgnvm_run_latency_ms_mean %.1f\n", m.latencyMS.Mean())
+	fmt.Fprintf(w, "fgnvm_run_latency_ms_p50 %d\n", m.latencyMS.Percentile(50))
+	fmt.Fprintf(w, "fgnvm_run_latency_ms_p95 %d\n", m.latencyMS.Percentile(95))
+}

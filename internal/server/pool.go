@@ -1,0 +1,94 @@
+// Bounded worker pool with queue-depth backpressure: the execution
+// engine of the serving layer. Admission is try-only — a full queue is
+// reported to the caller immediately (mapped to HTTP 429 upstream)
+// instead of blocking the accept loop, which is what keeps an
+// overloaded service responsive.
+
+package server
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrSaturated is returned by Pool.TrySubmit when every worker is busy
+// and the queue is at capacity.
+var ErrSaturated = errors.New("server: worker pool saturated")
+
+// Pool runs submitted tasks on a fixed set of worker goroutines with a
+// bounded pending queue.
+type Pool struct {
+	mu     sync.Mutex
+	queue  chan func()
+	closed bool
+
+	wg       sync.WaitGroup
+	inflight atomic.Int64
+}
+
+// NewPool starts a pool of workers goroutines with room for depth
+// queued tasks beyond the ones executing. workers < 1 is treated as 1,
+// depth < 0 as 0; at depth 0 a task is admitted only when some worker
+// is idle and ready to take it immediately.
+func NewPool(workers, depth int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	p := &Pool{queue: make(chan func(), depth)}
+	for w := 0; w < workers; w++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for task := range p.queue {
+				p.inflight.Add(1)
+				task()
+				p.inflight.Add(-1)
+			}
+		}()
+	}
+	return p
+}
+
+// TrySubmit enqueues task for execution, or returns ErrSaturated
+// without blocking when the queue is full (or the pool is closed).
+func (p *Pool) TrySubmit(task func()) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrSaturated
+	}
+	select {
+	case p.queue <- task:
+		return nil
+	default:
+		return ErrSaturated
+	}
+}
+
+// InFlight reports the number of tasks currently executing.
+func (p *Pool) InFlight() int64 { return p.inflight.Load() }
+
+// QueueLen reports the number of tasks admitted but not yet executing.
+func (p *Pool) QueueLen() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue)
+}
+
+// Close stops admission and waits for every admitted task to finish.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	close(p.queue)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,292 @@
+// Package server is the simulation-as-a-service layer: an HTTP/JSON
+// front-end over the fgnvm library that turns the simulator's
+// determinism into serving throughput. Three mechanisms stack per
+// request:
+//
+//  1. an LRU cache of serialized results keyed by a canonical hash of
+//     the resolved request (identical Options ⇒ identical Result, so a
+//     hit is byte-identical to re-running);
+//  2. singleflight coalescing, so N concurrent identical requests cost
+//     one simulation — with reference-counted cancellation, so the run
+//     is aborted only when the last interested client has gone;
+//  3. a bounded worker pool with queue-depth backpressure — a full
+//     queue answers 429 + Retry-After instead of accepting unbounded
+//     work.
+//
+// Cancellation is honest end to end: a disconnected client or an
+// expired per-request timeout propagates through context into the
+// simulation loop (fgnvm.RunContext), freeing the worker promptly.
+//
+// Endpoints: POST /v1/run, /v1/figure4, /v1/sweep; GET /healthz,
+// /metrics (plain-text counters; see metrics.go).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	fgnvm "repro"
+)
+
+// statusClientClosedRequest is nginx's non-standard code for "client
+// went away before the response": the honest status for a cancelled
+// run (nobody will read the body, but logs and tests see it).
+const statusClientClosedRequest = 499
+
+// Config sizes the service. Zero fields take the documented defaults.
+type Config struct {
+	// Workers is the number of simulations executing concurrently
+	// (default GOMAXPROCS).
+	Workers int
+	// QueueDepth is how many admitted requests may wait for a worker
+	// before new ones are rejected with 429 (default 64; negative for
+	// no queue at all — reject unless a worker is idle).
+	QueueDepth int
+	// CacheEntries is the result-cache capacity (default 256; < 0
+	// disables caching).
+	CacheEntries int
+	// DefaultTimeout bounds each request's wall-clock time when the
+	// request does not set timeout_ms (0 = unbounded).
+	DefaultTimeout time.Duration
+	// MaxInstructions rejects requests asking for longer simulations
+	// (0 = unlimited) — an admission guard so one request cannot pin a
+	// worker for hours.
+	MaxInstructions uint64
+}
+
+func (c *Config) applyDefaults() {
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+}
+
+// Server is the HTTP handler. Create with New; Close drains in-flight
+// runs.
+type Server struct {
+	cfg     Config
+	pool    *Pool
+	cache   *Cache
+	flights flightGroup
+	metrics metrics
+	mux     *http.ServeMux
+
+	// runFn is the simulation entry point, replaceable in tests.
+	runFn func(context.Context, fgnvm.Options) (fgnvm.Result, error)
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg.applyDefaults()
+	s := &Server{
+		cfg:   cfg,
+		pool:  NewPool(cfg.Workers, cfg.QueueDepth),
+		cache: NewCache(cfg.CacheEntries),
+		runFn: fgnvm.RunContext,
+	}
+	s.flights.onCoalesce = func() { s.metrics.coalesced.Add(1) }
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/figure4", s.handleFigure4)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close stops the worker pool after draining admitted runs.
+func (s *Server) Close() { s.pool.Close() }
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.metrics.writeTo(w, s.pool.QueueLen(), s.pool.InFlight())
+}
+
+// maxBodyBytes bounds request bodies; simulation requests are tiny.
+const maxBodyBytes = 1 << 20
+
+// decodeJSON parses the body strictly (unknown fields are 400s, so a
+// typoed knob cannot silently run the wrong simulation).
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	norm, opts, err := req.normalize()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if s.cfg.MaxInstructions > 0 && norm.Instructions > s.cfg.MaxInstructions {
+		http.Error(w, fmt.Sprintf("instructions %d exceeds server limit %d",
+			norm.Instructions, s.cfg.MaxInstructions), http.StatusBadRequest)
+		return
+	}
+	s.serveCached(w, r, norm.cacheKey(), req.TimeoutMS, func(ctx context.Context) (any, error) {
+		return s.runFn(ctx, opts)
+	})
+}
+
+func (s *Server) handleFigure4(w http.ResponseWriter, r *http.Request) {
+	var req Figure4Request
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	norm, params, err := req.normalize()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if s.cfg.MaxInstructions > 0 && norm.Instructions > s.cfg.MaxInstructions {
+		http.Error(w, fmt.Sprintf("instructions %d exceeds server limit %d",
+			norm.Instructions, s.cfg.MaxInstructions), http.StatusBadRequest)
+		return
+	}
+	s.serveCached(w, r, norm.cacheKey(), req.TimeoutMS, func(ctx context.Context) (any, error) {
+		return fgnvm.Figure4Context(ctx, params)
+	})
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	norm, params, err := req.normalize()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if s.cfg.MaxInstructions > 0 && norm.Instructions > s.cfg.MaxInstructions {
+		http.Error(w, fmt.Sprintf("instructions %d exceeds server limit %d",
+			norm.Instructions, s.cfg.MaxInstructions), http.StatusBadRequest)
+		return
+	}
+	s.serveCached(w, r, norm.cacheKey(), req.TimeoutMS, func(ctx context.Context) (any, error) {
+		return fgnvm.SweepContext(ctx, params)
+	})
+}
+
+// serveCached is the shared request path: cache lookup, coalescing,
+// pool admission, execution with cancellation, response. compute runs
+// on a pool worker under a context that ends when every client
+// interested in this key has gone away.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string, timeoutMS int64, compute func(context.Context) (any, error)) {
+	s.metrics.requests.Add(1)
+	if b, ok := s.cache.Get(key); ok {
+		s.metrics.cacheHits.Add(1)
+		writeJSON(w, "hit", b)
+		return
+	}
+	s.metrics.cacheMisses.Add(1)
+
+	ctx := r.Context()
+	timeout := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		timeout = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	b, shared, err := s.flights.do(ctx, key, func(fctx context.Context) ([]byte, error) {
+		type outcome struct {
+			b   []byte
+			err error
+		}
+		ch := make(chan outcome, 1)
+		task := func() {
+			// The flight may have been abandoned while this task sat in
+			// the queue; don't start a doomed simulation.
+			if err := fctx.Err(); err != nil {
+				ch <- outcome{nil, err}
+				return
+			}
+			s.metrics.runsStarted.Add(1)
+			start := time.Now()
+			v, err := compute(fctx)
+			if err != nil {
+				ch <- outcome{nil, err}
+				return
+			}
+			s.metrics.observeLatency(uint64(time.Since(start).Milliseconds()))
+			data, err := json.Marshal(v)
+			if err != nil {
+				ch <- outcome{nil, err}
+				return
+			}
+			ch <- outcome{append(data, '\n'), nil}
+		}
+		if err := s.pool.TrySubmit(task); err != nil {
+			return nil, err
+		}
+		o := <-ch
+		return o.b, o.err
+	})
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrSaturated):
+		s.metrics.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "server saturated: all workers busy and queue full", http.StatusTooManyRequests)
+		return
+	case errors.Is(err, context.DeadlineExceeded):
+		s.metrics.canceled.Add(1)
+		http.Error(w, "simulation deadline exceeded", http.StatusGatewayTimeout)
+		return
+	case errors.Is(err, context.Canceled):
+		s.metrics.canceled.Add(1)
+		w.WriteHeader(statusClientClosedRequest)
+		return
+	default:
+		s.metrics.errored.Add(1)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.cache.Add(key, b)
+	disposition := "miss"
+	if shared {
+		disposition = "coalesced"
+	}
+	writeJSON(w, disposition, b)
+}
+
+// writeJSON sends pre-serialized JSON with the cache disposition in a
+// header. Cold and cached responses write the same byte slice, so a
+// hit is byte-identical to the run that populated it.
+func writeJSON(w http.ResponseWriter, disposition string, b []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", disposition)
+	w.Write(b)
+}

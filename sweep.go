@@ -1,0 +1,181 @@
+// Design-space sweep harness: one-dimensional parameter sweeps with
+// baseline-normalized outputs, used by cmd/fgnvm-sweep and by the
+// serving layer's /v1/sweep endpoint. Points run concurrently on the
+// same bounded pool as the figure harnesses; results land in
+// caller-visible order regardless of scheduling, and each simulation is
+// deterministic, so output is identical at any parallelism.
+
+package fgnvm
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+)
+
+// SweepAxis describes one sweepable parameter: how a value applies to
+// an Options set, its default value list, and whether the baseline run
+// used for normalization must see the value too (core-side and
+// workload-side axes must, or the normalization would mix effects).
+type SweepAxis struct {
+	Name    string
+	Affects string
+	Default []int
+	// appliesToBaseline marks axes whose value changes the workload or
+	// the CPU rather than the memory design under test.
+	appliesToBaseline bool
+	apply             func(o *Options, v int)
+}
+
+// SweepAxes returns the supported sweep axes in presentation order.
+func SweepAxes() []SweepAxis {
+	return []SweepAxis{
+		{Name: "cds", Affects: "column divisions", Default: []int{1, 2, 4, 8, 16, 32},
+			apply: func(o *Options, v int) { o.CDs = v }},
+		{Name: "sags", Affects: "subarray groups", Default: []int{2, 4, 8, 16, 32},
+			apply: func(o *Options, v int) { o.SAGs = v }},
+		{Name: "lanes", Affects: "issue lanes", Default: []int{1, 2, 4, 8},
+			apply: func(o *Options, v int) { o.IssueLanes = v }},
+		{Name: "cores", Affects: "cores sharing memory", Default: []int{1, 2, 4}, appliesToBaseline: true,
+			apply: func(o *Options, v int) { o.Cores = v }},
+		{Name: "rob", Affects: "reorder buffer entries", Default: []int{64, 128, 256, 512}, appliesToBaseline: true,
+			apply: func(o *Options, v int) { o.Core.ROB = v }},
+		{Name: "mshrs", Affects: "outstanding misses", Default: []int{8, 16, 32, 64}, appliesToBaseline: true,
+			apply: func(o *Options, v int) { o.Core.MSHRs = v }},
+		{Name: "tile", Affects: "device tile side (cells)", Default: []int{512, 1024, 2048, 4096}, appliesToBaseline: true,
+			apply: func(o *Options, v int) { o.Device = &DeviceParams{TileRows: v, TileCols: v} }},
+	}
+}
+
+// SweepAxisByName finds a sweep axis by name.
+func SweepAxisByName(name string) (SweepAxis, error) {
+	var names []string
+	for _, a := range SweepAxes() {
+		if a.Name == name {
+			return a, nil
+		}
+		names = append(names, a.Name)
+	}
+	return SweepAxis{}, fmt.Errorf("fgnvm: unknown sweep axis %q (want one of %s)",
+		name, strings.Join(names, ", "))
+}
+
+// SweepParams configures one sweep. Zero values take the axis defaults,
+// the fgnvm design, the mcf benchmark, 100 000 instructions, seed 1.
+type SweepParams struct {
+	// Axis names the swept parameter (see SweepAxes).
+	Axis string
+	// Values are the axis values to evaluate (default: axis-specific).
+	Values []int
+	// Design is the design under sweep (default DesignFgNVM).
+	Design Design
+	// Benchmark is the workload profile (default "mcf").
+	Benchmark string
+	// Instructions per run (default 100 000) and workload Seed (default 1).
+	Instructions uint64
+	Seed         uint64
+	// Parallel is the number of sweep points simulated concurrently
+	// (default GOMAXPROCS, capped at the point count). Results are
+	// identical at any width.
+	Parallel int
+}
+
+func (p *SweepParams) applyDefaults(ax SweepAxis) {
+	if len(p.Values) == 0 {
+		p.Values = ax.Default
+	}
+	if p.Benchmark == "" {
+		p.Benchmark = "mcf"
+	}
+	if p.Instructions == 0 {
+		p.Instructions = 100_000
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.Parallel == 0 {
+		p.Parallel = runtime.GOMAXPROCS(0)
+	}
+	if p.Parallel > len(p.Values) {
+		p.Parallel = len(p.Values)
+	}
+	if p.Parallel < 1 {
+		p.Parallel = 1
+	}
+}
+
+// SweepPoint is one row of a sweep: the design's result at one axis
+// value, normalized to a baseline run at the same workload/core knobs.
+type SweepPoint struct {
+	Value           int     `json:"value"`
+	IPC             float64 `json:"ipc"`
+	Speedup         float64 `json:"speedup"`
+	RelEnergy       float64 `json:"rel_energy"`
+	AvgReadLatency  float64 `json:"avg_read_lat"`
+	P95ReadLatency  uint64  `json:"p95_read_lat"`
+	BackgroundedRds uint64  `json:"bg_reads"`
+}
+
+// SweepResult is a full sweep in axis-value order.
+type SweepResult struct {
+	Axis      string       `json:"axis"`
+	Design    string       `json:"design"`
+	Benchmark string       `json:"benchmark"`
+	Points    []SweepPoint `json:"points"`
+}
+
+// Sweep runs a one-dimensional design-space sweep.
+func Sweep(p SweepParams) (SweepResult, error) {
+	return SweepContext(context.Background(), p)
+}
+
+// SweepContext is Sweep with cancellation: ctx aborts in-flight
+// simulations and stops dispatching further points.
+func SweepContext(ctx context.Context, p SweepParams) (SweepResult, error) {
+	ax, err := SweepAxisByName(p.Axis)
+	if err != nil {
+		return SweepResult{}, err
+	}
+	p.applyDefaults(ax)
+	out := SweepResult{
+		Axis:      ax.Name,
+		Design:    p.Design.String(),
+		Benchmark: p.Benchmark,
+		Points:    make([]SweepPoint, len(p.Values)),
+	}
+	err = forEachN(ctx, len(p.Values), p.Parallel, func(i int) error {
+		v := p.Values[i]
+		o := Options{
+			Design: p.Design, SAGs: 8, CDs: 2, Benchmark: p.Benchmark,
+			Instructions: p.Instructions, Seed: p.Seed,
+		}
+		ax.apply(&o, v)
+		b := Options{
+			Design: DesignBaseline, Benchmark: p.Benchmark,
+			Instructions: p.Instructions, Seed: p.Seed,
+		}
+		if ax.appliesToBaseline {
+			ax.apply(&b, v)
+		}
+		base, err := RunContext(ctx, b)
+		if err != nil {
+			return fmt.Errorf("sweep baseline at %s=%d: %w", ax.Name, v, err)
+		}
+		r, err := RunContext(ctx, o)
+		if err != nil {
+			return fmt.Errorf("sweep %s=%d: %w", ax.Name, v, err)
+		}
+		out.Points[i] = SweepPoint{
+			Value:           v,
+			IPC:             r.IPC,
+			Speedup:         r.SpeedupOver(base),
+			RelEnergy:       r.RelativeEnergy(base),
+			AvgReadLatency:  r.AvgReadLatency,
+			P95ReadLatency:  r.P95ReadLatency,
+			BackgroundedRds: r.BackgroundedRds,
+		}
+		return nil
+	})
+	return out, err
+}
