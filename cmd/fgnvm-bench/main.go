@@ -4,6 +4,7 @@
 //	fgnvm-bench -fig 5          # Figure 5: relative memory energy
 //	fgnvm-bench -table 1        # Table 1: area overheads
 //	fgnvm-bench -summary        # headline numbers vs the paper's claims
+//	fgnvm-bench -stall-report   # stall attribution across the design points
 //	fgnvm-bench -all            # everything
 //
 // Add -csv for machine-readable output and -n to change the per-run
@@ -34,6 +35,7 @@ func run() error {
 		table   = flag.Int("table", 0, "table to regenerate (1)")
 		summary = flag.Bool("summary", false, "print headline numbers vs paper claims")
 		reli    = flag.Bool("reliability", false, "print the Section 3.2 soft-error analysis")
+		stalls  = flag.Bool("stall-report", false, "print the stall-attribution comparison across design points")
 		all     = flag.Bool("all", false, "regenerate everything")
 		n       = flag.Uint64("n", 100_000, "instructions per run")
 		seed    = flag.Uint64("seed", 1, "workload seed")
@@ -72,6 +74,12 @@ func run() error {
 	}
 	if *all || *reli {
 		if err := printReliability(*csv); err != nil {
+			return err
+		}
+		ran = true
+	}
+	if *all || *stalls {
+		if err := printStallStory(p, *csv); err != nil {
 			return err
 		}
 		ran = true
@@ -172,6 +180,32 @@ func printReliability(csv bool) error {
 	fmt.Println("into one tile concentrates multi-bit upsets in one ECC word.")
 	fmt.Println()
 	return t.Render(os.Stdout)
+}
+
+func printStallStory(p fgnvm.ExperimentParams, csv bool) error {
+	res, err := fgnvm.StallStory(p)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("design", "IPC", "sag-conflict", "cd-conflict", "bus-conflict", "write-drain", "ctrl-idle", "queued-wait")
+	for _, r := range res.Rows {
+		s := r.Stalls
+		t.AddRowValues(r.Label, r.IPC,
+			s.SAGConflict, s.CDConflict, s.BusConflict, s.WriteDrain,
+			s.ControllerIdle, s.QueuedWaitCycles)
+	}
+	if csv {
+		return t.CSV(os.Stdout)
+	}
+	fmt.Printf("Stall attribution on %s (cycles queued requests waited, by blocking cause)\n", res.Benchmark)
+	fmt.Println()
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Println("Multi-Activation moves SAG/CD-conflict waiting onto the shared bus;")
+	fmt.Println("Multi-Issue widens the bus and drains the bus-conflict bucket.")
+	return nil
 }
 
 func printSummary(p fgnvm.ExperimentParams) error {

@@ -21,6 +21,7 @@ import (
 	fgnvm "repro"
 	"repro/internal/addr"
 	"repro/internal/config"
+	"repro/internal/report"
 	"repro/internal/timing"
 	"repro/internal/trace"
 )
@@ -51,6 +52,8 @@ func run() error {
 		printCfg   = flag.Bool("print-config", false, "print the Table 2 setup and exit")
 		jsonOut    = flag.Bool("json", false, "print the result as JSON")
 		list       = flag.Bool("list", false, "list benchmark profiles and exit")
+		traceOut   = flag.String("trace-out", "", "write a Perfetto/Chrome trace-event JSON file (open in ui.perfetto.dev)")
+		stallRep   = flag.Bool("stall-report", false, "print the stall-attribution breakdown and per-tile heatmaps")
 	)
 	flag.Parse()
 
@@ -153,9 +156,31 @@ func run() error {
 		opts.Benchmark = *bench
 	}
 
+	var traceW *os.File
+	if *stallRep || *traceOut != "" {
+		opts.Telemetry = &fgnvm.TelemetryOptions{
+			Attribution: *stallRep,
+			Occupancy:   *stallRep,
+		}
+		if *traceOut != "" {
+			traceW, err = os.Create(*traceOut)
+			if err != nil {
+				return err
+			}
+			defer traceW.Close()
+			opts.Telemetry.TraceWriter = traceW
+		}
+	}
+
 	res, err := fgnvm.Run(opts)
 	if err != nil {
 		return err
+	}
+	if traceW != nil {
+		if err := traceW.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "fgnvm-sim: wrote %d trace events to %s\n", res.TraceEvents, *traceOut)
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -163,7 +188,43 @@ func run() error {
 		return enc.Encode(res)
 	}
 	printResult(res)
+	if *stallRep {
+		printStallReport(res)
+	}
 	return nil
+}
+
+// printStallReport renders the attribution breakdown and the per-tile
+// occupancy heatmap produced by Options.Telemetry.
+func printStallReport(r fgnvm.Result) {
+	if r.Stalls == nil {
+		fmt.Println("\n(no stall attribution: design is not instrumented)")
+		return
+	}
+	s := r.Stalls
+	fmt.Println("\nStall attribution (cycles queued requests spent waiting, by cause):")
+	t := report.NewTable("cause", "cycles", "share")
+	total := s.Sum()
+	addRow := func(name string, v uint64) {
+		share := "-"
+		if total > 0 {
+			share = fmt.Sprintf("%.1f%%", float64(v)/float64(total)*100)
+		}
+		t.AddRowValues(name, v, share)
+	}
+	addRow("sag-conflict", s.SAGConflict)
+	addRow("cd-conflict", s.CDConflict)
+	addRow("bus-conflict", s.BusConflict)
+	addRow("write-drain", s.WriteDrain)
+	addRow("controller-idle", s.ControllerIdle)
+	t.AddRowValues("total queued-wait", s.QueuedWaitCycles, "")
+	t.AddRowValues("queue-full rejects", s.QueueFull, "(outside sum)")
+	t.Render(os.Stdout)
+	if len(r.TileOccupancy) > 0 {
+		fmt.Println()
+		report.NewHeatmap("Tile occupancy (device busy cycles per SAG x CD tile, all banks):",
+			"sag", "cd", r.TileOccupancy).Render(os.Stdout)
+	}
 }
 
 func printResult(r fgnvm.Result) {

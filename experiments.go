@@ -301,6 +301,75 @@ func Summary(p ExperimentParams) (SummaryResult, error) {
 	return SummaryContext(context.Background(), p)
 }
 
+// StallStoryRow is one design point of the stall-attribution
+// experiment: where queued requests spent their waiting cycles under
+// that design, plus its IPC for context.
+type StallStoryRow struct {
+	Label  string
+	Design Design
+	IPC    float64
+	Stalls StallBreakdown
+}
+
+// StallStoryResult is the full experiment: the Section 4 serialization
+// story told by the attribution engine on one write-heavy benchmark.
+type StallStoryResult struct {
+	Benchmark string
+	Rows      []StallStoryRow
+}
+
+// StallStory runs the stall-attribution experiment on a write-heavy
+// benchmark (default lbm): the baseline bank, 8×2 FgNVM with
+// Multi-Activation ablated, full 8×2 FgNVM, and FgNVM with Multi-Issue.
+// The expected mechanism (asserted by the regression tests, reported in
+// EXPERIMENTS.md): Multi-Activation moves stalls out of the SAG/CD
+// conflict buckets into bus-conflict, and Multi-Issue drains the
+// bus-conflict bucket.
+func StallStory(p ExperimentParams) (StallStoryResult, error) {
+	return StallStoryContext(context.Background(), p)
+}
+
+// StallStoryContext is StallStory with cancellation. Only the first
+// entry of p.Benchmarks is used (default "lbm", the write-heaviest
+// profile, where write-induced serialization is starkest).
+func StallStoryContext(ctx context.Context, p ExperimentParams) (StallStoryResult, error) {
+	if p.Benchmarks == nil {
+		p.Benchmarks = []string{"lbm"}
+	}
+	p.applyDefaults()
+	out := StallStoryResult{Benchmark: p.Benchmarks[0]}
+	noMA := &AccessModeSet{PartialActivation: true, BackgroundedWrites: true}
+	points := []struct {
+		label  string
+		design Design
+		modes  *AccessModeSet
+	}{
+		{"baseline", DesignBaseline, nil},
+		{"fgnvm-noMA", DesignFgNVM, noMA},
+		{"fgnvm", DesignFgNVM, nil},
+		{"fgnvm-multiissue", DesignFgNVMMultiIssue, nil},
+	}
+	out.Rows = make([]StallStoryRow, len(points))
+	err := forEachN(ctx, len(points), min(p.Parallel, len(points)), func(i int) error {
+		pt := points[i]
+		r, err := RunContext(ctx, Options{
+			Design: pt.design, SAGs: 8, CDs: 2, Modes: pt.modes,
+			Benchmark: out.Benchmark, Instructions: p.Instructions, Seed: p.Seed,
+			Telemetry: &TelemetryOptions{Attribution: true},
+		})
+		if err != nil {
+			return fmt.Errorf("stallstory %s: %w", pt.label, err)
+		}
+		row := StallStoryRow{Label: pt.label, Design: pt.design, IPC: r.IPC}
+		if r.Stalls != nil {
+			row.Stalls = *r.Stalls
+		}
+		out.Rows[i] = row
+		return nil
+	})
+	return out, err
+}
+
 // SummaryContext is Summary with cancellation.
 func SummaryContext(ctx context.Context, p ExperimentParams) (SummaryResult, error) {
 	var s SummaryResult

@@ -41,6 +41,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/energy"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/timing"
 	"repro/internal/trace"
 )
@@ -183,6 +184,13 @@ type Options struct {
 	// MaxCycles aborts a run that exceeds this many memory cycles
 	// (default 2 billion — a deadlock backstop, not a tuning knob).
 	MaxCycles sim.Tick
+
+	// Telemetry, when non-nil, attaches the observability subsystem:
+	// stall attribution (Result.Stalls), the per-tile occupancy matrix
+	// (Result.TileOccupancy), and Perfetto trace export. Nil keeps all
+	// simulator hooks on their zero-allocation disabled path. Ignored
+	// by DesignDRAM (the reference system is not instrumented).
+	Telemetry *TelemetryOptions
 }
 
 // AccessModeSet selects which of the paper's three access modes are
@@ -327,6 +335,16 @@ type Result struct {
 	StallCycles    uint64
 
 	Energy EnergyBreakdown
+
+	// Stalls breaks queued waiting down by blocking cause. Populated
+	// only when Options.Telemetry.Attribution was set.
+	Stalls *StallBreakdown `json:",omitempty"`
+	// TileOccupancy is the [SAG][CD] busy-cycle matrix (summed over
+	// banks). Populated only when Options.Telemetry.Occupancy was set.
+	TileOccupancy [][]uint64 `json:",omitempty"`
+	// TraceEvents is the number of events exported to
+	// Options.Telemetry.TraceWriter (0 when tracing was off).
+	TraceEvents int `json:",omitempty"`
 }
 
 // SpeedupOver returns this result's IPC relative to a baseline result.
@@ -561,6 +579,9 @@ func RunContext(ctx context.Context, o Options) (Result, error) {
 	var memsys memDevice
 	var ctrl *controller.Controller
 	var dsys *dram.System
+	var telAtt *telemetry.Attribution
+	var telOcc *telemetry.Occupancy
+	var telTrc *telemetry.Trace
 	if o.Design == DesignDRAM {
 		dsys, err = dram.New(dram.Config{
 			Geom: geom, Tim: dram.Defaults(),
@@ -571,11 +592,36 @@ func RunContext(ctx context.Context, o Options) (Result, error) {
 		}
 		memsys = dsys
 	} else {
+		// Telemetry consumers attach before the controller is built so
+		// every bank is born with its sink. DesignDRAM skips this branch
+		// entirely, so Telemetry is a documented no-op there.
+		var sink telemetry.Sink
+		if o.Telemetry != nil {
+			var fan telemetry.Fanout
+			if o.Telemetry.Attribution {
+				telAtt = telemetry.NewAttribution(geom)
+				fan = append(fan, telAtt)
+			}
+			if o.Telemetry.Occupancy {
+				telOcc = telemetry.NewOccupancy(geom)
+				fan = append(fan, telOcc)
+			}
+			if o.Telemetry.TraceWriter != nil {
+				telTrc = telemetry.NewTrace(geom, o.IssueLanes)
+				fan = append(fan, telTrc)
+				eng.SetHook(telTrc.EngineSample)
+			}
+			if o.Telemetry.Sink != nil {
+				fan = append(fan, o.Telemetry.Sink)
+			}
+			sink = fan.Compact()
+		}
 		ctrl, err = controller.New(controller.Config{
 			Geom: geom, Tim: tim, Modes: modes,
 			Scheduler: sched, IssueLanes: o.IssueLanes,
 			Interleave: addr.RowBankRankChanCol,
 			Energy:     emod,
+			Telemetry:  sink,
 		}, eng)
 		if err != nil {
 			return Result{}, err
@@ -714,6 +760,18 @@ func RunContext(ctx context.Context, o Options) (Result, error) {
 			TotalPJ:      emod.TotalPJ(),
 			BitsSensed:   emod.BitsSensed(),
 			BitsWritten:  emod.BitsWritten(),
+		}
+		if telAtt != nil {
+			res.Stalls = stallBreakdownFrom(telAtt.Causes(), st.QueuedWaitCycles.Value())
+		}
+		if telOcc != nil {
+			res.TileOccupancy = telOcc.Matrix()
+		}
+		if telTrc != nil {
+			res.TraceEvents = telTrc.Events()
+			if err := telTrc.Export(o.Telemetry.TraceWriter); err != nil {
+				return Result{}, fmt.Errorf("fgnvm: writing trace: %w", err)
+			}
 		}
 	} else {
 		st := dsys.Stats()

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -108,7 +109,7 @@ func TestRunIsDeterministic(t *testing.T) {
 		return r
 	}
 	a, b := run(), run()
-	if a != b {
+	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("identical options produced different results:\n%+v\n%+v", a, b)
 	}
 }
@@ -303,7 +304,7 @@ func TestRunContextCancellation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a != b {
+	if !reflect.DeepEqual(a, b) {
 		t.Error("Run and RunContext(Background) disagree on identical Options")
 	}
 }

@@ -1,0 +1,86 @@
+package addr
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// roundtripGeometries is a spread of valid configurations: the paper
+// setup, degenerate 1×1 subdivisions, multi-channel/multi-rank systems,
+// and maximal subdivisions (SAGs == Rows would be legal too, but 64×64
+// on a small bank already exercises every field width).
+func roundtripGeometries() []Geometry {
+	paper := PaperGeometry()
+	small := Geometry{Channels: 2, Ranks: 2, Banks: 4, Rows: 256, Cols: 16, LineBytes: 64, SAGs: 8, CDs: 4}
+	maxSub := Geometry{Channels: 1, Ranks: 1, Banks: 2, Rows: 64, Cols: 64, LineBytes: 64, SAGs: 64, CDs: 64}
+	flat := Geometry{Channels: 1, Ranks: 1, Banks: 8, Rows: 1024, Cols: 32, LineBytes: 64, SAGs: 1, CDs: 1}
+	return []Geometry{paper, small, maxSub, flat}
+}
+
+// TestMapperRoundTrip fuzzes, for every interleave and a spread of
+// geometries, the full translation chain: a line-aligned physical
+// address decodes to an in-range Location, the Location projects to
+// in-range (SAG, CD) tile coordinates, the row and column reconstruct
+// exactly from their (tile, index-within-tile) split, and encoding the
+// Location returns the original address.
+func TestMapperRoundTrip(t *testing.T) {
+	const trials = 20_000
+	rng := rand.New(rand.NewSource(0xf9a27))
+	for _, iv := range []Interleave{RowBankRankChanCol, RowColBankRankChan} {
+		for _, g := range roundtripGeometries() {
+			m, err := NewMapper(g, iv)
+			if err != nil {
+				t.Fatalf("%v %+v: %v", iv, g, err)
+			}
+			mask := uint64(1)<<m.AddressBits() - 1
+			lineMask := ^uint64(g.LineBytes - 1)
+			for i := 0; i < trials; i++ {
+				pa := rng.Uint64() & mask & lineMask
+				loc := m.Decode(pa)
+				if !m.Valid(loc) {
+					t.Fatalf("%v: Decode(%#x) = %+v out of range", iv, pa, loc)
+				}
+				sag, cd := g.SAG(loc.Row), g.CD(loc.Col)
+				if sag < 0 || sag >= g.SAGs || cd < 0 || cd >= g.CDs {
+					t.Fatalf("%v: %#x → (sag=%d, cd=%d) outside %dx%d", iv, pa, sag, cd, g.SAGs, g.CDs)
+				}
+				// The (SAG, CD) projection splits row and column into
+				// (tile, index within tile); both must reconstruct.
+				if back := (loc.Row/g.SAGs)*g.SAGs + sag; back != loc.Row {
+					t.Fatalf("%v: row %d ↛ sag split (got %d back)", iv, loc.Row, back)
+				}
+				if back := (loc.Col/g.CDs)*g.CDs + cd; back != loc.Col {
+					t.Fatalf("%v: col %d ↛ cd split (got %d back)", iv, loc.Col, back)
+				}
+				if enc := m.Encode(loc); enc != pa {
+					t.Fatalf("%v: Encode(Decode(%#x)) = %#x", iv, pa, enc)
+				}
+			}
+		}
+	}
+}
+
+// TestMapperRoundTripFromLocation fuzzes the opposite direction:
+// random in-range Locations survive Encode → Decode for every
+// interleave, so no two distinct locations can share an address.
+func TestMapperRoundTripFromLocation(t *testing.T) {
+	const trials = 20_000
+	rng := rand.New(rand.NewSource(0x51ce9))
+	for _, iv := range []Interleave{RowBankRankChanCol, RowColBankRankChan} {
+		for _, g := range roundtripGeometries() {
+			m := MustNewMapper(g, iv)
+			for i := 0; i < trials; i++ {
+				loc := Location{
+					Channel: rng.Intn(g.Channels),
+					Rank:    rng.Intn(g.Ranks),
+					Bank:    rng.Intn(g.Banks),
+					Row:     rng.Intn(g.Rows),
+					Col:     rng.Intn(g.Cols),
+				}
+				if got := m.Decode(m.Encode(loc)); got != loc {
+					t.Fatalf("%v: Decode(Encode(%+v)) = %+v", iv, loc, got)
+				}
+			}
+		}
+	}
+}

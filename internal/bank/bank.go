@@ -16,6 +16,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/energy"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/timing"
 )
 
@@ -38,6 +39,9 @@ type Baseline struct {
 
 	acts   uint64
 	writes uint64
+
+	sink telemetry.Sink
+	id   telemetry.BankID
 }
 
 // NewBaseline builds a baseline bank. writeDrivers is the number of bits
@@ -62,6 +66,14 @@ func NewBaseline(g addr.Geometry, t timing.Timings, em *energy.Model, writeDrive
 		rowBits:  g.RowBytes() * 8,
 		pulses:   sim.Tick((lineBits + writeDrivers - 1) / writeDrivers),
 	}, nil
+}
+
+// SetTelemetry attaches a telemetry sink (nil detaches). The baseline
+// bank is a degenerate 1×1 tile grid, so every command span lands on
+// tile (0, 0).
+func (b *Baseline) SetTelemetry(sink telemetry.Sink, id telemetry.BankID) {
+	b.sink = sink
+	b.id = id
 }
 
 // NeedsActivate reports whether row must be sensed before column access.
@@ -92,6 +104,12 @@ func (b *Baseline) Activate(row int, now sim.Tick) sim.Tick {
 	if b.emod != nil {
 		b.emod.Sense(b.rowBits)
 	}
+	if b.sink != nil {
+		b.sink.Command(telemetry.Command{
+			Kind: telemetry.CmdActivate, Bank: b.id, Row: row,
+			Start: now, End: now + b.tim.TRCD + b.tim.TCAS,
+		})
+	}
 	return ready
 }
 
@@ -108,7 +126,14 @@ func (b *Baseline) Read(row int, now sim.Tick) sim.Tick {
 		panic(fmt.Sprintf("bank: Read(row=%d) at %d not permitted", row, now))
 	}
 	b.colReady = now + b.tim.TCCD
-	return now + b.tim.ReadLatency
+	done := now + b.tim.ReadLatency
+	if b.sink != nil {
+		b.sink.Command(telemetry.Command{
+			Kind: telemetry.CmdRead, Bank: b.id, Row: row,
+			Start: now, End: done,
+		})
+	}
+	return done
 }
 
 // CanWrite reports whether a line write may issue at now.
@@ -132,6 +157,12 @@ func (b *Baseline) Write(row int, now sim.Tick) sim.Tick {
 	b.writes++
 	if b.emod != nil {
 		b.emod.Write(b.lineBits)
+	}
+	if b.sink != nil {
+		b.sink.Command(telemetry.Command{
+			Kind: telemetry.CmdWrite, Bank: b.id, Row: row,
+			Start: now, End: done,
+		})
 	}
 	return done
 }

@@ -17,6 +17,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/timing"
 )
 
@@ -68,6 +69,13 @@ type Config struct {
 
 	Interleave addr.Interleave
 	Energy     *energy.Model // optional
+
+	// Telemetry, when non-nil, receives command spans from every bank,
+	// request lifecycle events, and one stall-attribution event per
+	// queued request per cycle (see internal/telemetry). Nil disables
+	// all hooks; the disabled path adds no allocations (guarded by a
+	// testing.AllocsPerRun regression test).
+	Telemetry telemetry.Sink
 }
 
 func (c *Config) applyDefaults() {
@@ -103,6 +111,12 @@ type Stats struct {
 	BusStallCycles   stats.Counter // issuable column reads blocked only by the data bus
 	ForwardedReads   stats.Counter // reads served from a queued write's data
 	CoalescedWrites  stats.Counter // writes merged into a queued write to the same line
+	// QueuedWaitCycles sums, over every cycle, the number of requests
+	// still sitting in the read/write queues after that cycle's
+	// scheduling — the denominator the stall-attribution engine must
+	// conserve (each such request-cycle gets exactly one attributed
+	// cause when telemetry is attached).
+	QueuedWaitCycles stats.Counter
 	ReadLatency      stats.Distribution
 	WriteLatency     stats.Distribution
 	ReadLatencyHist  stats.Histogram // log-bucketed, for percentile reporting
@@ -125,6 +139,7 @@ type Controller struct {
 
 	inflight int
 	st       Stats
+	tel      telemetry.Sink        // nil when telemetry is off
 	hitSeen  map[*mem.Request]bool // request was segment-open at first service attempt
 
 	// hotCD[ch][rank][bank] is the CD of the bank's most recent column
@@ -166,6 +181,7 @@ func New(cfg Config, eng *sim.Engine) (*Controller, error) {
 		cfg:     cfg,
 		mapper:  mapper,
 		eng:     eng,
+		tel:     cfg.Telemetry,
 		hitSeen: make(map[*mem.Request]bool),
 	}
 	g := cfg.Geom
@@ -178,6 +194,8 @@ func New(cfg Config, eng *sim.Engine) (*Controller, error) {
 				b, err := core.NewBank(core.Config{
 					Geom: g, Tim: cfg.Tim, Modes: cfg.Modes,
 					Energy: cfg.Energy, WriteDrivers: cfg.WriteDrivers,
+					Sink: cfg.Telemetry,
+					ID:   telemetry.BankID{Channel: ch, Rank: rk, Bank: bk},
 				})
 				if err != nil {
 					return nil, err
@@ -245,19 +263,32 @@ func (c *Controller) Enqueue(r *mem.Request, now sim.Tick) bool {
 			r.MarkIssued(now)
 			c.inflight++
 			c.st.ForwardedReads.Inc()
+			if c.tel != nil {
+				c.telRequest(telemetry.ReqEnqueued, r, now)
+				c.telRequest(telemetry.ReqIssued, r, now)
+			}
 			c.eng.Schedule(now+1, func(t sim.Tick) {
 				r.Finish(t)
 				c.st.Reads.Inc()
 				c.st.ReadLatency.Observe(float64(r.Latency()))
 				c.st.ReadLatencyHist.Observe(uint64(r.Latency()))
 				c.inflight--
+				if c.tel != nil {
+					c.telRequest(telemetry.ReqCompleted, r, t)
+				}
 			})
 			return true
 		}
 		if !c.readQ[r.Loc.Channel].Push(r) {
+			if c.tel != nil {
+				c.telStallQueueFull(r, now)
+			}
 			return false
 		}
 		c.inflight++
+		if c.tel != nil {
+			c.telRequest(telemetry.ReqEnqueued, r, now)
+		}
 		return true
 	}
 
@@ -274,19 +305,51 @@ func (c *Controller) Enqueue(r *mem.Request, now sim.Tick) bool {
 		r.MarkIssued(now)
 		c.inflight++
 		c.st.CoalescedWrites.Inc()
+		if c.tel != nil {
+			c.telRequest(telemetry.ReqEnqueued, r, now)
+			c.telRequest(telemetry.ReqIssued, r, now)
+		}
 		c.eng.Schedule(now+1, func(t sim.Tick) {
 			r.Finish(t)
 			c.st.Writes.Inc()
 			c.st.WriteLatency.Observe(float64(r.Latency()))
 			c.inflight--
+			if c.tel != nil {
+				c.telRequest(telemetry.ReqCompleted, r, t)
+			}
 		})
 		return true
 	}
 	if !wq.Push(r) {
+		if c.tel != nil {
+			c.telStallQueueFull(r, now)
+		}
 		return false
 	}
 	c.inflight++
+	if c.tel != nil {
+		c.telRequest(telemetry.ReqEnqueued, r, now)
+	}
 	return true
+}
+
+// telRequest emits one request lifecycle event. Callers guard with a
+// c.tel nil check to keep the disabled path branch-only.
+func (c *Controller) telRequest(phase telemetry.RequestPhase, r *mem.Request, now sim.Tick) {
+	c.tel.Request(telemetry.RequestEvent{
+		Phase: phase, ID: r.ID, Write: r.Op == mem.Write,
+		Loc: r.Loc, Now: now, Arrive: r.Arrive,
+	})
+}
+
+// telStallQueueFull attributes one rejected enqueue attempt. The
+// request is not in a queue, so these cycles sit outside the
+// queued-wait conservation sum.
+func (c *Controller) telStallQueueFull(r *mem.Request, now sim.Tick) {
+	c.tel.Stall(telemetry.StallEvent{
+		ReqID: r.ID, Write: r.Op == mem.Write, Loc: r.Loc,
+		Cause: telemetry.StallQueueFull, Now: now,
+	})
 }
 
 // Pending returns the number of accepted but not yet completed requests.
@@ -309,7 +372,77 @@ func (c *Controller) Cycle(now sim.Tick) {
 	}
 	for ch := range c.readQ {
 		c.cycleChannel(ch, now)
+		// Queued-wait accounting happens after scheduling, so a request
+		// that issued this cycle does not count this cycle — matching
+		// the attribution pass, which classifies exactly the requests
+		// still queued at this point.
+		c.st.QueuedWaitCycles.Add(uint64(c.readQ[ch].Len() + c.writeQ[ch].Len()))
+		if c.tel != nil {
+			c.attributeStalls(ch, now)
+		}
 	}
+}
+
+// attributeStalls classifies, for one channel, every request still
+// queued after this cycle's scheduling, emitting exactly one StallEvent
+// per request — the conservation invariant the stall-attribution engine
+// relies on (sum of attributed causes == QueuedWaitCycles).
+func (c *Controller) attributeStalls(ch int, now sim.Tick) {
+	c.readQ[ch].Scan(func(_ int, r *mem.Request) bool {
+		b := c.bankOf(r)
+		c.tel.Stall(telemetry.StallEvent{
+			ReqID: r.ID, Loc: r.Loc,
+			SAG: b.SAGOf(r.Loc.Row), CD: b.CDOf(r.Loc.Col),
+			Cause: c.classifyReadStall(r, b, ch, now), Now: now,
+		})
+		return true
+	})
+	c.writeQ[ch].Scan(func(_ int, w *mem.Request) bool {
+		b := c.bankOf(w)
+		c.tel.Stall(telemetry.StallEvent{
+			ReqID: w.ID, Write: true, Loc: w.Loc,
+			SAG: b.SAGOf(w.Loc.Row), CD: b.CDOf(w.Loc.Col),
+			Cause: c.classifyWriteStall(w, b, ch, now), Now: now,
+		})
+		return true
+	})
+}
+
+// classifyReadStall attributes one waiting cycle of a queued read. The
+// bank rules come first (SAG/CD/write conflicts); a device-ready
+// request that could burst but didn't was blocked by the shared bus
+// (lane budget); a device-ready request still needing its activation
+// was held back either by a draining write batch or by controller
+// policy (activation budget, anti-thrash guard) — the latter lands in
+// the controller-idle bucket together with tCCD pacing and
+// own-sense-in-flight waits.
+func (c *Controller) classifyReadStall(r *mem.Request, b *core.Bank, ch int, now sim.Tick) telemetry.StallCause {
+	if cause, blocked := b.ReadStallCause(r.Loc.Row, r.Loc.Col, now); blocked {
+		return cause
+	}
+	if b.CanRead(r.Loc.Row, r.Loc.Col, now) {
+		return telemetry.StallBusConflict
+	}
+	if b.NeedsActivate(r.Loc.Row, r.Loc.Col, now) &&
+		(c.drain[ch] || c.writeQ[ch].Full()) {
+		// cycleChannel suppresses new activations while writes drain.
+		return telemetry.StallWriteDrain
+	}
+	return telemetry.StallControllerIdle
+}
+
+// classifyWriteStall attributes one waiting cycle of a queued write:
+// bank conflicts first, then the shared bus, then deliberate deferral
+// (idle-window hysteresis, clobber avoidance, one-write-per-cycle
+// budget) as controller-idle.
+func (c *Controller) classifyWriteStall(w *mem.Request, b *core.Bank, ch int, now sim.Tick) telemetry.StallCause {
+	if cause, blocked := b.WriteStallCause(w.Loc.Row, w.Loc.Col, now); blocked {
+		return cause
+	}
+	if b.CanWrite(w.Loc.Row, w.Loc.Col, now) && c.busLaneFor(ch, now+c.cfg.Tim.TCWD) < 0 {
+		return telemetry.StallBusConflict
+	}
+	return telemetry.StallControllerIdle
 }
 
 func (c *Controller) cycleChannel(ch int, now sim.Tick) {
@@ -442,6 +575,9 @@ func (c *Controller) tryIssueRead(ch int, now sim.Tick, mayActivate bool) (bool,
 			if b.SegmentOpen(r.Loc.Row, r.Loc.Col) {
 				c.hitSeen[r] = true
 			}
+			if c.tel != nil {
+				c.telRequest(telemetry.ReqIssued, r, now)
+			}
 		}
 		b.Activate(r.Loc.Row, r.Loc.Col, now)
 		c.st.Activations.Inc()
@@ -488,6 +624,9 @@ func (c *Controller) issueColumnRead(r *mem.Request, b *core.Bank, ch, lane, qi 
 	if !r.Issued() {
 		r.MarkIssued(now)
 		c.hitSeen[r] = true // ready without us ever activating for it
+		if c.tel != nil {
+			c.telRequest(telemetry.ReqIssued, r, now)
+		}
 	}
 	if c.hitSeen[r] {
 		c.st.SegmentHits.Inc()
@@ -501,12 +640,23 @@ func (c *Controller) issueColumnRead(r *mem.Request, b *core.Bank, ch, lane, qi 
 	c.hotCD[r.Loc.Channel][r.Loc.Rank][r.Loc.Bank] = b.CDOf(r.Loc.Col)
 	c.st.ColumnReads.Inc()
 	c.readQ[ch].Remove(qi)
+	if c.tel != nil {
+		c.tel.Command(telemetry.Command{
+			Kind: telemetry.CmdBus,
+			Bank: telemetry.BankID{Channel: ch, Rank: r.Loc.Rank, Bank: r.Loc.Bank},
+			CD:   lane, Row: r.Loc.Row, Col: r.Loc.Col, ReqID: r.ID,
+			Start: now + c.cfg.Tim.TCAS, End: done,
+		})
+	}
 	c.eng.Schedule(done, func(t sim.Tick) {
 		r.Finish(t)
 		c.st.Reads.Inc()
 		c.st.ReadLatency.Observe(float64(r.Latency()))
 		c.st.ReadLatencyHist.Observe(uint64(r.Latency()))
 		c.inflight--
+		if c.tel != nil {
+			c.telRequest(telemetry.ReqCompleted, r, t)
+		}
 	})
 }
 
@@ -575,11 +725,23 @@ func (c *Controller) tryIssueWrite(ch int, now sim.Tick) bool {
 	w.MarkIssued(now)
 	done := b.Write(w.Loc.Row, w.Loc.Col, now)
 	c.busUse[ch][lane] = now + c.cfg.Tim.TCWD + c.cfg.Tim.TBURST
+	if c.tel != nil {
+		c.telRequest(telemetry.ReqIssued, w, now)
+		c.tel.Command(telemetry.Command{
+			Kind: telemetry.CmdBus,
+			Bank: telemetry.BankID{Channel: ch, Rank: w.Loc.Rank, Bank: w.Loc.Bank},
+			CD:   lane, Row: w.Loc.Row, Col: w.Loc.Col, ReqID: w.ID,
+			Start: now + c.cfg.Tim.TCWD, End: now + c.cfg.Tim.TCWD + c.cfg.Tim.TBURST,
+		})
+	}
 	c.eng.Schedule(done, func(t sim.Tick) {
 		w.Finish(t)
 		c.st.Writes.Inc()
 		c.st.WriteLatency.Observe(float64(w.Latency()))
 		c.inflight--
+		if c.tel != nil {
+			c.telRequest(telemetry.ReqCompleted, w, t)
+		}
 	})
 	return true
 }

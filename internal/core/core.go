@@ -39,6 +39,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/energy"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/timing"
 )
 
@@ -92,6 +93,13 @@ type Config struct {
 	// (Table 2: 64 write drivers). A 64-byte line therefore needs
 	// LineBytes*8/WriteDrivers sequential write pulses.
 	WriteDrivers int
+
+	// Sink, when non-nil, receives a telemetry.Command span for every
+	// activation, column read and write the bank performs, stamped
+	// with ID. Nil disables the hooks at the cost of one branch.
+	Sink telemetry.Sink
+	// ID names this bank on telemetry events.
+	ID telemetry.BankID
 }
 
 // Bank is the FgNVM bank state machine. It tracks only timing and
@@ -102,6 +110,8 @@ type Bank struct {
 	tim   timing.Timings
 	modes AccessModes
 	emod  *energy.Model
+	sink  telemetry.Sink
+	id    telemetry.BankID
 
 	rowsPerSAG int
 	colsPerCD  int
@@ -146,6 +156,8 @@ func NewBank(cfg Config) (*Bank, error) {
 		tim:        cfg.Tim,
 		modes:      cfg.Modes,
 		emod:       cfg.Energy,
+		sink:       cfg.Sink,
+		id:         cfg.ID,
 		rowsPerSAG: cfg.Geom.RowsPerSAG(),
 		colsPerCD:  cfg.Geom.ColsPerCD(),
 		segBits:    cfg.Geom.SegmentBytes() * 8,
@@ -328,6 +340,9 @@ func (b *Bank) Activate(row, col int, now sim.Tick) sim.Tick {
 		if b.emod != nil {
 			b.emod.Sense(b.segBits)
 		}
+		if b.sink != nil {
+			b.emitCommand(telemetry.CmdActivate, s, b.cd(col), row, col, now, senseEnd)
+		}
 	} else {
 		for c := range b.cdBusy {
 			latch(c)
@@ -335,8 +350,24 @@ func (b *Bank) Activate(row, col int, now sim.Tick) sim.Tick {
 		if b.emod != nil {
 			b.emod.Sense(b.rowBits)
 		}
+		if b.sink != nil {
+			// A full-row activation senses through every CD: one span
+			// per CD track.
+			for c := range b.cdBusy {
+				b.emitCommand(telemetry.CmdActivate, s, c, row, col, now, senseEnd)
+			}
+		}
 	}
 	return ready
+}
+
+// emitCommand reports one command span to the telemetry sink. Callers
+// guard with a nil check so the disabled path stays branch-only.
+func (b *Bank) emitCommand(kind telemetry.CommandKind, sag, cd, row, col int, start, end sim.Tick) {
+	b.sink.Command(telemetry.Command{
+		Kind: kind, Bank: b.id, SAG: sag, CD: cd,
+		Row: row, Col: col, Start: start, End: end,
+	})
 }
 
 // CanRead reports whether a column read for (row, col) may issue at now:
@@ -372,7 +403,11 @@ func (b *Bank) Read(row, col int, now sim.Tick) sim.Tick {
 		panic(fmt.Sprintf("core: Read(row=%d,col=%d) at %d not permitted", row, col, now))
 	}
 	b.colReady[b.cd(col)] = now + b.tim.TCCD
-	return now + b.tim.ReadLatency
+	done := now + b.tim.ReadLatency
+	if b.sink != nil {
+		b.emitCommand(telemetry.CmdRead, b.sag(row), b.cd(col), row, col, now, done)
+	}
+	return done
 }
 
 // CanWrite reports whether a line write targeting (row, col) may issue
@@ -461,6 +496,9 @@ func (b *Bank) Write(row, col int, now sim.Tick) sim.Tick {
 	if b.emod != nil {
 		b.emod.Write(b.lineBits)
 	}
+	if b.sink != nil {
+		b.emitCommand(telemetry.CmdWrite, s, c, row, col, now, done)
+	}
 	return done
 }
 
@@ -507,3 +545,101 @@ func (b *Bank) SAGOf(row int) int { return b.sag(row) }
 
 // CDOf returns the column division of a column index.
 func (b *Bank) CDOf(col int) int { return b.cd(col) }
+
+// ReadStallCause classifies why a read of (row, col) cannot make
+// progress at now, from the device's point of view. blocked=false
+// means no bank resource is in the way: the segment is ready (the
+// remaining blockers — shared bus, tCCD pacing, scheduling — belong to
+// the controller), or the request's own activation is still sensing
+// (service, not a stall).
+//
+// Precedence mirrors the conflict rules: in-flight writes first (rule
+// 4), then SAG wordline serialization (rule 3), then CD sense-path
+// serialization (rule 2). Whole-bank serialization in the
+// non-Multi-Activation modes is attributed to the operation occupying
+// the bank: a write in flight → write-drain, otherwise → SAG conflict
+// (the single wordline/sense path is what the baseline serializes on).
+func (b *Bank) ReadStallCause(row, col int, now sim.Tick) (cause telemetry.StallCause, blocked bool) {
+	s, c := b.sag(row), b.cd(col)
+	if b.SegmentOpen(row, col) {
+		if now < b.segReady[s][c] {
+			return 0, false // own sense in flight: service, not a stall
+		}
+		if now < b.cdWrite[c] {
+			return telemetry.StallWriteDrain, true
+		}
+		return 0, false // device-ready (bus/tCCD are controller-side)
+	}
+	// The segment must be (re)sensed: attribute whatever blocks the
+	// activation.
+	if now < b.sagWrite[s] {
+		return telemetry.StallWriteDrain, true
+	}
+	if b.openRow[s] != row && now < b.sagBusy[s] {
+		return telemetry.StallSAGConflict, true
+	}
+	if !b.modes.MultiActivation && now < b.bankBusy {
+		if b.WriteInFlight(now) {
+			return telemetry.StallWriteDrain, true
+		}
+		return telemetry.StallSAGConflict, true
+	}
+	if !b.modes.LocalSenseAmps {
+		if b.modes.PartialActivation {
+			if now < b.cdWrite[c] {
+				return telemetry.StallWriteDrain, true
+			}
+			if now < b.cdBusy[c] {
+				return telemetry.StallCDConflict, true
+			}
+		} else {
+			for i := range b.cdBusy {
+				if now < b.cdWrite[i] {
+					return telemetry.StallWriteDrain, true
+				}
+				if now < b.cdBusy[i] {
+					return telemetry.StallCDConflict, true
+				}
+			}
+		}
+	}
+	return 0, false
+}
+
+// WriteStallCause is ReadStallCause's analogue for a line write of
+// (row, col): a write needs its SAG's wordline and its CD's write
+// drivers (the whole bank without Backgrounded Writes).
+func (b *Bank) WriteStallCause(row, col int, now sim.Tick) (cause telemetry.StallCause, blocked bool) {
+	s, c := b.sag(row), b.cd(col)
+	classify := func(i, j int) (telemetry.StallCause, bool) {
+		if now < b.sagWrite[i] || now < b.cdWrite[j] {
+			return telemetry.StallWriteDrain, true
+		}
+		if now < b.sagBusy[i] {
+			return telemetry.StallSAGConflict, true
+		}
+		if now < b.cdBusy[j] {
+			return telemetry.StallCDConflict, true
+		}
+		return 0, false
+	}
+	if cause, blocked := classify(s, c); blocked {
+		return cause, blocked
+	}
+	if !b.modes.BackgroundedWrites {
+		for i := range b.sagBusy {
+			for j := range b.cdBusy {
+				if cause, blocked := classify(i, j); blocked {
+					return cause, blocked
+				}
+			}
+		}
+	}
+	if now < b.bankBusy && (!b.modes.BackgroundedWrites || !b.modes.MultiActivation) {
+		if b.WriteInFlight(now) {
+			return telemetry.StallWriteDrain, true
+		}
+		return telemetry.StallSAGConflict, true
+	}
+	return 0, false
+}

@@ -1,0 +1,94 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func renderHeatmap(t *testing.T, h *Heatmap) string {
+	t.Helper()
+	var b strings.Builder
+	if err := h.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestHeatmapRender(t *testing.T) {
+	cells := [][]uint64{
+		{0, 5},
+		{100, 42},
+	}
+	out := renderHeatmap(t, NewHeatmap("Tile occupancy", "sag", "cd", cells))
+
+	if !strings.HasPrefix(out, "Tile occupancy\n") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	for _, want := range []string{"cd0", "cd1", "sag0", "sag1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing label %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title + header + 2 rows
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), out)
+	}
+	// The maximum cell gets the densest shade, an exact zero a blank.
+	if !strings.Contains(lines[3], "@ 100") {
+		t.Errorf("max cell not rendered with densest shade: %q", lines[3])
+	}
+	if strings.ContainsAny(lines[2], ".:-=+*#%@") {
+		// Row sag0 holds 0 and 5; 5/100 of max rounds down to the
+		// lightest non-zero shade '.', so only '.' may appear.
+		if !strings.Contains(lines[2], ". ") || strings.ContainsAny(lines[2], ":-=+*#%@") {
+			t.Errorf("small cell shade wrong: %q", lines[2])
+		}
+	}
+}
+
+func TestHeatmapShadeScale(t *testing.T) {
+	if got := shade(0, 100); got != ' ' {
+		t.Errorf("shade(0) = %q, want space", got)
+	}
+	if got := shade(100, 100); got != '@' {
+		t.Errorf("shade(max) = %q, want '@'", got)
+	}
+	if got := shade(1, 100); got != '.' {
+		t.Errorf("shade(1/100) = %q, want '.'", got)
+	}
+	// All-zero matrix: max == 0 must not divide by zero.
+	if got := shade(0, 0); got != ' ' {
+		t.Errorf("shade(0, 0) = %q, want space", got)
+	}
+	// Shades must be nondecreasing in v.
+	prev := -1
+	for v := uint64(0); v <= 100; v++ {
+		i := strings.IndexByte(string(shades), shade(v, 100))
+		if i < prev {
+			t.Fatalf("shade not monotone at v=%d", v)
+		}
+		prev = i
+	}
+}
+
+func TestHeatmapRagged(t *testing.T) {
+	out := renderHeatmap(t, NewHeatmap("", "r", "c", [][]uint64{{7}, {1, 2, 3}}))
+	if !strings.Contains(out, "c2") {
+		t.Errorf("ragged matrix should pad to widest row:\n%s", out)
+	}
+	// Missing cells render as zero.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	row0 := lines[1]
+	if !strings.HasSuffix(strings.TrimRight(row0, " "), "0") {
+		t.Errorf("short row not zero-padded: %q", row0)
+	}
+}
+
+func TestHeatmapEmpty(t *testing.T) {
+	for _, cells := range [][][]uint64{nil, {}, {{}, {}}} {
+		out := renderHeatmap(t, NewHeatmap("t", "r", "c", cells))
+		if !strings.Contains(out, "(empty)") {
+			t.Errorf("empty matrix %v rendered %q, want (empty) marker", cells, out)
+		}
+	}
+}

@@ -54,6 +54,12 @@ type RunRequest struct {
 	Modes          *ModesRequest  `json:"modes,omitempty"`
 	Device         *DeviceRequest `json:"device,omitempty"`
 
+	// StallReport attaches the telemetry subsystem: the response's
+	// result carries the stall-attribution breakdown (Stalls) and the
+	// per-tile occupancy matrix (TileOccupancy). Part of the cache key —
+	// the instrumented result holds strictly more data.
+	StallReport bool `json:"stall_report,omitempty"`
+
 	// TimeoutMS bounds this request's wall-clock time. Execution-only:
 	// excluded from the cache key.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -154,6 +160,11 @@ func (r RunRequest) normalize() (RunRequest, fgnvm.Options, error) {
 	case fgnvm.DesignManyBanks:
 		r.Modes = nil
 	}
+	if design == fgnvm.DesignDRAM {
+		// The DRAM reference system is not instrumented; the library
+		// documents Telemetry as a no-op there.
+		r.StallReport = false
+	}
 
 	o := fgnvm.Options{
 		Design:         design,
@@ -185,6 +196,9 @@ func (r RunRequest) normalize() (RunRequest, fgnvm.Options, error) {
 			MuxDegree:  r.Device.MuxDegree,
 			CellAreaF2: r.Device.CellAreaF2,
 		}
+	}
+	if r.StallReport {
+		o.Telemetry = &fgnvm.TelemetryOptions{Attribution: true, Occupancy: true}
 	}
 	return r, o, nil
 }

@@ -410,3 +410,46 @@ func TestCoalescedWaiterSurvivesLeaderCancel(t *testing.T) {
 		t.Errorf("simulations executed = %d, want 1", calls.Load())
 	}
 }
+
+// TestRunStallReport proves stall_report attaches telemetry (the result
+// carries a conserved attribution breakdown plus the occupancy matrix)
+// and splits the cache key from the uninstrumented run.
+func TestRunStallReport(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2}, nil)
+
+	resp, b := postJSON(t, ts.URL+"/v1/run",
+		`{"design":"fgnvm","benchmark":"lbm","instructions":2000,"stall_report":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", resp.StatusCode, b)
+	}
+	var res fgnvm.Result
+	if err := json.Unmarshal(b, &res); err != nil {
+		t.Fatalf("body is not a Result: %v", err)
+	}
+	if res.Stalls == nil {
+		t.Fatal("stall_report run returned no Stalls breakdown")
+	}
+	if got, want := res.Stalls.Sum(), res.Stalls.QueuedWaitCycles; got != want {
+		t.Errorf("attribution not conserved: sum %d != queued-wait %d", got, want)
+	}
+	if len(res.TileOccupancy) != 8 || len(res.TileOccupancy[0]) != 2 {
+		t.Errorf("TileOccupancy shape = %dx?, want 8x2", len(res.TileOccupancy))
+	}
+
+	// The uninstrumented run is a different result; its key must differ.
+	resp2, b2 := postJSON(t, ts.URL+"/v1/run",
+		`{"design":"fgnvm","benchmark":"lbm","instructions":2000}`)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("plain run: status %d", resp2.StatusCode)
+	}
+	if got := resp2.Header.Get("X-Cache"); got != "miss" {
+		t.Errorf("plain run after stall_report run: X-Cache = %q, want miss", got)
+	}
+	var plain fgnvm.Result
+	if err := json.Unmarshal(b2, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if plain.Stalls != nil {
+		t.Error("uninstrumented run unexpectedly carries a Stalls breakdown")
+	}
+}

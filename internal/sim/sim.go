@@ -59,6 +59,13 @@ func (h *eventHeap) Pop() any {
 	return it
 }
 
+// Hook observes kernel activity: it is called immediately before each
+// event dispatches, with the dispatch time and the number of events
+// still pending (excluding the one dispatching). Hooks must not
+// schedule or otherwise mutate the engine; they exist for telemetry
+// (event-queue depth tracking, trace counter tracks).
+type Hook func(now Tick, pending int)
+
 // Engine owns the simulated clock and the event queue.
 //
 // The zero value is a ready-to-use engine at time 0.
@@ -66,6 +73,7 @@ type Engine struct {
 	now    Tick
 	seq    uint64
 	events eventHeap
+	hook   Hook
 }
 
 // NewEngine returns an engine with its clock at zero.
@@ -77,6 +85,10 @@ func (e *Engine) Now() Tick { return e.now }
 // Pending returns the number of events that have been scheduled but not
 // yet dispatched.
 func (e *Engine) Pending() int { return len(e.events) }
+
+// SetHook attaches (or, with nil, detaches) a telemetry hook. The
+// disabled path costs one nil check per dispatch.
+func (e *Engine) SetHook(h Hook) { e.hook = h }
 
 // Schedule arranges for fn to run at the absolute time when.
 // Scheduling in the past (when < Now) panics: it always indicates a
@@ -105,6 +117,9 @@ func (e *Engine) Step() bool {
 	}
 	it := heap.Pop(&e.events).(item)
 	e.now = it.when
+	if e.hook != nil {
+		e.hook(it.when, len(e.events))
+	}
 	it.fn(it.when)
 	return true
 }

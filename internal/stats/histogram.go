@@ -67,12 +67,16 @@ func (h *Histogram) Max() uint64 { return h.max }
 
 // Percentile returns an upper bound on the p-th percentile (p in
 // [0,100]): the top of the bucket containing it, clamped to the
-// observed maximum. Returns 0 with no samples.
+// observed maximum. Returns 0 with no samples. Out-of-range p clamps
+// to the nearest endpoint — p < 0 behaves as 0 (the minimum sample),
+// p > 100 as 100 (the maximum) — and NaN, having no defensible rank,
+// also behaves as 0; float conversion of a NaN rank would otherwise be
+// platform-dependent.
 func (h *Histogram) Percentile(p float64) uint64 {
 	if h.n == 0 {
 		return 0
 	}
-	if p < 0 {
+	if p < 0 || math.IsNaN(p) {
 		p = 0
 	}
 	if p > 100 {

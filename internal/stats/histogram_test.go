@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"strings"
@@ -109,5 +110,44 @@ func TestHistogramHugeValues(t *testing.T) {
 	}
 	if h.Percentile(100) != 1<<60 {
 		t.Fatalf("P100 = %d", h.Percentile(100))
+	}
+}
+
+// Percentile must clamp out-of-range and NaN arguments to defined
+// endpoints instead of producing platform-dependent rank conversions.
+func TestHistogramPercentileClamping(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{1, 2, 4, 8, 1000} {
+		h.Observe(v)
+	}
+	p0 := h.Percentile(0)
+	p100 := h.Percentile(100)
+	cases := []struct {
+		name string
+		p    float64
+		want uint64
+	}{
+		{"negative clamps to 0", -5, p0},
+		{"negative infinity clamps to 0", math.Inf(-1), p0},
+		{"above 100 clamps to 100", 150, p100},
+		{"positive infinity clamps to 100", math.Inf(1), p100},
+		{"NaN behaves as 0", math.NaN(), p0},
+		{"exact 0", 0, h.Min()},
+		{"exact 100", 100, h.Max()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := h.Percentile(tc.p); got != tc.want {
+				t.Errorf("Percentile(%v) = %d, want %d", tc.p, got, tc.want)
+			}
+		})
+	}
+
+	// The same arguments on an empty histogram stay 0.
+	var empty Histogram
+	for _, p := range []float64{-1, 0, 50, 100, 101, math.NaN()} {
+		if got := empty.Percentile(p); got != 0 {
+			t.Errorf("empty.Percentile(%v) = %d, want 0", p, got)
+		}
 	}
 }

@@ -1,0 +1,107 @@
+// The stall-attribution engine: aggregates StallEvents into per-cause
+// totals, a per-tile matrix, and a per-request stall-cycle histogram.
+
+package telemetry
+
+import (
+	"repro/internal/addr"
+	"repro/internal/stats"
+)
+
+// Attribution consumes stall and request events and aggregates them.
+// Conservation invariant: every cycle a request sits in a transaction
+// queue after scheduling receives exactly one attributed cause, so
+// AttributedWait() equals the controller's independently counted
+// queued-wait cycles (asserted by the integration tests). QueueFull
+// cycles are admission backpressure — the request is not in a queue —
+// and are tracked outside that sum.
+type Attribution struct {
+	geom   addr.Geometry
+	causes [NumStallCauses]stats.Counter
+
+	// tiles[(sag*CDs)+cd] counts stall cycles attributed to requests
+	// targeting that tile, summed over all banks.
+	tiles []stats.Counter
+
+	// Per-request accumulation: stall cycles per request, observed into
+	// a histogram at completion.
+	perReq  map[uint64]uint64
+	reqHist stats.Histogram
+}
+
+// NewAttribution builds an attribution engine for a geometry.
+func NewAttribution(g addr.Geometry) *Attribution {
+	return &Attribution{
+		geom:   g,
+		tiles:  make([]stats.Counter, g.SAGs*g.CDs),
+		perReq: make(map[uint64]uint64),
+	}
+}
+
+// Command implements Sink (attribution ignores command spans).
+func (a *Attribution) Command(Command) {}
+
+// Request implements Sink: request completion flushes the per-request
+// stall total into the histogram.
+func (a *Attribution) Request(ev RequestEvent) {
+	if ev.Phase != ReqCompleted {
+		return
+	}
+	n, ok := a.perReq[ev.ID]
+	if ok {
+		delete(a.perReq, ev.ID)
+	}
+	// Requests that never stalled (forwarded, coalesced, or serviced
+	// immediately) observe zero, so the histogram's population is all
+	// completed requests, not just the unlucky ones.
+	a.reqHist.Observe(n)
+}
+
+// Stall implements Sink.
+func (a *Attribution) Stall(ev StallEvent) {
+	a.causes[ev.Cause].Inc()
+	if ev.Cause == StallQueueFull {
+		return
+	}
+	a.tiles[ev.SAG*a.geom.CDs+ev.CD].Inc()
+	a.perReq[ev.ReqID]++
+}
+
+// Causes returns the per-cause attributed cycle totals.
+func (a *Attribution) Causes() [NumStallCauses]uint64 {
+	var out [NumStallCauses]uint64
+	for i := range a.causes {
+		out[i] = a.causes[i].Value()
+	}
+	return out
+}
+
+// AttributedWait returns the total queued-wait cycles attributed — the
+// sum of every cause except StallQueueFull.
+func (a *Attribution) AttributedWait() uint64 {
+	var sum uint64
+	for i := range a.causes {
+		if StallCause(i) == StallQueueFull {
+			continue
+		}
+		sum += a.causes[i].Value()
+	}
+	return sum
+}
+
+// TileStalls returns the [SAG][CD] matrix of attributed stall cycles,
+// summed over banks.
+func (a *Attribution) TileStalls() [][]uint64 {
+	out := make([][]uint64, a.geom.SAGs)
+	for s := range out {
+		out[s] = make([]uint64, a.geom.CDs)
+		for c := range out[s] {
+			out[s][c] = a.tiles[s*a.geom.CDs+c].Value()
+		}
+	}
+	return out
+}
+
+// PerRequestStalls returns the histogram of stall cycles accumulated by
+// each completed request.
+func (a *Attribution) PerRequestStalls() *stats.Histogram { return &a.reqHist }

@@ -1,0 +1,198 @@
+package fgnvm
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"testing"
+)
+
+// telInstr sizes the telemetry integration runs: long enough for the
+// write-heavy profile to drive real queue contention, short enough for
+// `go test` to stay quick.
+const telInstr = 30_000
+
+// runLBM runs the write-heavy profile on an 8×2 FgNVM-family design
+// with attribution enabled.
+func runLBM(t *testing.T, design Design, modes *AccessModeSet, lanes int) Result {
+	t.Helper()
+	r, err := Run(Options{
+		Design: design, SAGs: 8, CDs: 2, Modes: modes, IssueLanes: lanes,
+		Benchmark: "lbm", Instructions: telInstr,
+		Telemetry: &TelemetryOptions{Attribution: true, Occupancy: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stalls == nil {
+		t.Fatal("telemetry run returned no stall breakdown")
+	}
+	return r
+}
+
+// TestStallAttributionConserved asserts the conservation invariant on
+// the paper's 8×2 configuration under the write-heavy profile: every
+// cycle a queued request waits is attributed to exactly one cause, so
+// the five in-queue buckets sum to the controller's independent
+// queued-wait counter.
+func TestStallAttributionConserved(t *testing.T) {
+	r := runLBM(t, DesignFgNVM, nil, 0)
+	s := r.Stalls
+	if s.QueuedWaitCycles == 0 {
+		t.Fatal("write-heavy run saw no queued waiting; workload too light to test conservation")
+	}
+	if got := s.Sum(); got != s.QueuedWaitCycles {
+		t.Errorf("attribution leak: causes sum to %d, queued-wait counter says %d", got, s.QueuedWaitCycles)
+	}
+	if len(r.TileOccupancy) != 8 || len(r.TileOccupancy[0]) != 2 {
+		t.Fatalf("TileOccupancy shape %dx%d, want 8x2", len(r.TileOccupancy), len(r.TileOccupancy[0]))
+	}
+	var busy uint64
+	for _, row := range r.TileOccupancy {
+		for _, v := range row {
+			busy += v
+		}
+	}
+	if busy == 0 {
+		t.Error("occupancy matrix is all-zero despite completed requests")
+	}
+}
+
+// TestMultiActivationShiftsStalls asserts the Figure 4 mechanism story:
+// with Multi-Activation ablated, waiting concentrates in the SAG/CD
+// conflict buckets (tiles serialize behind the single in-flight
+// activation); enabling it moves that waiting onto the shared data bus.
+func TestMultiActivationShiftsStalls(t *testing.T) {
+	noMA := runLBM(t, DesignFgNVM, &AccessModeSet{PartialActivation: true, BackgroundedWrites: true}, 0)
+	full := runLBM(t, DesignFgNVM, nil, 0)
+
+	tileNoMA := noMA.Stalls.SAGConflict + noMA.Stalls.CDConflict
+	tileFull := full.Stalls.SAGConflict + full.Stalls.CDConflict
+	if tileFull >= tileNoMA {
+		t.Errorf("Multi-Activation did not reduce tile-conflict stalls: %d (full) vs %d (no MA)", tileFull, tileNoMA)
+	}
+	busShareNoMA := float64(noMA.Stalls.BusConflict) / float64(noMA.Stalls.Sum())
+	busShareFull := float64(full.Stalls.BusConflict) / float64(full.Stalls.Sum())
+	if busShareFull <= busShareNoMA {
+		t.Errorf("Multi-Activation did not shift waiting onto the bus: share %.3f (full) vs %.3f (no MA)",
+			busShareFull, busShareNoMA)
+	}
+}
+
+// TestMultiIssueDrainsBusConflicts asserts the second half of the
+// story: widening the data path (Multi-Issue) drains the bus-conflict
+// bucket that full FgNVM piles up.
+func TestMultiIssueDrainsBusConflicts(t *testing.T) {
+	fg := runLBM(t, DesignFgNVM, nil, 1)
+	mi := runLBM(t, DesignFgNVMMultiIssue, nil, 4)
+	if mi.Stalls.BusConflict >= fg.Stalls.BusConflict {
+		t.Errorf("Multi-Issue did not reduce bus-conflict stalls: %d (4 lanes) vs %d (1 lane)",
+			mi.Stalls.BusConflict, fg.Stalls.BusConflict)
+	}
+}
+
+// traceOptions is the fixed configuration of the determinism and
+// validity tests.
+func traceOptions(w *bytes.Buffer) Options {
+	return Options{
+		Design: DesignFgNVM, SAGs: 8, CDs: 2,
+		Benchmark: "lbm", Instructions: telInstr,
+		Telemetry: &TelemetryOptions{TraceWriter: w},
+	}
+}
+
+// TestTraceDeterministic asserts two runs with identical Options
+// produce byte-identical Perfetto traces.
+func TestTraceDeterministic(t *testing.T) {
+	digest := func() ([32]byte, int) {
+		var buf bytes.Buffer
+		r, err := Run(traceOptions(&buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.TraceEvents == 0 {
+			t.Fatal("trace run exported no events")
+		}
+		return sha256.Sum256(buf.Bytes()), buf.Len()
+	}
+	h1, n1 := digest()
+	h2, n2 := digest()
+	if h1 != h2 {
+		t.Errorf("identical runs produced different traces (%d vs %d bytes)", n1, n2)
+	}
+}
+
+// TestTraceIsValidChromeTraceJSON asserts the exported trace parses as
+// the Chrome trace-event JSON object form and is structurally sound:
+// known phase codes, metadata before use, and balanced async
+// begin/end pairs per request id.
+func TestTraceIsValidChromeTraceJSON(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := Run(traceOptions(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			PID  int     `json:"pid"`
+			TID  int     `json:"tid"`
+			ID   string  `json:"id"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if file.DisplayTimeUnit == "" {
+		t.Error("missing displayTimeUnit")
+	}
+	if len(file.TraceEvents) == 0 {
+		t.Fatal("empty traceEvents")
+	}
+	valid := map[string]bool{"X": true, "M": true, "C": true, "b": true, "e": true, "s": true, "t": true, "f": true}
+	open := map[string]int{} // async span balance per id
+	var slices, counters, metadata int
+	for i, ev := range file.TraceEvents {
+		if !valid[ev.Ph] {
+			t.Fatalf("event %d: unknown phase %q", i, ev.Ph)
+		}
+		switch ev.Ph {
+		case "X":
+			slices++
+			if ev.Dur < 0 || ev.TS < 0 {
+				t.Fatalf("event %d: negative ts/dur", i)
+			}
+		case "C":
+			counters++
+		case "M":
+			metadata++
+		case "b":
+			open[ev.ID]++
+		case "e":
+			open[ev.ID]--
+			if open[ev.ID] < 0 {
+				t.Fatalf("event %d: async end %q before begin", i, ev.ID)
+			}
+		}
+	}
+	for id, n := range open {
+		if n != 0 {
+			t.Errorf("async span %q left %d begin(s) unclosed", id, n)
+		}
+	}
+	if slices == 0 {
+		t.Error("no command slices in trace")
+	}
+	if counters == 0 {
+		t.Error("no kernel counter samples in trace")
+	}
+	// Result.TraceEvents counts payload events; metadata is added at
+	// export time.
+	if payload := len(file.TraceEvents) - metadata; res.TraceEvents != payload {
+		t.Errorf("Result.TraceEvents = %d, file has %d payload events", res.TraceEvents, payload)
+	}
+}
