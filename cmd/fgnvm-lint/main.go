@@ -1,0 +1,85 @@
+// Command fgnvm-lint runs the repository's custom static-analysis
+// suite (internal/lint) over the given package patterns:
+//
+//	fgnvm-lint ./...                 # whole tree (CI invocation)
+//	fgnvm-lint -run determinism ./internal/sim
+//	fgnvm-lint -list                 # describe the analyzers
+//
+// Each analyzer encodes a repo-specific correctness rule — bit-exact
+// determinism, telemetry hook purity, cycle/nanosecond unit hygiene,
+// statistics ownership. Findings print as file:line:col diagnostics;
+// the exit status is 1 if anything was flagged, 2 on usage or load
+// errors. Test files are not analyzed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		runNames = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+		list     = flag.Bool("list", false, "list the analyzers and exit")
+	)
+	flag.Parse()
+
+	all := lint.All()
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := all
+	if *runNames != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*runNames, ",") {
+			name = strings.TrimSpace(name)
+			found := false
+			for _, a := range all {
+				if a.Name == name {
+					analyzers = append(analyzers, a)
+					found = true
+					break
+				}
+			}
+			if !found {
+				fmt.Fprintf(os.Stderr, "fgnvm-lint: unknown analyzer %q (see -list)\n", name)
+				return 2
+			}
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fgnvm-lint:", err)
+		return 2
+	}
+	diags, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fgnvm-lint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "fgnvm-lint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		return 1
+	}
+	return 0
+}

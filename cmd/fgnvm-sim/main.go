@@ -95,14 +95,14 @@ func run() error {
 			}
 			return flag.Set(name, val)
 		}
-		for file, fl := range map[string]string{
-			"design": "design", "sags": "sags", "cds": "cds",
-			"bench": "bench", "instructions": "n", "seed": "seed",
-			"lanes": "lanes", "scheduler": "scheduler",
-			"skipllc": "skipllc", "trace": "trace",
+		for _, a := range []struct{ file, flag string }{
+			{"design", "design"}, {"sags", "sags"}, {"cds", "cds"},
+			{"bench", "bench"}, {"instructions", "n"}, {"seed", "seed"},
+			{"lanes", "lanes"}, {"scheduler", "scheduler"},
+			{"skipllc", "skipllc"}, {"trace", "trace"},
 		} {
-			if err := assign(fl, kv.String(file, "")); err != nil {
-				return fmt.Errorf("config key %s: %w", file, err)
+			if err := assign(a.flag, kv.String(a.file, "")); err != nil {
+				return fmt.Errorf("config key %s: %w", a.file, err)
 			}
 		}
 		if err := kv.CheckUnused(); err != nil {
@@ -231,7 +231,7 @@ func printResult(r fgnvm.Result) {
 	fmt.Printf("design            %s (%d SAGs x %d CDs)\n", r.Design, r.SAGs, r.CDs)
 	fmt.Printf("benchmark         %s (%d core(s))\n", r.Benchmark, r.Cores)
 	fmt.Printf("instructions      %d\n", r.Instructions)
-	fmt.Printf("memory cycles     %d (%.1f us at 400 MHz)\n", r.Cycles, float64(r.Cycles)*2.5/1000)
+	fmt.Printf("memory cycles     %d (%.1f us at 400 MHz)\n", r.Cycles, timing.Paper().ToNS(r.Cycles)/1000)
 	fmt.Printf("IPC               %.4f\n", r.IPC)
 	fmt.Printf("reads / writes    %d / %d\n", r.Reads, r.Writes)
 	fmt.Printf("activations       %d (%d segment hits)\n", r.Activations, r.SegmentHits)

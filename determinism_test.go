@@ -1,0 +1,56 @@
+package fgnvm
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestRunIsByteDeterministic runs the same simulation twice and
+// requires byte-identical Result JSON — a stronger check than
+// TestRunIsDeterministic's DeepEqual, because it covers the serialized
+// form (field ordering, float formatting, omitted fields) with the
+// full telemetry subsystem attached. Everything downstream leans on
+// this contract: the server's canonical-hash result cache, the
+// Perfetto trace byte-identity tests, and fgnvm-sweep's parallel
+// workers all assume a run is a pure function of its Options. The
+// determinism analyzer in internal/lint enforces the sources of
+// nondeterminism it can see statically (wall clock, global rand, map
+// iteration); this test catches whatever slips past it.
+func TestRunIsByteDeterministic(t *testing.T) {
+	opts := Options{
+		Design: DesignFgNVM, SAGs: 8, CDs: 2,
+		Benchmark: "lbm", Instructions: 20_000, Seed: 7,
+		Telemetry: &TelemetryOptions{Attribution: true, Occupancy: true},
+	}
+	encode := func() []byte {
+		r, err := Run(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	first := encode()
+	second := encode()
+	if !bytes.Equal(first, second) {
+		// Pinpoint the first divergence to make the failure actionable.
+		n := len(first)
+		if len(second) < n {
+			n = len(second)
+		}
+		i := 0
+		for i < n && first[i] == second[i] {
+			i++
+		}
+		lo := i - 40
+		if lo < 0 {
+			lo = 0
+		}
+		t.Fatalf("identical Options produced different results; first divergence at byte %d:\n run 1: …%s\n run 2: …%s",
+			i, first[lo:min(i+40, len(first))], second[lo:min(i+40, len(second))])
+	}
+}

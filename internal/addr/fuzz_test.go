@@ -1,0 +1,72 @@
+package addr_test
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+)
+
+// fuzzGeometry derives a valid Geometry and Interleave from two fuzz
+// bytes: every byte pair maps to power-of-two dimensions that satisfy
+// Validate, so the fuzzer spends its budget on the translation logic
+// rather than on input rejection.
+func fuzzGeometry(gsel, ivsel uint8) (addr.Geometry, addr.Interleave) {
+	g := addr.Geometry{
+		Channels:  1 << (gsel & 1),        // 1..2
+		Ranks:     1 << ((gsel >> 1) & 1), // 1..2
+		Banks:     1 << ((gsel >> 2) & 3), // 1..8
+		Rows:      1 << (6 + (gsel>>4)&3), // 64..512
+		Cols:      1 << (4 + (gsel>>6)&1), // 16..32
+		LineBytes: 64,
+		SAGs:      1 << ((ivsel >> 1) & 3), // 1..8, always <= Rows
+		CDs:       1 << ((ivsel >> 3) & 3), // 1..8, always <= Cols
+	}
+	iv := addr.RowBankRankChanCol
+	if ivsel&1 == 1 {
+		iv = addr.RowColBankRankChan
+	}
+	return g, iv
+}
+
+// FuzzPhysToTileRoundTrip checks, for arbitrary physical addresses and
+// geometries, that Decode always yields an in-bounds Location whose
+// SAG/CD projection is in range, and that Encode inverts Decode exactly
+// (modulo the documented wrap above the modeled capacity and the line
+// offset, which Encode leaves zero).
+func FuzzPhysToTileRoundTrip(f *testing.F) {
+	f.Add(uint64(0), uint8(0), uint8(0))
+	f.Add(uint64(0xFFFF_FFFF_FFFF_FFFF), uint8(0xFF), uint8(0xFF))
+	f.Add(uint64(1)<<33, uint8(0x5A), uint8(0x0B))
+	f.Add(uint64(4096), uint8(0xC4), uint8(0x17))
+	f.Fuzz(func(t *testing.T, pa uint64, gsel, ivsel uint8) {
+		g, iv := fuzzGeometry(gsel, ivsel)
+		m, err := addr.NewMapper(g, iv)
+		if err != nil {
+			t.Fatalf("fuzzGeometry produced an invalid geometry %+v: %v", g, err)
+		}
+
+		loc := m.Decode(pa)
+		if !m.Valid(loc) {
+			t.Fatalf("Decode(%#x) = %+v out of bounds for %+v", pa, loc, g)
+		}
+		if sag := g.SAG(loc.Row); sag < 0 || sag >= g.SAGs {
+			t.Fatalf("SAG(%d) = %d out of [0,%d)", loc.Row, sag, g.SAGs)
+		}
+		if cd := g.CD(loc.Col); cd < 0 || cd >= g.CDs {
+			t.Fatalf("CD(%d) = %d out of [0,%d)", loc.Col, cd, g.CDs)
+		}
+
+		// Encode∘Decode reproduces the address within the modeled bits,
+		// with the intra-line offset zeroed.
+		mask := uint64(1)<<m.AddressBits() - 1
+		lineMask := uint64(g.LineBytes) - 1
+		want := pa & mask &^ lineMask
+		if got := m.Encode(loc); got != want {
+			t.Fatalf("Encode(Decode(%#x)) = %#x, want %#x (geometry %+v, %v)", pa, got, want, g, iv)
+		}
+		// Decode∘Encode is the identity on in-bounds locations.
+		if back := m.Decode(m.Encode(loc)); back != loc {
+			t.Fatalf("Decode(Encode(%+v)) = %+v (geometry %+v, %v)", loc, back, g, iv)
+		}
+	})
+}

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/energy"
+	"repro/internal/invariant"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/timing"
@@ -42,6 +43,10 @@ type Baseline struct {
 
 	sink telemetry.Sink
 	id   telemetry.BankID
+
+	// inv re-checks serialization as the degenerate 1×1 tile grid.
+	// Only non-nil under the fgnvm_invariants build tag.
+	inv *invariant.TileTracker
 }
 
 // NewBaseline builds a baseline bank. writeDrivers is the number of bits
@@ -57,7 +62,7 @@ func NewBaseline(g addr.Geometry, t timing.Timings, em *energy.Model, writeDrive
 		return nil, fmt.Errorf("bank: writeDrivers = %d", writeDrivers)
 	}
 	lineBits := g.LineBytes * 8
-	return &Baseline{
+	b := &Baseline{
 		geom:     g,
 		tim:      t,
 		emod:     em,
@@ -65,7 +70,11 @@ func NewBaseline(g addr.Geometry, t timing.Timings, em *energy.Model, writeDrive
 		lineBits: lineBits,
 		rowBits:  g.RowBytes() * 8,
 		pulses:   sim.Tick((lineBits + writeDrivers - 1) / writeDrivers),
-	}, nil
+	}
+	if invariant.Enabled {
+		b.inv = invariant.NewTileTracker(1, 1, false)
+	}
+	return b, nil
 }
 
 // SetTelemetry attaches a telemetry sink (nil detaches). The baseline
@@ -96,6 +105,9 @@ func (b *Baseline) Activate(row int, now sim.Tick) sim.Tick {
 	}
 	b.openRow = row
 	ready := now + b.tim.TRCD
+	if b.inv != nil {
+		b.inv.Sense(0, 0, row, uint64(now), uint64(now+b.tim.TRCD+b.tim.TCAS))
+	}
 	if end := now + b.tim.TRCD + b.tim.TCAS; end > b.busyUntil {
 		b.busyUntil = end
 	}
@@ -148,6 +160,9 @@ func (b *Baseline) Write(row int, now sim.Tick) sim.Tick {
 		panic(fmt.Sprintf("bank: Write at %d while busy", now))
 	}
 	done := now + b.tim.TCWD + b.pulses*b.tim.TWP + b.tim.TWR
+	if b.inv != nil {
+		b.inv.Write(0, 0, uint64(now), uint64(done))
+	}
 	b.busyUntil = done
 	b.writeBusy = done
 	b.colReady = now + b.tim.TCCD

@@ -14,6 +14,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/core"
 	"repro/internal/energy"
+	"repro/internal/invariant"
 	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -376,9 +377,15 @@ func (c *Controller) Cycle(now sim.Tick) {
 		// that issued this cycle does not count this cycle — matching
 		// the attribution pass, which classifies exactly the requests
 		// still queued at this point.
-		c.st.QueuedWaitCycles.Add(uint64(c.readQ[ch].Len() + c.writeQ[ch].Len()))
+		queued := c.readQ[ch].Len() + c.writeQ[ch].Len()
+		c.st.QueuedWaitCycles.Add(uint64(queued))
 		if c.tel != nil {
-			c.attributeStalls(ch, now)
+			emitted := c.attributeStalls(ch, now)
+			if invariant.Enabled {
+				invariant.Assertf(emitted == queued,
+					"stall attribution emitted %d events for %d queued requests (channel %d, tick %d): "+
+						"per-cause buckets no longer sum to QueuedWaitCycles", emitted, queued, ch, now)
+			}
 		}
 	}
 }
@@ -386,9 +393,12 @@ func (c *Controller) Cycle(now sim.Tick) {
 // attributeStalls classifies, for one channel, every request still
 // queued after this cycle's scheduling, emitting exactly one StallEvent
 // per request — the conservation invariant the stall-attribution engine
-// relies on (sum of attributed causes == QueuedWaitCycles).
-func (c *Controller) attributeStalls(ch int, now sim.Tick) {
+// relies on (sum of attributed causes == QueuedWaitCycles). It returns
+// the number of events emitted so the tagged build can assert that.
+func (c *Controller) attributeStalls(ch int, now sim.Tick) int {
+	emitted := 0
 	c.readQ[ch].Scan(func(_ int, r *mem.Request) bool {
+		emitted++
 		b := c.bankOf(r)
 		c.tel.Stall(telemetry.StallEvent{
 			ReqID: r.ID, Loc: r.Loc,
@@ -398,6 +408,7 @@ func (c *Controller) attributeStalls(ch int, now sim.Tick) {
 		return true
 	})
 	c.writeQ[ch].Scan(func(_ int, w *mem.Request) bool {
+		emitted++
 		b := c.bankOf(w)
 		c.tel.Stall(telemetry.StallEvent{
 			ReqID: w.ID, Write: true, Loc: w.Loc,
@@ -406,6 +417,7 @@ func (c *Controller) attributeStalls(ch int, now sim.Tick) {
 		})
 		return true
 	})
+	return emitted
 }
 
 // classifyReadStall attributes one waiting cycle of a queued read. The

@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/energy"
+	"repro/internal/invariant"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/timing"
@@ -131,6 +132,11 @@ type Bank struct {
 	colReady []sim.Tick   // per CD: earliest next column command (tCCD spacing)
 	writeEnd sim.Tick     // completion tick of the latest-ending write
 
+	// inv independently re-checks the Section 4 conflict rules on every
+	// issued operation. Only non-nil under the fgnvm_invariants build
+	// tag; the default build carries just this nil field.
+	inv *invariant.TileTracker
+
 	// Statistics.
 	acts        uint64 // activations issued (full or partial)
 	partialActs uint64
@@ -180,6 +186,9 @@ func NewBank(cfg Config) (*Bank, error) {
 		for c := range b.openSeg[s] {
 			b.openSeg[s][c] = -1
 		}
+	}
+	if invariant.Enabled {
+		b.inv = invariant.NewTileTracker(cfg.Geom.SAGs, cfg.Geom.CDs, cfg.Modes.LocalSenseAmps)
 	}
 	return b, nil
 }
@@ -333,6 +342,14 @@ func (b *Bank) Activate(row, col int, now sim.Tick) sim.Tick {
 		b.segReady[s][c] = ready
 	}
 
+	if b.inv != nil {
+		cd := invariant.AllCDs
+		if b.modes.PartialActivation {
+			cd = b.cd(col)
+		}
+		b.inv.Sense(s, cd, row, uint64(now), uint64(senseEnd))
+	}
+
 	b.acts++
 	if b.modes.PartialActivation {
 		latch(b.cd(col))
@@ -452,6 +469,9 @@ func (b *Bank) Write(row, col int, now sim.Tick) sim.Tick {
 	}
 	s, c := b.sag(row), b.cd(col)
 	done := now + b.WriteOccupancy()
+	if b.inv != nil {
+		b.inv.Write(s, c, uint64(now), uint64(done))
+	}
 	if b.busyAnywhere(now) {
 		b.overlapped++
 	}

@@ -1,0 +1,44 @@
+//go:build !fgnvm_invariants
+
+package invariant
+
+import "testing"
+
+func TestAssertInertWithoutTag(t *testing.T) {
+	if Enabled {
+		t.Fatal("Enabled must be false without the fgnvm_invariants tag")
+	}
+	// Even a false condition is a no-op in the default build.
+	Assert(false, "must not fire")
+	Assertf(false, "must not fire %d", 1)
+}
+
+// TestGuardedAssertIsFree pins the zero-cost contract: the canonical
+// call pattern — an Enabled guard around Assertf — must not allocate
+// in the default build, i.e. the variadic argument slice is never
+// constructed.
+func TestGuardedAssertIsFree(t *testing.T) {
+	counter := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		counter++
+		if Enabled {
+			Assertf(counter >= 0, "counter %d went negative", counter)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("guarded Assertf allocates %.1f times per call in the default build, want 0", allocs)
+	}
+}
+
+// BenchmarkGuardedAssert documents the per-call cost of a compiled-out
+// assertion (it should be indistinguishable from the bare increment).
+func BenchmarkGuardedAssert(b *testing.B) {
+	counter := 0
+	for i := 0; i < b.N; i++ {
+		counter++
+		if Enabled {
+			Assertf(counter >= 0, "counter %d went negative", counter)
+		}
+	}
+	_ = counter
+}

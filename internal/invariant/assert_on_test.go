@@ -1,0 +1,24 @@
+//go:build fgnvm_invariants
+
+package invariant
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAssertLiveWhenTagged(t *testing.T) {
+	if !Enabled {
+		t.Fatal("Enabled must be true under the fgnvm_invariants tag")
+	}
+	Assert(true, "nothing wrong")
+	Assertf(true, "nothing wrong %d", 1)
+	msg := mustPanic(t, func() { Assert(false, "clock ran backwards") })
+	if !strings.Contains(msg, "clock ran backwards") {
+		t.Errorf("Assert panic %q lost its message", msg)
+	}
+	msg = mustPanic(t, func() { Assertf(false, "tick %d before %d", 3, 7) })
+	if !strings.Contains(msg, "tick 3 before 7") {
+		t.Errorf("Assertf panic %q lost its formatting", msg)
+	}
+}

@@ -1,0 +1,28 @@
+//go:build fgnvm_invariants
+
+// Enabled build: assertions are live. See doc.go for the contract.
+package invariant
+
+import "fmt"
+
+// Enabled reports whether invariant checking is compiled in. It is a
+// constant so that guarded blocks (`if invariant.Enabled { ... }`) are
+// dead-code-eliminated in the default build.
+const Enabled = true
+
+// Assert panics with msg if cond is false.
+func Assert(cond bool, msg string) {
+	if !cond {
+		panic("invariant: " + msg)
+	}
+}
+
+// Assertf panics with the formatted message if cond is false. The
+// arguments are only evaluated here, inside the tagged build; callers
+// that need to avoid even argument construction in hot paths should
+// guard the call with invariant.Enabled.
+func Assertf(cond bool, format string, args ...any) {
+	if !cond {
+		panic(fmt.Sprintf("invariant: "+format, args...))
+	}
+}

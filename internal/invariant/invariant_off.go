@@ -1,0 +1,14 @@
+//go:build !fgnvm_invariants
+
+// Disabled build (the default): Enabled is a false constant and every
+// assertion is a no-op, so guarded call sites compile away entirely.
+package invariant
+
+// Enabled reports whether invariant checking is compiled in.
+const Enabled = false
+
+// Assert does nothing in the default build.
+func Assert(bool, string) {}
+
+// Assertf does nothing in the default build.
+func Assertf(bool, string, ...any) {}

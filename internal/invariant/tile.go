@@ -1,0 +1,138 @@
+package invariant
+
+import "fmt"
+
+// AllCDs marks a span that occupies every column division of its bank —
+// a full-row activation sensing through all bank-edge amplifiers.
+const AllCDs = -1
+
+// span is one in-flight device operation: a sense or a write pulse
+// train occupying tile (sag, cd) for [start, end).
+type span struct {
+	sag   int
+	cd    int // AllCDs for a full-row activation
+	row   int
+	write bool
+	start uint64
+	end   uint64
+}
+
+// TileTracker independently re-checks the Section 4 conflict rules on
+// the stream of operations a bank actually issues. It is a deliberately
+// separate implementation from core.Bank's busy-until bookkeeping: the
+// bank decides what is legal, the tracker re-derives legality from
+// first principles, and a disagreement panics.
+//
+// The rules, in span terms — for any two time-overlapping operations in
+// one bank:
+//
+//   - sense vs sense, same SAG: only legal when both sense the same row
+//     (the SAG has one row-address latch) and through disjoint CDs.
+//   - sense vs sense, different SAGs: the CDs must be disjoint
+//     (Multi-Activation), unless the bank has local sense amplifiers,
+//     which remove the shared bank-edge sense path.
+//   - any pair involving a write: the SAGs must differ and the CDs must
+//     be disjoint (Backgrounded Writes); local sense amplifiers waive
+//     only the CD half for sense-vs-write pairs.
+//
+// Configurations that forbid intra-bank parallelism (the baseline,
+// Multi-Activation off) satisfy these vacuously: they never produce
+// overlapping spans in the first place.
+//
+// Ticks are plain uint64 rather than sim.Tick so that internal/sim can
+// itself depend on this package without a cycle.
+type TileTracker struct {
+	sags, cds int
+	localSA   bool
+	live      []span
+}
+
+// NewTileTracker returns a tracker for one bank of sags x cds tiles.
+// localSA selects the DRAM-SALP rule variant (per-subarray sense
+// amplifiers, no shared CD sense path for activations).
+func NewTileTracker(sags, cds int, localSA bool) *TileTracker {
+	if sags < 1 || cds < 1 {
+		panic(fmt.Sprintf("invariant: TileTracker geometry %dx%d", sags, cds))
+	}
+	return &TileTracker{sags: sags, cds: cds, localSA: localSA}
+}
+
+// Sense records an activation of row through column division cd
+// (AllCDs for a full-row activation) occupying [start, end), after
+// checking it against every live span.
+func (t *TileTracker) Sense(sag, cd, row int, start, end uint64) {
+	t.note(span{sag: sag, cd: cd, row: row, start: start, end: end})
+}
+
+// Write records a line-write pulse train on tile (sag, cd) occupying
+// [start, end), after checking it against every live span.
+func (t *TileTracker) Write(sag, cd int, start, end uint64) {
+	t.note(span{sag: sag, cd: cd, row: -1, write: true, start: start, end: end})
+}
+
+func (t *TileTracker) note(s span) {
+	if s.sag < 0 || s.sag >= t.sags {
+		panic(fmt.Sprintf("invariant: SAG %d out of range [0,%d)", s.sag, t.sags))
+	}
+	if s.cd != AllCDs && (s.cd < 0 || s.cd >= t.cds) {
+		panic(fmt.Sprintf("invariant: CD %d out of range [0,%d)", s.cd, t.cds))
+	}
+	if s.end < s.start {
+		panic(fmt.Sprintf("invariant: span ends at %d before it starts at %d", s.end, s.start))
+	}
+	// Retire spans that completed before the new operation began, then
+	// check the newcomer against everything still in flight.
+	kept := t.live[:0]
+	for _, old := range t.live {
+		if old.end <= s.start {
+			continue
+		}
+		kept = append(kept, old)
+		if old.start < s.end && s.start < old.end {
+			t.check(old, s)
+		}
+	}
+	t.live = append(kept, s)
+}
+
+// check panics unless the two time-overlapping spans a and b are a
+// legal concurrent pair under the rules in the type comment.
+func (t *TileTracker) check(a, b span) {
+	cdsDisjoint := a.cd != AllCDs && b.cd != AllCDs && a.cd != b.cd
+	switch {
+	case a.write || b.write:
+		if a.sag == b.sag {
+			t.violate(a, b, "a write shares its SAG with a concurrent operation")
+		}
+		if !t.localSA && !cdsDisjoint {
+			t.violate(a, b, "a write shares a CD with a concurrent operation")
+		}
+	case a.sag == b.sag:
+		if a.row != b.row {
+			t.violate(a, b, "two rows selected concurrently in one SAG")
+		}
+		if !cdsDisjoint {
+			t.violate(a, b, "one segment sensed twice concurrently")
+		}
+	default:
+		if !t.localSA && !cdsDisjoint {
+			t.violate(a, b, "two SAGs sensing through one CD's bank-edge amplifiers")
+		}
+	}
+}
+
+func (t *TileTracker) violate(a, b span, msg string) {
+	panic(fmt.Sprintf("invariant: %s: %s overlaps %s", msg, a, b))
+}
+
+func (s span) String() string {
+	kind := "sense"
+	if s.write {
+		kind = "write"
+	}
+	cd := fmt.Sprintf("%d", s.cd)
+	if s.cd == AllCDs {
+		cd = "*"
+	}
+	return fmt.Sprintf("%s(sag=%d cd=%s row=%d)@[%d,%d)", kind, s.sag, cd, s.row, s.start, s.end)
+}

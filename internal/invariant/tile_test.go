@@ -1,0 +1,117 @@
+package invariant
+
+import (
+	"strings"
+	"testing"
+)
+
+// mustPanic runs fn and returns the recovered panic message, failing
+// the test if fn returns normally.
+func mustPanic(t *testing.T, fn func()) (msg string) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected an invariant violation, got none")
+		}
+		msg = r.(string)
+	}()
+	fn()
+	return
+}
+
+func TestMultiActivationLegal(t *testing.T) {
+	// The paper's headline case: concurrent senses in different SAGs
+	// and different CDs, plus a backgrounded write in a third tile.
+	tr := NewTileTracker(8, 2, false)
+	tr.Sense(0, 0, 10, 100, 130)
+	tr.Sense(1, 1, 21, 105, 135) // different SAG, different CD: legal
+	tr.Write(2, 0, 131, 400)     // SAG 2, CD 0: both senses retired or disjoint
+	tr.Sense(3, 1, 7, 140, 170)  // read under the backgrounded write
+}
+
+func TestSameRowPipelinedSense(t *testing.T) {
+	// One SAG may sense two segments of the SAME row concurrently
+	// (single row-address latch, two CD paths).
+	tr := NewTileTracker(4, 2, false)
+	tr.Sense(0, 0, 5, 100, 130)
+	tr.Sense(0, 1, 5, 110, 140)
+}
+
+func TestSameSAGDifferentRowsViolates(t *testing.T) {
+	tr := NewTileTracker(4, 2, false)
+	tr.Sense(0, 0, 5, 100, 130)
+	msg := mustPanic(t, func() { tr.Sense(0, 1, 6, 110, 140) })
+	if !strings.Contains(msg, "two rows") {
+		t.Errorf("panic message %q does not name the rule", msg)
+	}
+}
+
+func TestSameCDSensesViolate(t *testing.T) {
+	tr := NewTileTracker(4, 2, false)
+	tr.Sense(0, 0, 5, 100, 130)
+	msg := mustPanic(t, func() { tr.Sense(1, 0, 9, 110, 140) })
+	if !strings.Contains(msg, "bank-edge amplifiers") {
+		t.Errorf("panic message %q does not name the rule", msg)
+	}
+}
+
+func TestLocalSenseAmpsWaiveCD(t *testing.T) {
+	// DRAM-SALP mode: per-subarray amplifiers, so same-CD senses in
+	// different SAGs are legal...
+	tr := NewTileTracker(4, 2, true)
+	tr.Sense(0, 0, 5, 100, 130)
+	tr.Sense(1, 0, 9, 110, 140)
+	// ...but one SAG still has a single row-address latch.
+	mustPanic(t, func() { tr.Sense(0, 1, 6, 120, 150) })
+}
+
+func TestWriteExclusivity(t *testing.T) {
+	tr := NewTileTracker(4, 2, false)
+	tr.Write(0, 0, 100, 400)
+	// Same SAG as the write: illegal even in another CD.
+	msg := mustPanic(t, func() { tr.Sense(0, 1, 3, 200, 230) })
+	if !strings.Contains(msg, "write shares its SAG") {
+		t.Errorf("panic message %q does not name the rule", msg)
+	}
+	// Same CD as the write, different SAG: the write drivers hold the
+	// column path.
+	msg = mustPanic(t, func() { tr.Sense(1, 0, 3, 200, 230) })
+	if !strings.Contains(msg, "write shares a CD") {
+		t.Errorf("panic message %q does not name the rule", msg)
+	}
+	// Disjoint tile: the Backgrounded Writes case, legal.
+	tr.Sense(1, 1, 3, 200, 230)
+	// Two writes may overlap only on disjoint tiles.
+	tr.Write(2, 1, 250, 500)
+	mustPanic(t, func() { tr.Write(3, 0, 300, 550) }) // CD 0 still writing
+}
+
+func TestFullRowActivationOccupiesAllCDs(t *testing.T) {
+	tr := NewTileTracker(4, 2, false)
+	tr.Sense(0, AllCDs, 5, 100, 130)
+	mustPanic(t, func() { tr.Sense(1, 1, 9, 110, 140) })
+	// After the full-row sense retires, the bank is free again.
+	tr.Sense(1, 1, 9, 130, 160)
+}
+
+func TestSpanRetirement(t *testing.T) {
+	// Back-to-back serialized operations on one tile never overlap and
+	// must never trip the tracker; the live list must not grow.
+	tr := NewTileTracker(1, 1, false)
+	for i := 0; i < 100; i++ {
+		start := uint64(i) * 50
+		tr.Sense(0, 0, i, start, start+30)
+	}
+	if n := len(tr.live); n != 1 {
+		t.Errorf("live spans after serialized workload: %d, want 1", n)
+	}
+}
+
+func TestTrackerRejectsBadSpans(t *testing.T) {
+	tr := NewTileTracker(2, 2, false)
+	mustPanic(t, func() { tr.Sense(2, 0, 1, 0, 10) }) // SAG out of range
+	mustPanic(t, func() { tr.Sense(0, 5, 1, 0, 10) }) // CD out of range
+	mustPanic(t, func() { tr.Sense(0, 0, 1, 10, 5) }) // end before start
+	mustPanic(t, func() { NewTileTracker(0, 1, false) })
+}

@@ -1,0 +1,126 @@
+// Package loading for the lint suite. Without golang.org/x/tools on
+// hand, packages are discovered with `go list -export -json -deps`
+// (which also compiles export data for every dependency into the build
+// cache) and type-checked from source with go/types, importing
+// dependencies through the gc export-data reader — the same pipeline
+// go/packages uses, in miniature.
+
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File // non-test syntax, in GoFiles order
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listedPackage mirrors the fields of `go list -json` output the
+// loader needs.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load lists, parses and type-checks the packages matching patterns
+// (relative to dir; "" means the current directory). Test files are
+// not loaded: the analyzers' rules target shipped simulator code, and
+// tests legitimately use maps, wall-clock timeouts and randomness.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-export", "-json", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var targets []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("lint: loading %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var pkgs []*Package
+	for _, p := range targets {
+		files := make([]*ast.File, 0, len(p.GoFiles))
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("lint: parsing %s: %w", name, err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: type-checking %s: %w", p.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			ImportPath: p.ImportPath,
+			Dir:        p.Dir,
+			Fset:       fset,
+			Files:      files,
+			Types:      tpkg,
+			Info:       info,
+		})
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,73 @@
+// Package determinism is the fixture for the determinism analyzer:
+// each "want" comment marks a line the analyzer must flag; everything
+// else must stay silent.
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// wallClock reads the host clock: flagged.
+func wallClock() int64 {
+	return time.Now().UnixNano() // want "time.Now"
+}
+
+// globalRand draws from the process-global generator: flagged.
+func globalRand() int {
+	return rand.Intn(8) // want "global"
+}
+
+// seededRand owns a private seeded generator: allowed.
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(8)
+}
+
+// unsortedWalk's iteration order leaks into its result: flagged.
+func unsortedWalk(m map[string]int) string {
+	out := ""
+	for k := range m { // want "range over map"
+		out += k
+	}
+	return out
+}
+
+// sortedWalk collects keys (allowed collection loop), sorts, iterates.
+func sortedWalk(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += k
+	}
+	return out
+}
+
+// guardedCollect is the filtered collection form: allowed.
+func guardedCollect(m, seen map[string]bool) []string {
+	var out []string
+	for k := range m {
+		if !seen[k] {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// waivedSum is order-independent and says so: allowed via waiver.
+func waivedSum(m map[string]int) int {
+	total := 0
+	//lint:allow rangemap integer addition is commutative
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+var _ = []any{wallClock, globalRand, seededRand, unsortedWalk, sortedWalk, guardedCollect, waivedSum}

@@ -1,0 +1,68 @@
+// Package hookpurity is the fixture for the hook-purity analyzer:
+// telemetry sinks and kernel hooks must observe, never mutate.
+package hookpurity
+
+import (
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+var globalEvents int
+
+// GoodSink accumulates only its own state: allowed.
+type GoodSink struct {
+	commands int
+	lastTick sim.Tick
+}
+
+func (s *GoodSink) Command(ev telemetry.Command) {
+	s.commands++
+	s.lastTick = ev.Start
+}
+func (s *GoodSink) Request(telemetry.RequestEvent) {}
+func (s *GoodSink) Stall(telemetry.StallEvent)     {}
+
+// BadSink writes package state and drives the engine: flagged twice.
+type BadSink struct {
+	eng *sim.Engine
+}
+
+func (s *BadSink) Command(telemetry.Command) {
+	globalEvents++                       // want "package-level state"
+	s.eng.Schedule(1, func(sim.Tick) {}) // want "state-mutating"
+}
+func (s *BadSink) Request(telemetry.RequestEvent) {}
+func (s *BadSink) Stall(telemetry.StallEvent)     {}
+
+// Sampler has the sim.Hook signature, so its body is held to the same
+// rules even though it is not a Sink method.
+type Sampler struct {
+	depth int
+}
+
+// EngineSample observes queue depth: allowed.
+func (s *Sampler) EngineSample(now sim.Tick, pending int) {
+	if pending > s.depth {
+		s.depth = pending
+	}
+}
+
+// DrainSample advances the engine from inside a hook: flagged.
+func (s *Sampler) DrainSample(now sim.Tick, pending int) {
+	s.eng().Advance(now) // want "state-mutating"
+}
+
+func (s *Sampler) eng() *sim.Engine { return nil }
+
+func installHooks(eng *sim.Engine) {
+	// Observation-only literal: allowed.
+	eng.SetHook(func(now sim.Tick, pending int) {
+		_ = pending
+	})
+	// Mutating literal: flagged.
+	eng.SetHook(func(now sim.Tick, pending int) {
+		eng.Advance(now) // want "state-mutating"
+	})
+}
+
+var _ = []any{globalEvents, installHooks}

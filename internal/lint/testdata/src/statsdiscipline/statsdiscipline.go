@@ -1,0 +1,32 @@
+// Package statsdiscipline is the fixture for the stats-discipline
+// analyzer: counters are written only by their owning package.
+package statsdiscipline
+
+import (
+	"repro/internal/controller"
+	"repro/internal/stats"
+)
+
+// Own aggregates this package's counters: freely writable here.
+type Own struct {
+	Hits stats.Counter
+	Lat  stats.Distribution
+}
+
+func record(o *Own) uint64 {
+	o.Hits.Inc()     // allowed: field of an Own struct declared here
+	o.Lat.Observe(1) // allowed
+	var scratch stats.Counter
+	scratch.Add(2) // allowed: bare local counter
+	return scratch.Value()
+}
+
+// tamper reaches into the controller's statistics: flagged.
+func tamper(st *controller.Stats) uint64 {
+	st.Reads.Inc()                // want "owned by package"
+	st.ReadLatencyHist.Observe(3) // want "owned by package"
+	st.QueuedWaitCycles.Add(7)    // want "owned by package"
+	return st.Reads.Value()       // allowed: reading is everyone's right
+}
+
+var _ = []any{record, tamper}

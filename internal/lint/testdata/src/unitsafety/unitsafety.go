@@ -1,0 +1,42 @@
+// Package unitsafety is the fixture for the unit-safety analyzer:
+// cycle⇄nanosecond conversions must go through internal/timing.
+package unitsafety
+
+import (
+	"repro/internal/sim"
+	"repro/internal/timing"
+)
+
+// cyclesToMicros hard-codes the 2.5 ns/cycle clock factor: flagged.
+func cyclesToMicros(c sim.Tick) float64 {
+	return float64(c) * 2.5 / 1000 // want "bare constant"
+}
+
+// nsToCycles re-derives the clock inline: flagged.
+func nsToCycles(ns float64) sim.Tick {
+	return sim.Tick(ns) / 400 // want "bare constant"
+}
+
+// toNS routes the crossing through internal/timing: allowed.
+func toNS(t timing.Timings, c sim.Tick) float64 {
+	return t.ToNS(c)
+}
+
+// ratio divides cycles by cycles — dimensionless, no constant: allowed.
+func ratio(a, b sim.Tick) float64 {
+	return float64(a) / float64(b)
+}
+
+// double scales cycles by a pure number without leaving the cycle
+// domain: allowed.
+func double(a sim.Tick) sim.Tick {
+	return a * 2
+}
+
+// waived documents a deliberate fixed-clock shortcut: allowed.
+func waived(c sim.Tick) float64 {
+	//lint:allow unitsafety fixture demonstrates the waiver
+	return float64(c) * 2.5
+}
+
+var _ = []any{cyclesToMicros, nsToCycles, toNS, ratio, double, waived}

@@ -1,0 +1,87 @@
+// The unit-safety analyzer. The simulator has two time domains: device
+// parameters quoted in nanoseconds (timing.PCMTimingsNS) and the
+// cycle domain everything computes in (sim.Tick). internal/timing owns
+// the only sanctioned crossings (CyclesCeil, New, ToNS, NsPerCycle);
+// ad-hoc conversions with hard-coded clock factors elsewhere silently
+// desynchronize from the configured clock — the classic "2.5 ns per
+// cycle" literal that breaks the moment someone runs at 533 MHz.
+
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// UnitSafety flags arithmetic in which a conversion to or from
+// sim.Tick is combined with a bare numeric constant — the fingerprint
+// of an inline cycles⇄nanoseconds conversion. The fix is to route the
+// crossing through internal/timing (Timings.ToNS, CyclesCeil) or to
+// name the constant there. Pure cycle arithmetic (Tick op Tick),
+// conversions without constant factors (float64(latency) fed to a
+// statistics sink), and internal/timing and internal/sim themselves
+// are exempt.
+var UnitSafety = &Analyzer{
+	Name: "unitsafety",
+	Doc:  "cycle⇄nanosecond conversions must go through internal/timing",
+	Scope: func(pkgPath string) bool {
+		return !pathHasSuffix(pkgPath, "internal/timing") &&
+			!pathHasSuffix(pkgPath, "internal/sim")
+	},
+	Run: runUnitSafety,
+}
+
+func runUnitSafety(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			switch be.Op {
+			case token.MUL, token.QUO:
+				// Scaling by a constant is the fingerprint of a unit
+				// conversion; additive offsets (cycles + 1) are not.
+			default:
+				return true
+			}
+			x, y := unparen(be.X), unparen(be.Y)
+			for _, pair := range [2][2]ast.Expr{{x, y}, {y, x}} {
+				conv, other := pair[0], pair[1]
+				if !isTickConversion(pass, conv) {
+					continue
+				}
+				if tv, ok := pass.Info.Types[other]; ok && tv.Value != nil {
+					if pass.Allowed(be, "unitsafety") {
+						return true
+					}
+					pass.Reportf(be.Pos(),
+						"sim.Tick conversion combined with bare constant %s: unit crossings "+
+							"belong in internal/timing (use Timings.ToNS / timing.CyclesCeil "+
+							"or a named constant there)", tv.Value.String())
+					return true
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isTickConversion reports whether e is a type conversion whose source
+// or destination is sim.Tick (e.g. float64(cycles) or sim.Tick(ns)).
+func isTickConversion(pass *Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return false
+	}
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return false
+	}
+	if isNamed(tv.Type, "internal/sim", "Tick") {
+		return true
+	}
+	argT := pass.TypeOf(call.Args[0])
+	return argT != nil && isNamed(argT, "internal/sim", "Tick")
+}

@@ -15,6 +15,8 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+
+	"repro/internal/invariant"
 )
 
 // Tick is a point in simulated time, measured in memory-controller clock
@@ -116,6 +118,10 @@ func (e *Engine) Step() bool {
 		return false
 	}
 	it := heap.Pop(&e.events).(item)
+	if invariant.Enabled {
+		invariant.Assertf(it.when >= e.now,
+			"event queue time ran backwards: dispatching tick %d with clock at %d", it.when, e.now)
+	}
 	e.now = it.when
 	if e.hook != nil {
 		e.hook(it.when, len(e.events))

@@ -1,0 +1,65 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzHistogramPercentile feeds arbitrary sample sets and percentile
+// ranks to Histogram and checks the query contract: results stay
+// within [Min, Max], are monotonically non-decreasing in p, and the
+// documented clamping of NaN and out-of-range ranks holds.
+func FuzzHistogramPercentile(f *testing.F) {
+	f.Add([]byte{}, 50.0)
+	f.Add([]byte{0, 1, 2, 3, 200, 255}, 99.0)
+	f.Add([]byte{7}, math.NaN())
+	f.Add([]byte{1, 1, 1, 1}, -12.5)
+	f.Add([]byte{255, 0, 128}, 400.0)
+	f.Fuzz(func(t *testing.T, data []byte, p float64) {
+		var h Histogram
+		for i, b := range data {
+			// Spread the byte samples across the full bucket range so
+			// the open-ended last bucket and the multi-bucket paths get
+			// exercised, not just values 0..255.
+			h.Observe(uint64(b) << (uint(i) % 40))
+		}
+
+		got := h.Percentile(p)
+		if h.Count() == 0 {
+			if got != 0 {
+				t.Fatalf("Percentile(%v) on empty histogram = %d, want 0", p, got)
+			}
+			return
+		}
+		if got < h.Min() || got > h.Max() {
+			t.Fatalf("Percentile(%v) = %d outside [Min=%d, Max=%d]", p, got, h.Min(), h.Max())
+		}
+
+		// Monotonicity across the whole rank range, with the fuzzed p
+		// inserted at its clamped position.
+		ranks := []float64{0, 25, 50, 75, 90, 99, 100}
+		prev := uint64(0)
+		for i, r := range ranks {
+			v := h.Percentile(r)
+			if i > 0 && v < prev {
+				t.Fatalf("Percentile(%v) = %d < Percentile(%v) = %d: not monotonic", r, v, ranks[i-1], prev)
+			}
+			prev = v
+		}
+
+		// Clamping: NaN and p<0 behave as 0, p>100 as 100.
+		if math.IsNaN(p) || p < 0 {
+			if got != h.Percentile(0) {
+				t.Fatalf("Percentile(%v) = %d, want Percentile(0) = %d", p, got, h.Percentile(0))
+			}
+		}
+		if p > 100 {
+			if got != h.Percentile(100) {
+				t.Fatalf("Percentile(%v) = %d, want Percentile(100) = %d", p, got, h.Percentile(100))
+			}
+		}
+		if h.Percentile(100) != h.Max() {
+			t.Fatalf("Percentile(100) = %d, want Max = %d", h.Percentile(100), h.Max())
+		}
+	})
+}
