@@ -40,6 +40,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/dram"
 	"repro/internal/energy"
+	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/timing"
@@ -191,6 +192,14 @@ type Options struct {
 	// simulator hooks on their zero-allocation disabled path. Ignored
 	// by DesignDRAM (the reference system is not instrumented).
 	Telemetry *TelemetryOptions
+
+	// DisableFastForward forces the run loop to execute every
+	// controller cycle even when all cores are provably memory-blocked
+	// and the memory system quiescent. The fast-forward is exact — runs
+	// with and without it produce byte-identical Results (enforced by
+	// the differential test suite) — so this is a debug/verification
+	// knob, not a fidelity trade-off.
+	DisableFastForward bool
 }
 
 // AccessModeSet selects which of the paper's three access modes are
@@ -569,11 +578,18 @@ func RunContext(ctx context.Context, o Options) (Result, error) {
 	}
 
 	// The memory side: the NVM controller for every design except
-	// DesignDRAM, which runs the DDR reference system instead.
+	// DesignDRAM, which runs the DDR reference system instead. Beyond
+	// accepting and cycling requests, a device must support the run
+	// loop's fast-forward protocol: report how much it issued (Cycle's
+	// return), bound when it could next act (NextWork), and batch-credit
+	// skipped quiescent cycles (SkipCycles/SkipRejects).
 	type memDevice interface {
 		cpu.MemorySystem
-		Cycle(now sim.Tick)
+		Cycle(now sim.Tick) int
 		Drained() bool
+		NextWork(now sim.Tick) sim.Tick
+		SkipCycles(now sim.Tick, n uint64)
+		SkipRejects(r *mem.Request, now sim.Tick, n uint64)
 	}
 	eng := sim.NewEngine()
 	var memsys memDevice
@@ -677,6 +693,29 @@ func RunContext(ctx context.Context, o Options) (Result, error) {
 	// on the engine fire before the cycle's scheduling work. Finished
 	// cores stop fetching; the run ends when the last core retires its
 	// budget and memory drains.
+	//
+	// Idle-cycle fast-forward: when a cycle issued no memory command and
+	// every live core is provably Blocked, nothing can happen until the
+	// earliest of the next scheduled event and the memory system's next
+	// flip tick (NextWork) — every scheduling predicate is constant in
+	// between, so the intervening cycles would each repeat exactly the
+	// same no-op with the same counter increments. The loop jumps
+	// straight to that tick, batch-crediting the per-cycle accounting
+	// (core stall cycles, queued-wait and bus-stall counters, weighted
+	// stall-attribution events, rejected-retry telemetry), which keeps
+	// fast-forwarded runs byte-identical to cycle-by-cycle runs — the
+	// property the differential tests pin. The paper's long PCM write
+	// windows (Section 4.3) are precisely where this pays off.
+	// Probe throttle: quiescence probes (Blocked + NextWork) are not
+	// free, and on read-bound phases they mostly fail — a core is still
+	// making progress, or the next bank-timer flip is a cycle away. After
+	// a failed probe the loop backs off exponentially (capped) before
+	// probing again; any successful jump resets the backoff, so chains of
+	// short skips inside a write drain stay cheap. Purely a heuristic
+	// gate — skipped probes execute cycles normally, so exactness and
+	// determinism are unaffected.
+	var probeRetry sim.Tick
+	var probeBackoff sim.Tick
 	var now sim.Tick
 	for ; now < o.MaxCycles; now++ {
 		if now&ctxCheckMask == 0 {
@@ -698,9 +737,65 @@ func RunContext(ctx context.Context, o Options) (Result, error) {
 				allDone = false
 			}
 		}
-		memsys.Cycle(now)
+		issued := memsys.Cycle(now)
 		if allDone && memsys.Drained() {
 			break
+		}
+		if o.DisableFastForward || issued != 0 {
+			continue
+		}
+		// Cheapest test first: with a completion due next tick (the
+		// common case while requests are in service) no jump is
+		// possible, and the costlier quiescence probes are skipped.
+		target := eng.NextEventTick()
+		if target <= now+1 || now < probeRetry {
+			continue
+		}
+		quiescent := true
+		for _, s := range slots {
+			if !s.done && !s.core.Blocked() {
+				quiescent = false
+				break
+			}
+		}
+		if !quiescent {
+			probeBackoff = min(probeBackoff*2+1, 64)
+			probeRetry = now + probeBackoff
+			continue
+		}
+		if w := memsys.NextWork(now); w < target {
+			target = w
+		}
+		if target > o.MaxCycles {
+			// Nothing is ever going to happen (deadlock backstop) or the
+			// next action lies past the cycle budget either way: land on
+			// MaxCycles so the loop exits through its normal error path.
+			target = o.MaxCycles
+		}
+		if target <= now+1 {
+			probeBackoff = min(probeBackoff*2+1, 64)
+			probeRetry = now + probeBackoff
+			continue // nothing to skip
+		}
+		skip := uint64(target - now - 1)
+		probeBackoff = 0
+		for _, s := range slots {
+			if s.done {
+				continue
+			}
+			s.core.SkipStallCycles(skip)
+			if r := s.core.RetryRequest(); r != nil {
+				memsys.SkipRejects(r, now, skip)
+			}
+		}
+		memsys.SkipCycles(now, skip)
+		now = target - 1 // the loop increment lands exactly on target
+		// The masked cancellation poll above can be starved by large
+		// jumps (now skips most mask-aligned ticks), so re-check after
+		// every jump: a cancelled run must stop even when it is
+		// fast-forwarding through a multi-thousand-cycle write drain.
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
 		}
 	}
 	if now >= o.MaxCycles {

@@ -153,6 +153,12 @@ type Controller struct {
 	// so a one-cycle gap between read bursts doesn't invite a
 	// CD-blocking write.
 	lastReadActive []sim.Tick
+
+	// finishReadFn/finishWriteFn are the completion callbacks, cached
+	// once as sim.ArgEvent method values so the per-request completion
+	// schedule does not allocate a closure.
+	finishReadFn  sim.ArgEvent
+	finishWriteFn sim.ArgEvent
 }
 
 // idleWriteDelay is how many cycles the read queue must stay empty
@@ -185,6 +191,8 @@ func New(cfg Config, eng *sim.Engine) (*Controller, error) {
 		tel:     cfg.Telemetry,
 		hitSeen: make(map[*mem.Request]bool),
 	}
+	c.finishReadFn = c.finishRead
+	c.finishWriteFn = c.finishWrite
 	g := cfg.Geom
 	c.banks = make([][][]*core.Bank, g.Channels)
 	for ch := 0; ch < g.Channels; ch++ {
@@ -268,16 +276,7 @@ func (c *Controller) Enqueue(r *mem.Request, now sim.Tick) bool {
 				c.telRequest(telemetry.ReqEnqueued, r, now)
 				c.telRequest(telemetry.ReqIssued, r, now)
 			}
-			c.eng.Schedule(now+1, func(t sim.Tick) {
-				r.Finish(t)
-				c.st.Reads.Inc()
-				c.st.ReadLatency.Observe(float64(r.Latency()))
-				c.st.ReadLatencyHist.Observe(uint64(r.Latency()))
-				c.inflight--
-				if c.tel != nil {
-					c.telRequest(telemetry.ReqCompleted, r, t)
-				}
-			})
+			c.eng.ScheduleArg(now+1, c.finishReadFn, r)
 			return true
 		}
 		if !c.readQ[r.Loc.Channel].Push(r) {
@@ -310,15 +309,7 @@ func (c *Controller) Enqueue(r *mem.Request, now sim.Tick) bool {
 			c.telRequest(telemetry.ReqEnqueued, r, now)
 			c.telRequest(telemetry.ReqIssued, r, now)
 		}
-		c.eng.Schedule(now+1, func(t sim.Tick) {
-			r.Finish(t)
-			c.st.Writes.Inc()
-			c.st.WriteLatency.Observe(float64(r.Latency()))
-			c.inflight--
-			if c.tel != nil {
-				c.telRequest(telemetry.ReqCompleted, r, t)
-			}
-		})
+		c.eng.ScheduleArg(now+1, c.finishWriteFn, r)
 		return true
 	}
 	if !wq.Push(r) {
@@ -366,13 +357,17 @@ func (c *Controller) ReadQueueLen(ch int) int { return c.readQ[ch].Len() }
 func (c *Controller) WriteQueueLen(ch int) int { return c.writeQ[ch].Len() }
 
 // Cycle performs one controller clock of scheduling work across all
-// channels. The caller must invoke it with strictly increasing ticks.
-func (c *Controller) Cycle(now sim.Tick) {
+// channels and returns the number of commands issued (activations,
+// column reads and writes). The caller must invoke it with strictly
+// increasing ticks; a zero return with every core blocked is the run
+// loop's licence to consider fast-forwarding (see NextWork).
+func (c *Controller) Cycle(now sim.Tick) int {
 	if c.cfg.Energy != nil {
 		c.cfg.Energy.AdvanceBackground(now)
 	}
+	issued := 0
 	for ch := range c.readQ {
-		c.cycleChannel(ch, now)
+		issued += c.cycleChannel(ch, now)
 		// Queued-wait accounting happens after scheduling, so a request
 		// that issued this cycle does not count this cycle — matching
 		// the attribution pass, which classifies exactly the requests
@@ -380,7 +375,7 @@ func (c *Controller) Cycle(now sim.Tick) {
 		queued := c.readQ[ch].Len() + c.writeQ[ch].Len()
 		c.st.QueuedWaitCycles.Add(uint64(queued))
 		if c.tel != nil {
-			emitted := c.attributeStalls(ch, now)
+			emitted := c.attributeStalls(ch, now, 1)
 			if invariant.Enabled {
 				invariant.Assertf(emitted == queued,
 					"stall attribution emitted %d events for %d queued requests (channel %d, tick %d): "+
@@ -388,14 +383,18 @@ func (c *Controller) Cycle(now sim.Tick) {
 			}
 		}
 	}
+	return issued
 }
 
 // attributeStalls classifies, for one channel, every request still
 // queued after this cycle's scheduling, emitting exactly one StallEvent
 // per request — the conservation invariant the stall-attribution engine
-// relies on (sum of attributed causes == QueuedWaitCycles). It returns
-// the number of events emitted so the tagged build can assert that.
-func (c *Controller) attributeStalls(ch int, now sim.Tick) int {
+// relies on (sum of attributed causes == QueuedWaitCycles). Each event
+// carries weight n: the per-cycle path passes 1, the fast-forward path
+// passes the width of a window over which it has proved the
+// classification constant. It returns the number of events emitted so
+// the tagged build can assert conservation.
+func (c *Controller) attributeStalls(ch int, now sim.Tick, n uint64) int {
 	emitted := 0
 	c.readQ[ch].Scan(func(_ int, r *mem.Request) bool {
 		emitted++
@@ -403,7 +402,7 @@ func (c *Controller) attributeStalls(ch int, now sim.Tick) int {
 		c.tel.Stall(telemetry.StallEvent{
 			ReqID: r.ID, Loc: r.Loc,
 			SAG: b.SAGOf(r.Loc.Row), CD: b.CDOf(r.Loc.Col),
-			Cause: c.classifyReadStall(r, b, ch, now), Now: now,
+			Cause: c.classifyReadStall(r, b, ch, now), Now: now, N: n,
 		})
 		return true
 	})
@@ -413,7 +412,7 @@ func (c *Controller) attributeStalls(ch int, now sim.Tick) int {
 		c.tel.Stall(telemetry.StallEvent{
 			ReqID: w.ID, Write: true, Loc: w.Loc,
 			SAG: b.SAGOf(w.Loc.Row), CD: b.CDOf(w.Loc.Col),
-			Cause: c.classifyWriteStall(w, b, ch, now), Now: now,
+			Cause: c.classifyWriteStall(w, b, ch, now), Now: now, N: n,
 		})
 		return true
 	})
@@ -457,7 +456,7 @@ func (c *Controller) classifyWriteStall(w *mem.Request, b *core.Bank, ch int, no
 	return telemetry.StallControllerIdle
 }
 
-func (c *Controller) cycleChannel(ch int, now sim.Tick) {
+func (c *Controller) cycleChannel(ch int, now sim.Tick) int {
 	if !c.readQ[ch].Empty() {
 		c.lastReadActive[ch] = now
 	}
@@ -470,6 +469,7 @@ func (c *Controller) cycleChannel(ch int, now sim.Tick) {
 	// bus" of the paper's Multi-Issue mode — without letting bursts of
 	// tile-blocking writes or segment-invalidating activations through.
 	wrote, activated := false, false
+	count := 0
 	for lane := 0; lane < c.cfg.IssueLanes; lane++ {
 		issued := false
 		if writesFirst && !wrote {
@@ -491,7 +491,9 @@ func (c *Controller) cycleChannel(ch int, now sim.Tick) {
 		if !issued {
 			break
 		}
+		count++
 	}
+	return count
 }
 
 // updateDrain maintains the write-drain hysteresis: draining starts at
@@ -660,16 +662,33 @@ func (c *Controller) issueColumnRead(r *mem.Request, b *core.Bank, ch, lane, qi 
 			Start: now + c.cfg.Tim.TCAS, End: done,
 		})
 	}
-	c.eng.Schedule(done, func(t sim.Tick) {
-		r.Finish(t)
-		c.st.Reads.Inc()
-		c.st.ReadLatency.Observe(float64(r.Latency()))
-		c.st.ReadLatencyHist.Observe(uint64(r.Latency()))
-		c.inflight--
-		if c.tel != nil {
-			c.telRequest(telemetry.ReqCompleted, r, t)
-		}
-	})
+	c.eng.ScheduleArg(done, c.finishReadFn, r)
+}
+
+// finishRead completes a read request: it runs as a scheduled ArgEvent
+// with the request as its argument (see finishReadFn).
+func (c *Controller) finishRead(t sim.Tick, arg any) {
+	r := arg.(*mem.Request)
+	r.Finish(t)
+	c.st.Reads.Inc()
+	c.st.ReadLatency.Observe(float64(r.Latency()))
+	c.st.ReadLatencyHist.Observe(uint64(r.Latency()))
+	c.inflight--
+	if c.tel != nil {
+		c.telRequest(telemetry.ReqCompleted, r, t)
+	}
+}
+
+// finishWrite completes a write request (see finishWriteFn).
+func (c *Controller) finishWrite(t sim.Tick, arg any) {
+	w := arg.(*mem.Request)
+	w.Finish(t)
+	c.st.Writes.Inc()
+	c.st.WriteLatency.Observe(float64(w.Latency()))
+	c.inflight--
+	if c.tel != nil {
+		c.telRequest(telemetry.ReqCompleted, w, t)
+	}
 }
 
 // tryIssueWrite issues at most one line write, returning whether one
@@ -746,16 +765,164 @@ func (c *Controller) tryIssueWrite(ch int, now sim.Tick) bool {
 			Start: now + c.cfg.Tim.TCWD, End: now + c.cfg.Tim.TCWD + c.cfg.Tim.TBURST,
 		})
 	}
-	c.eng.Schedule(done, func(t sim.Tick) {
-		w.Finish(t)
-		c.st.Writes.Inc()
-		c.st.WriteLatency.Observe(float64(w.Latency()))
-		c.inflight--
-		if c.tel != nil {
-			c.telRequest(telemetry.ReqCompleted, w, t)
-		}
-	})
+	c.eng.ScheduleArg(done, c.finishWriteFn, w)
 	return true
+}
+
+// WouldAccept reports whether Enqueue(r) would succeed right now,
+// without performing it or mutating any state (r included). The CPU
+// model uses it to decide whether a pending retry is provably futile —
+// the admission half of the run loop's quiescence test.
+func (c *Controller) WouldAccept(r *mem.Request) bool {
+	loc := c.mapper.Decode(r.Addr)
+	line := r.Addr / uint64(c.cfg.Geom.LineBytes)
+	wq := c.writeQ[loc.Channel]
+	hit := false
+	wq.Scan(func(_ int, w *mem.Request) bool {
+		if w.Addr/uint64(c.cfg.Geom.LineBytes) == line {
+			hit = true
+			return false
+		}
+		return true
+	})
+	if hit {
+		return true // forwarding (read) or coalescing (write) always admits
+	}
+	if r.Op == mem.Read {
+		return !c.readQ[loc.Channel].Full()
+	}
+	return !wq.Full()
+}
+
+// NextWork returns the earliest tick strictly after now at which the
+// controller could possibly issue a command or change a scheduling
+// decision, assuming no new arrivals and no event-queue activity before
+// then — the controller's contribution to the run loop's fast-forward
+// target. sim.MaxTick means "never" (all queues empty).
+//
+// The result is the minimum over every "flip tick" of the predicates
+// consulted by cycleChannel and the stall classifiers: bank timer
+// expiries (core.Bank.NextRelease), shared-bus lane releases offset by
+// the tCAS/tCWD admission lookahead, and the idle-write hysteresis
+// deadline. Every such predicate compares now against exactly one of
+// these values, so in the open window before the returned tick the
+// controller's admissible-command set, its stall classifications and
+// its per-cycle counter increments are all provably constant.
+func (c *Controller) NextWork(now sim.Tick) sim.Tick {
+	next := sim.MaxTick
+	consider := func(t sim.Tick) {
+		if t > now && t < next {
+			next = t
+		}
+	}
+	for ch := range c.readQ {
+		rq, wq := c.readQ[ch], c.writeQ[ch]
+		if rq.Empty() && wq.Empty() {
+			continue
+		}
+		// Every bank of the channel, not just the queued requests'
+		// targets: cheaper than scanning the (often longer) queues, and
+		// extra flip candidates can only shorten the jump, never break
+		// its exactness.
+		for _, rank := range c.banks[ch] {
+			for _, b := range rank {
+				consider(b.NextRelease(now))
+			}
+		}
+		for _, busy := range c.busUse[ch] {
+			// Bus admission tests are busy <= t+tCAS (reads) and
+			// busy <= t+tCWD (writes): they flip at busy-tCAS and
+			// busy-tCWD. Guarded subtractions avoid uint underflow.
+			if busy > now+c.cfg.Tim.TCAS {
+				consider(busy - c.cfg.Tim.TCAS)
+			}
+			if busy > now+c.cfg.Tim.TCWD {
+				consider(busy - c.cfg.Tim.TCWD)
+			}
+		}
+		if rq.Empty() && !wq.Empty() {
+			// Non-forced writes wait out the idle hysteresis window;
+			// its deadline is a flip only while no reads keep pushing
+			// lastReadActive forward.
+			consider(c.lastReadActive[ch] + idleWriteDelay)
+		}
+	}
+	return next
+}
+
+// busStallsPerCycle counts, for one channel, the column-read candidates
+// that are device-ready but blocked only by the shared bus — exactly
+// the per-cycle BusStallCycles increment tryIssueRead's first pass
+// performs when nothing can issue.
+func (c *Controller) busStallsPerCycle(ch int, now sim.Tick) int {
+	q := c.readQ[ch]
+	limit := q.Len()
+	if c.cfg.Scheduler == FCFS && limit > 1 {
+		limit = 1
+	}
+	n := 0
+	for i := 0; i < limit; i++ {
+		r := q.At(i)
+		b := c.bankOf(r)
+		if !b.CanRead(r.Loc.Row, r.Loc.Col, now) {
+			continue
+		}
+		if c.busLaneFor(ch, now+c.cfg.Tim.TCAS) < 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// SkipCycles batch-credits n skipped controller cycles (ticks now+1
+// through now+n) during a fast-forward window. The caller guarantees
+// the window is quiescent: Cycle(now) issued nothing, no event fires
+// before now+n+1, and no enqueue succeeds in the window — under which
+// NextWork's flip-tick analysis proves every scheduling predicate and
+// stall classification equal to its value at now throughout. The
+// per-cycle work therefore reduces to multiplication: queued-wait and
+// bus-stall counters advance by n times their per-cycle increment, and
+// stall attribution emits one weighted event per queued request.
+// Background energy needs no crediting here — the energy model
+// integrates elapsed ticks exactly on the next Cycle.
+func (c *Controller) SkipCycles(now sim.Tick, n uint64) {
+	if n == 0 {
+		return
+	}
+	for ch := range c.readQ {
+		queued := c.readQ[ch].Len() + c.writeQ[ch].Len()
+		if queued == 0 {
+			continue
+		}
+		c.st.QueuedWaitCycles.Add(uint64(queued) * n)
+		if stalls := c.busStallsPerCycle(ch, now); stalls > 0 {
+			c.st.BusStallCycles.Add(uint64(stalls) * n)
+		}
+		if c.tel != nil {
+			emitted := c.attributeStalls(ch, now, n)
+			if invariant.Enabled {
+				invariant.Assertf(emitted == queued,
+					"fast-forward stall attribution emitted %d weighted events for %d queued requests (channel %d, tick %d)",
+					emitted, queued, ch, now)
+			}
+		}
+	}
+}
+
+// SkipRejects batch-credits n futile enqueue retries of r (one per
+// skipped tick): the reference loop would have re-attempted Enqueue
+// each cycle and emitted one StallQueueFull event per rejection. The
+// caller guarantees WouldAccept(r) is false for the whole window. Only
+// telemetry observes rejections, so with no sink this is a no-op.
+func (c *Controller) SkipRejects(r *mem.Request, now sim.Tick, n uint64) {
+	if n == 0 || c.tel == nil {
+		return
+	}
+	loc := c.mapper.Decode(r.Addr)
+	c.tel.Stall(telemetry.StallEvent{
+		ReqID: r.ID, Write: r.Op == mem.Write, Loc: loc,
+		Cause: telemetry.StallQueueFull, Now: now, N: n,
+	})
 }
 
 // writeClobbersPendingRead reports whether issuing w would invalidate a

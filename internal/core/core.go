@@ -131,6 +131,7 @@ type Bank struct {
 	bankBusy sim.Tick     // whole-bank serialization when modes disable parallelism
 	colReady []sim.Tick   // per CD: earliest next column command (tCCD spacing)
 	writeEnd sim.Tick     // completion tick of the latest-ending write
+	horizon  sim.Tick     // max over every timer ever set: all quiet at now >= horizon
 
 	// inv independently re-checks the Section 4 conflict rules on every
 	// issued operation. Only non-nil under the fgnvm_invariants build
@@ -304,6 +305,8 @@ func (b *Bank) Activate(row, col int, now sim.Tick) sim.Tick {
 	s := b.sag(row)
 	ready := now + b.tim.TRCD
 	senseEnd := now + b.SenseOccupancy()
+	b.stretch(ready)
+	b.stretch(senseEnd)
 	if b.busyAnywhere(now) {
 		b.overlapped++
 	}
@@ -420,6 +423,7 @@ func (b *Bank) Read(row, col int, now sim.Tick) sim.Tick {
 		panic(fmt.Sprintf("core: Read(row=%d,col=%d) at %d not permitted", row, col, now))
 	}
 	b.colReady[b.cd(col)] = now + b.tim.TCCD
+	b.stretch(now + b.tim.TCCD)
 	done := now + b.tim.ReadLatency
 	if b.sink != nil {
 		b.emitCommand(telemetry.CmdRead, b.sag(row), b.cd(col), row, col, now, done)
@@ -469,6 +473,8 @@ func (b *Bank) Write(row, col int, now sim.Tick) sim.Tick {
 	}
 	s, c := b.sag(row), b.cd(col)
 	done := now + b.WriteOccupancy()
+	b.stretch(done)
+	b.stretch(now + b.tim.TCCD)
 	if b.inv != nil {
 		b.inv.Write(s, c, uint64(now), uint64(done))
 	}
@@ -526,6 +532,58 @@ func (b *Bank) Write(row, col int, now sim.Tick) sim.Tick {
 // the condition under which a concurrent read counts as happening under
 // a Backgrounded Write.
 func (b *Bank) WriteInFlight(now sim.Tick) bool { return now < b.writeEnd }
+
+// NextRelease returns the earliest tick strictly after now at which any
+// bank timer expires — the next moment a predicate over this bank's
+// state (CanRead/CanWrite/CanActivate/…StallCause) can change its
+// answer, absent new commands. Every such predicate compares now
+// against one of the timers scanned here, so between now+1 and
+// NextRelease(now)-1 the bank's admissible-command set and stall
+// classifications are constant. Returns sim.MaxTick when every timer
+// has already expired. The run loop's fast-forward uses this to bound
+// how far time can jump while the controller is provably unable to
+// issue.
+func (b *Bank) NextRelease(now sim.Tick) sim.Tick {
+	// horizon bounds every timer ever set, so a bank whose horizon has
+	// passed cannot hold a future flip — skip the tile scan entirely.
+	// This is what keeps the fast-forward probe affordable on the
+	// many-banks design, where most of its 128 banks are idle at any
+	// given tick.
+	if b.horizon <= now {
+		return sim.MaxTick
+	}
+	next := sim.MaxTick
+	consider := func(t sim.Tick) {
+		if t > now && t < next {
+			next = t
+		}
+	}
+	for i := range b.sagBusy {
+		consider(b.sagBusy[i])
+		consider(b.sagWrite[i])
+	}
+	for i := range b.cdBusy {
+		consider(b.cdBusy[i])
+		consider(b.cdWrite[i])
+		consider(b.colReady[i])
+	}
+	for s := range b.segReady {
+		for c := range b.segReady[s] {
+			consider(b.segReady[s][c])
+		}
+	}
+	consider(b.bankBusy)
+	consider(b.writeEnd)
+	return next
+}
+
+// stretch advances the bank's timer horizon. Called wherever a timer
+// is set, so horizon stays an upper bound on every scheduling flip.
+func (b *Bank) stretch(t sim.Tick) {
+	if t > b.horizon {
+		b.horizon = t
+	}
+}
 
 // busyAnywhere reports whether any SAG or CD is mid-operation at now.
 func (b *Bank) busyAnywhere(now sim.Tick) bool {

@@ -20,6 +20,11 @@ import (
 // reference system implement it.
 type MemorySystem interface {
 	Enqueue(r *mem.Request, now sim.Tick) bool
+	// WouldAccept reports whether Enqueue(r) would succeed right now,
+	// without performing it or mutating any state. Core.Blocked uses it
+	// to prove that a pending retry is futile, which is what licenses
+	// the run loop to fast-forward over the stalled cycles.
+	WouldAccept(r *mem.Request) bool
 }
 
 // CoreConfig sizes the core. Zero fields take Nehalem-like defaults.
@@ -64,8 +69,17 @@ type Core struct {
 	fetched uint64 // instructions dispatched into the window
 	retired uint64
 
-	loads       []*loadEntry // FIFO of outstanding demand loads
-	outstanding int          // MSHR occupancy (loads + store-miss fills)
+	// loads is a fixed-capacity ring (cap ROB: every outstanding load
+	// occupies a ROB slot) holding the FIFO of in-flight demand loads.
+	// Entries live at stable addresses — the completion callback finds
+	// its entry through mem.Request.Entry — and a slot is reused only
+	// after its load has completed AND retired, so the pointer never
+	// outlives the data.
+	loads    []loadEntry
+	loadHead int
+	loadLen  int
+
+	outstanding int // MSHR occupancy (loads + store-miss fills)
 
 	pendingGap    uint32 // plain instructions left before the held access
 	heldAcc       trace.Access
@@ -75,8 +89,24 @@ type Core struct {
 	streamDone    bool
 
 	pendingWB *mem.Request // writeback waiting for write-queue space
+	// pendingFill is the line-fill request for the held access, kept
+	// across enqueue rejections so retries re-offer the same request
+	// (same ID) instead of minting a new one per cycle.
+	pendingFill *mem.Request
 
 	nextID uint64
+
+	// freeReqs recycles completed mem.Requests. A request is parked
+	// here by its completion callback and stays untouched (the
+	// controller still reads its timestamps right after OnComplete
+	// fires) until newRequest resets and reuses it.
+	freeReqs []*mem.Request
+
+	// Completion callbacks, cached once so assigning OnComplete on the
+	// fetch path does not allocate.
+	loadDoneFn  func(r *mem.Request, now sim.Tick)
+	storeDoneFn func(r *mem.Request, now sim.Tick)
+	wbDoneFn    func(r *mem.Request, now sim.Tick)
 
 	// Stats.
 	demandLoads uint64
@@ -99,7 +129,72 @@ func NewCore(cfg CoreConfig, s trace.Stream, llc *LLC, ctrl MemorySystem) (*Core
 	if cfg.ROB < 1 || cfg.MSHRs < 1 || cfg.RetireWidth < 1 || cfg.CPUPerMemCycle < 1 {
 		return nil, fmt.Errorf("cpu: non-positive core parameter %+v", cfg)
 	}
-	return &Core{cfg: cfg, stream: s, llc: llc, ctrl: ctrl}, nil
+	c := &Core{
+		cfg: cfg, stream: s, llc: llc, ctrl: ctrl,
+		loads:    make([]loadEntry, cfg.ROB),
+		freeReqs: make([]*mem.Request, 0, cfg.MSHRs+2),
+	}
+	c.loadDoneFn = c.loadDone
+	c.storeDoneFn = c.storeDone
+	c.wbDoneFn = c.wbDone
+	return c, nil
+}
+
+// loadDone completes a demand load: mark its ROB entry, free the MSHR,
+// recycle the request.
+func (c *Core) loadDone(r *mem.Request, _ sim.Tick) {
+	r.Entry.(*loadEntry).done = true
+	c.outstanding--
+	c.freeReqs = append(c.freeReqs, r)
+}
+
+// storeDone completes a store-miss fill (no ROB entry to wake).
+func (c *Core) storeDone(r *mem.Request, _ sim.Tick) {
+	c.outstanding--
+	c.freeReqs = append(c.freeReqs, r)
+}
+
+// wbDone completes a dirty-eviction writeback.
+func (c *Core) wbDone(r *mem.Request, _ sim.Tick) {
+	c.freeReqs = append(c.freeReqs, r)
+}
+
+// newRequest returns a zeroed request with a fresh ID, reusing a
+// recycled one when available.
+func (c *Core) newRequest() *mem.Request {
+	c.nextID++
+	if n := len(c.freeReqs); n > 0 {
+		r := c.freeReqs[n-1]
+		c.freeReqs = c.freeReqs[:n-1]
+		r.Reset()
+		r.ID = c.nextID
+		return r
+	}
+	return &mem.Request{ID: c.nextID}
+}
+
+// front returns the oldest outstanding load. Caller checks loadLen > 0.
+func (c *Core) front() *loadEntry { return &c.loads[c.loadHead] }
+
+// popLoad retires the oldest outstanding load.
+func (c *Core) popLoad() {
+	c.loadHead++
+	if c.loadHead == len(c.loads) {
+		c.loadHead = 0
+	}
+	c.loadLen--
+}
+
+// pushLoad appends a load at instruction index idx and returns its
+// (address-stable) ring entry.
+func (c *Core) pushLoad(idx uint64) *loadEntry {
+	slot := c.loadHead + c.loadLen
+	if slot >= len(c.loads) {
+		slot -= len(c.loads)
+	}
+	c.loads[slot] = loadEntry{idx: idx}
+	c.loadLen++
+	return &c.loads[slot]
 }
 
 // Finished reports whether the core has retired its budget (or fully
@@ -110,7 +205,7 @@ func (c *Core) Finished() bool {
 	}
 	return c.streamDone && !c.haveAcc && c.pendingGap == 0 &&
 		c.pendingWB == nil &&
-		c.retired == c.fetched && len(c.loads) == 0
+		c.retired == c.fetched && c.loadLen == 0
 }
 
 // Retired returns the number of instructions retired so far.
@@ -147,11 +242,11 @@ func (c *Core) Cycle(now sim.Tick) {
 		if c.cfg.Instructions > 0 && c.retired >= c.cfg.Instructions {
 			break
 		}
-		if len(c.loads) > 0 && c.loads[0].idx == c.retired {
-			if !c.loads[0].done {
+		if c.loadLen > 0 && c.front().idx == c.retired {
+			if !c.front().done {
 				break // oldest instruction is a load still in flight
 			}
-			c.loads = c.loads[1:]
+			c.popLoad()
 			c.retired++
 			budget--
 			retiredThis++
@@ -160,8 +255,8 @@ func (c *Core) Cycle(now sim.Tick) {
 		// Retire plain instructions up to the next outstanding load or
 		// the fetch frontier.
 		lim := c.fetched
-		if len(c.loads) > 0 && c.loads[0].idx < lim {
-			lim = c.loads[0].idx
+		if c.loadLen > 0 && c.front().idx < lim {
+			lim = c.front().idx
 		}
 		if c.cfg.Instructions > 0 && c.retired+uint64(budget) > c.cfg.Instructions {
 			// Never retire past the budget.
@@ -246,7 +341,10 @@ func (c *Core) fetch(now sim.Tick) {
 		// Dirty eviction first: it must reach memory eventually, and we
 		// preserve order by holding fetch until it enqueues.
 		if c.heldRes.HasWriteback {
-			wb := &mem.Request{ID: c.id(), Op: mem.Write, Addr: c.heldRes.Writeback}
+			wb := c.newRequest()
+			wb.Op = mem.Write
+			wb.Addr = c.heldRes.Writeback
+			wb.OnComplete = c.wbDoneFn
 			c.heldRes.HasWriteback = false // never re-issue on retry
 			if !c.ctrl.Enqueue(wb, now) {
 				c.pendingWB = wb
@@ -257,32 +355,35 @@ func (c *Core) fetch(now sim.Tick) {
 		if c.outstanding >= c.cfg.MSHRs {
 			return // no MSHR for the fill
 		}
-		fill := &mem.Request{ID: c.id(), Op: mem.Read, Addr: a.Addr}
-		if a.Write {
-			// Store miss: the fill occupies an MSHR but does not block
-			// retirement (stores drain through the store buffer).
-			fill.OnComplete = func(_ *mem.Request, _ sim.Tick) { c.outstanding-- }
-			if !c.ctrl.Enqueue(fill, now) {
-				return
+		// The fill is minted once and held across enqueue rejections:
+		// every retry re-offers the same request, so a backpressured
+		// window neither burns IDs nor allocates.
+		if c.pendingFill == nil {
+			fill := c.newRequest()
+			fill.Op = mem.Read
+			fill.Addr = a.Addr
+			if a.Write {
+				// Store miss: the fill occupies an MSHR but does not
+				// block retirement (stores drain through the store
+				// buffer).
+				fill.OnComplete = c.storeDoneFn
+			} else {
+				fill.OnComplete = c.loadDoneFn
 			}
-			c.outstanding++
-			c.storeMisses++
-			c.fetched++
-			c.haveAcc = false
-			c.heldProcessed = false
-			continue
+			c.pendingFill = fill
 		}
-		{
-			entry := &loadEntry{idx: c.fetched}
-			fill.OnComplete = func(_ *mem.Request, _ sim.Tick) {
-				entry.done = true
-				c.outstanding--
-			}
-			if !c.ctrl.Enqueue(fill, now) {
-				return
-			}
-			c.outstanding++
-			c.loads = append(c.loads, entry)
+		if !c.ctrl.Enqueue(c.pendingFill, now) {
+			return
+		}
+		fill := c.pendingFill
+		c.pendingFill = nil
+		c.outstanding++
+		if a.Write {
+			c.storeMisses++
+		} else {
+			// The completion callback can fire no earlier than now+1,
+			// after Entry is in place.
+			fill.Entry = c.pushLoad(c.fetched)
 			c.demandLoads++
 		}
 		c.fetched++
@@ -291,7 +392,73 @@ func (c *Core) fetch(now sim.Tick) {
 	}
 }
 
-func (c *Core) id() uint64 {
-	c.nextID++
-	return c.nextID
+// Blocked reports whether the core is provably unable to retire an
+// instruction or change memory-system state until something external
+// changes — a completion event fires or a queue transition admits a
+// pending retry. Concretely: retirement is gated (the oldest window
+// slot is an in-flight load, or the window is empty), and the fetch
+// path is quiescent (window full; or its next action is an enqueue the
+// memory system proves it WouldAccept-reject; or it is out of MSHRs or
+// stream). A false return is always safe — the run loop just keeps
+// stepping cycle by cycle — so every transient state (unprocessed
+// held access, unminted fill, pending writeback construction) reports
+// false rather than reasoning about what one more cycle would do.
+func (c *Core) Blocked() bool {
+	if c.loadLen > 0 {
+		if f := c.front(); f.idx != c.retired || f.done {
+			return false // something retires next cycle
+		}
+	} else if c.retired != c.fetched {
+		return false // plain instructions retire next cycle
+	}
+	if c.fetched >= c.retired+uint64(c.cfg.ROB) {
+		return true // window full: the fetch loop body never runs
+	}
+	if c.pendingWB != nil {
+		return !c.ctrl.WouldAccept(c.pendingWB)
+	}
+	if c.pendingGap > 0 {
+		return false // would dispatch plain instructions
+	}
+	if !c.haveAcc {
+		// With the stream exhausted fetch just re-polls it; otherwise a
+		// new access would dispatch.
+		return c.streamDone
+	}
+	if !c.heldProcessed || !c.heldRes.Miss || c.heldRes.HasWriteback {
+		return false // would access the LLC, dispatch a hit, or mint a writeback
+	}
+	if c.outstanding >= c.cfg.MSHRs {
+		return true // fill blocked on an MSHR: only a completion frees one
+	}
+	if c.pendingFill == nil {
+		return false // would mint the fill request
+	}
+	return !c.ctrl.WouldAccept(c.pendingFill)
 }
+
+// RetryRequest returns the request the fetch path futilely re-offers to
+// the memory system every cycle while Blocked, or nil when the blocked
+// state involves no enqueue attempt (full window, MSHR exhaustion,
+// drained stream). The run loop uses it to batch-credit the per-cycle
+// rejection telemetry across a fast-forward window.
+func (c *Core) RetryRequest() *mem.Request {
+	if c.fetched >= c.retired+uint64(c.cfg.ROB) {
+		return nil
+	}
+	if c.pendingWB != nil {
+		return c.pendingWB
+	}
+	if c.pendingGap > 0 || !c.haveAcc || !c.heldProcessed ||
+		!c.heldRes.Miss || c.heldRes.HasWriteback ||
+		c.outstanding >= c.cfg.MSHRs {
+		return nil
+	}
+	return c.pendingFill
+}
+
+// SkipStallCycles credits n zero-retirement cycles at once: the batch
+// equivalent of the stallCycles increment Cycle performs, used when the
+// run loop fast-forwards over a window it has proved the core Blocked
+// for.
+func (c *Core) SkipStallCycles(n uint64) { c.stallCycles += n }

@@ -126,6 +126,11 @@ type System struct {
 	inflight int
 	st       Stats
 	missFor  map[*mem.Request]bool // request needed a PRE/ACT of its own
+
+	// Cached completion callbacks: one method value each instead of a
+	// closure allocation per request.
+	finishReadFn  sim.ArgEvent
+	finishWriteFn sim.ArgEvent
 }
 
 // New builds the system.
@@ -142,6 +147,8 @@ func New(cfg Config, eng *sim.Engine) (*System, error) {
 		return nil, err
 	}
 	s := &System{cfg: cfg, mapper: mapper, eng: eng, missFor: make(map[*mem.Request]bool)}
+	s.finishReadFn = s.finishReadEv
+	s.finishWriteFn = s.finishWriteEv
 	g := cfg.Geom
 	s.banks = make([][][]*bankState, g.Channels)
 	for ch := range s.banks {
@@ -194,30 +201,94 @@ func (s *System) bankOf(r *mem.Request) *bankState {
 	return s.banks[r.Loc.Channel][r.Loc.Rank][r.Loc.Bank]
 }
 
-// Cycle performs one controller cycle of scheduling.
-func (s *System) Cycle(now sim.Tick) {
+// Cycle performs one controller cycle of scheduling and returns the
+// number of commands issued (column reads/writes, precharges,
+// activations and refreshes).
+func (s *System) Cycle(now sim.Tick) int {
+	issued := 0
 	for ch := range s.readQ {
-		s.refresh(ch, now)
+		if s.refresh(ch, now) {
+			issued++
+		}
 		s.updateDrain(ch)
 		if s.drain[ch] || s.writeQ[ch].Full() {
-			if !s.tryWrite(ch, now) {
-				s.tryRead(ch, now)
+			if s.tryWrite(ch, now) || s.tryRead(ch, now) {
+				issued++
 			}
 			continue
 		}
-		if !s.tryRead(ch, now) {
-			s.tryWrite(ch, now)
+		if s.tryRead(ch, now) || s.tryWrite(ch, now) {
+			issued++
 		}
 	}
+	return issued
 }
+
+// WouldAccept reports whether Enqueue(r) would succeed right now,
+// without mutating anything (cpu.MemorySystem).
+func (s *System) WouldAccept(r *mem.Request) bool {
+	loc := s.mapper.Decode(r.Addr)
+	if r.Op == mem.Write {
+		return !s.writeQ[loc.Channel].Full()
+	}
+	return !s.readQ[loc.Channel].Full()
+}
+
+// NextWork returns the earliest tick strictly after now at which this
+// system could issue a command, absent event-queue activity and new
+// arrivals: the minimum flip tick of every predicate Cycle consults —
+// bank timers of queued requests, bus releases offset by the tCAS/tCWD
+// lookahead, and, unconditionally, the next refresh deadline (refresh
+// fires on schedule even with empty queues, so a fast-forward may
+// never jump across it).
+func (s *System) NextWork(now sim.Tick) sim.Tick {
+	next := sim.MaxTick
+	consider := func(t sim.Tick) {
+		if t > now && t < next {
+			next = t
+		}
+	}
+	for ch := range s.readQ {
+		if s.cfg.Tim.TREFI > 0 {
+			consider(s.nextRef[ch])
+		}
+		if s.readQ[ch].Empty() && s.writeQ[ch].Empty() {
+			continue
+		}
+		for _, rank := range s.banks[ch] {
+			for _, b := range rank {
+				consider(b.readyAt)
+				consider(b.busyUntil)
+				consider(b.rasUntil)
+				consider(b.writeUntil)
+				consider(b.colReady)
+			}
+		}
+		if s.busUse[ch] > now+s.cfg.Tim.TCAS {
+			consider(s.busUse[ch] - s.cfg.Tim.TCAS)
+		}
+		if s.busUse[ch] > now+s.cfg.Tim.TCWD {
+			consider(s.busUse[ch] - s.cfg.Tim.TCWD)
+		}
+	}
+	return next
+}
+
+// SkipCycles credits skipped quiescent cycles. The DRAM model keeps no
+// per-cycle counters and no telemetry, so there is nothing to credit.
+func (s *System) SkipCycles(sim.Tick, uint64) {}
+
+// SkipRejects credits skipped futile enqueue retries; rejections are
+// unobservable here, so it is a no-op.
+func (s *System) SkipRejects(*mem.Request, sim.Tick, uint64) {}
 
 // refresh issues an all-bank refresh per rank when tREFI elapses: every
 // bank of the channel is precharged and blocked for tRFC. This is the
 // overhead NVM does not pay (Section 2: "Refresh must also occur
 // periodically, while NVM ... has no need for refresh").
-func (s *System) refresh(ch int, now sim.Tick) {
+func (s *System) refresh(ch int, now sim.Tick) bool {
 	if s.cfg.Tim.TREFI == 0 || now < s.nextRef[ch] {
-		return
+		return false
 	}
 	until := now + s.cfg.Tim.TRFC
 	for _, rank := range s.banks[ch] {
@@ -234,6 +305,7 @@ func (s *System) refresh(ch int, now sim.Tick) {
 	}
 	s.nextRef[ch] = now + s.cfg.Tim.TREFI
 	s.st.Refreshes.Inc()
+	return true
 }
 
 func (s *System) updateDrain(ch int) {
@@ -316,12 +388,27 @@ func (s *System) openFor(r *mem.Request, now sim.Tick) bool {
 }
 
 func (s *System) finishRead(r *mem.Request, done sim.Tick) {
-	s.eng.Schedule(done, func(t sim.Tick) {
-		r.Finish(t)
-		s.st.Reads.Inc()
-		s.st.ReadLatency.Observe(float64(r.Latency()))
-		s.inflight--
-	})
+	s.eng.ScheduleArg(done, s.finishReadFn, r)
+}
+
+// finishReadEv is the scheduled read-completion callback (see
+// finishReadFn).
+func (s *System) finishReadEv(t sim.Tick, arg any) {
+	r := arg.(*mem.Request)
+	r.Finish(t)
+	s.st.Reads.Inc()
+	s.st.ReadLatency.Observe(float64(r.Latency()))
+	s.inflight--
+}
+
+// finishWriteEv is the scheduled write-completion callback (see
+// finishWriteFn).
+func (s *System) finishWriteEv(t sim.Tick, arg any) {
+	w := arg.(*mem.Request)
+	w.Finish(t)
+	s.st.Writes.Inc()
+	s.st.WriteLatency.Observe(float64(w.Latency()))
+	s.inflight--
 }
 
 // tryWrite issues one command for the write queue. DRAM writes go
@@ -346,12 +433,7 @@ func (s *System) tryWrite(ch int, now sim.Tick) bool {
 			b.writeUntil = done
 		}
 		q.Remove(i)
-		s.eng.Schedule(done, func(t sim.Tick) {
-			w.Finish(t)
-			s.st.Writes.Inc()
-			s.st.WriteLatency.Observe(float64(w.Latency()))
-			s.inflight--
-		})
+		s.eng.ScheduleArg(done, s.finishWriteFn, w)
 		return true
 	}
 	for i := 0; i < q.Len(); i++ {

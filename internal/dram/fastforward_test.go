@@ -1,0 +1,100 @@
+// Unit tests for the DRAM reference system's fast-forward surface.
+// The subtlety specific to DRAM is refresh: tREFI fires with empty
+// queues, so NextWork must include the refresh deadline even when
+// there is no request anywhere — otherwise a fast-forwarded idle
+// period would jump clean over a refresh and report fewer refresh
+// stalls than a cycle-by-cycle run.
+
+package dram
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// TestNextWorkIncludesRefresh: an idle system's next work is its next
+// refresh, and Cycle performs it exactly there.
+func TestNextWorkIncludesRefresh(t *testing.T) {
+	s, eng := newSys(t, Defaults())
+	w := s.NextWork(0)
+	if w == sim.MaxTick {
+		t.Fatal("idle system reports no future work; refresh deadline dropped from NextWork")
+	}
+	for now := sim.Tick(1); now < w; now++ {
+		eng.RunUntil(now)
+		if n := s.Cycle(now); n != 0 {
+			t.Fatalf("work at tick %d inside window NextWork(0)=%d declared idle", now, w)
+		}
+	}
+	eng.RunUntil(w)
+	if n := s.Cycle(w); n == 0 {
+		t.Fatalf("NextWork(0)=%d but nothing happened there", w)
+	}
+	if s.Stats().Refreshes.Value() == 0 {
+		t.Fatal("the first work of an idle system was not a refresh")
+	}
+}
+
+// TestNextWorkNeverSkipsACommand mirrors the controller-side exactness
+// contract for the DRAM model: at any quiescent tick, no command (read,
+// write, or refresh) may fire strictly before min(NextWork, next
+// event).
+func TestNextWorkNeverSkipsACommand(t *testing.T) {
+	s, eng := newSys(t, Defaults())
+	for i := 0; i < 24; i++ {
+		op := mem.Read
+		if i%3 == 0 {
+			op = mem.Write
+		}
+		r := &mem.Request{ID: uint64(i + 1), Addr: pa(t, i%16, i%8, i%8), Op: op}
+		if !s.Enqueue(r, 0) {
+			t.Fatalf("request %d rejected", i)
+		}
+	}
+	var pending sim.Tick // earliest allowed next-command tick; 0 = no claim
+	for now := sim.Tick(0); now < 500_000; now++ {
+		eng.RunUntil(now)
+		n := s.Cycle(now)
+		if n > 0 && pending > 0 && now < pending {
+			t.Fatalf("command at tick %d inside a window NextWork declared idle until %d", now, pending)
+		}
+		if n > 0 {
+			pending = 0
+		} else {
+			w := s.NextWork(now)
+			if e := eng.NextEventTick(); e < w {
+				w = e
+			}
+			if w <= now {
+				t.Fatalf("NextWork(%d) = %d, not in the future", now, w)
+			}
+			pending = w
+		}
+		if s.Drained() && eng.Pending() == 0 && now > 1000 {
+			return
+		}
+	}
+	t.Fatal("drain did not finish")
+}
+
+// TestNextWorkZeroAllocs: the probe the run loop pays on every
+// candidate jump must not allocate.
+func TestNextWorkZeroAllocs(t *testing.T) {
+	s, _ := newSys(t, Defaults())
+	for i := 0; i < 8; i++ {
+		r := &mem.Request{ID: uint64(i + 1), Addr: pa(t, i, i, i), Op: mem.Read}
+		if !s.Enqueue(r, 0) {
+			t.Fatalf("request %d rejected", i)
+		}
+	}
+	s.Cycle(1)
+	now := sim.Tick(1)
+	if allocs := testing.AllocsPerRun(200, func() {
+		now++
+		_ = s.NextWork(now)
+	}); allocs != 0 {
+		t.Errorf("NextWork: %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -42,14 +42,20 @@ type Model struct {
 
 	readPJ  float64
 	writePJ float64
-	bgPJ    float64
 
 	reads      uint64
 	writes     uint64
 	bitsSensed uint64
 	bitsWrit   uint64
 
-	lastBG sim.Tick // background accounted up to this tick
+	// Background energy is tracked as an integer tick count and
+	// converted to picojoules only when read. Accumulating in float
+	// per call would make the total depend on the call pattern
+	// (N one-cycle advances sum differently from one N-cycle advance
+	// in floating point), which would break the bit-exactness the
+	// fast-forwarded simulation loop is held to.
+	bgTicks uint64
+	lastBG  sim.Tick // background accounted up to this tick
 }
 
 // Config parameterizes a Model.
@@ -102,14 +108,15 @@ func (m *Model) Write(bits int) {
 }
 
 // AdvanceBackground charges background energy up to time now. Call it
-// periodically and once at end of simulation; it is idempotent per tick.
+// periodically and once at end of simulation; it is idempotent per
+// tick, and charging an N-cycle window in one call is exactly
+// equivalent to charging it cycle by cycle.
 func (m *Model) AdvanceBackground(now sim.Tick) {
 	if now <= m.lastBG {
 		return
 	}
-	elapsed := float64(now - m.lastBG)
+	m.bgTicks += uint64(now - m.lastBG)
 	m.lastBG = now
-	m.bgPJ += m.bgPJPerBit * m.rowBufferBits * m.banks * elapsed / float64(m.bgWindow)
 }
 
 // ReadPJ returns accumulated sensing energy in pJ.
@@ -119,10 +126,12 @@ func (m *Model) ReadPJ() float64 { return m.readPJ }
 func (m *Model) WritePJ() float64 { return m.writePJ }
 
 // BackgroundPJ returns accumulated background energy in pJ.
-func (m *Model) BackgroundPJ() float64 { return m.bgPJ }
+func (m *Model) BackgroundPJ() float64 {
+	return m.bgPJPerBit * m.rowBufferBits * m.banks * float64(m.bgTicks) / float64(m.bgWindow)
+}
 
 // TotalPJ returns total energy in pJ.
-func (m *Model) TotalPJ() float64 { return m.readPJ + m.writePJ + m.bgPJ }
+func (m *Model) TotalPJ() float64 { return m.readPJ + m.writePJ + m.BackgroundPJ() }
 
 // Senses returns the number of sensing operations charged.
 func (m *Model) Senses() uint64 { return m.reads }

@@ -48,8 +48,26 @@ type Request struct {
 	// model uses it to wake ROB entries.
 	OnComplete func(r *Request, now sim.Tick)
 
+	// Entry is an opaque slot for the issuer to associate its own
+	// bookkeeping with the request (the CPU model stores its ROB
+	// load-entry pointer here so OnComplete can be a shared method
+	// value instead of a per-request closure). The memory system never
+	// reads or writes it.
+	Entry any
+
 	issued bool
 	done   bool
+}
+
+// Reset returns the request to its zero state so a pool can reuse it.
+// Resetting a request that is still in flight (enqueued but not
+// finished) panics: recycling it would let two logical requests alias
+// one object.
+func (r *Request) Reset() {
+	if r.issued && !r.done {
+		panic(fmt.Sprintf("mem: reset of in-flight request %d", r.ID))
+	}
+	*r = Request{}
 }
 
 // Issued reports whether the controller has started servicing r.
@@ -108,7 +126,10 @@ func NewQueue(capacity int) *Queue {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("mem: queue capacity %d", capacity))
 	}
-	return &Queue{cap: capacity}
+	// Entries are pre-sized to capacity: a bounded queue reaches its
+	// high-water mark quickly, and the up-front allocation keeps Push
+	// off the allocator for the rest of the run.
+	return &Queue{cap: capacity, entries: make([]*Request, 0, capacity)}
 }
 
 // Cap returns the queue capacity.

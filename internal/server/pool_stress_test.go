@@ -1,0 +1,56 @@
+// Concurrency stress for the worker pool, aimed at the race detector:
+// admission, metrics reads, and shutdown from many goroutines at once.
+// `go test -race ./internal/server/` is the CI job that gives this
+// test its teeth; without -race it still checks the admission/close
+// accounting (no task lost, none run after Close returns).
+
+package server
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolConcurrentSubmitCloseRace(t *testing.T) {
+	const submitters = 8
+	pool := NewPool(4, 16)
+	var started, executed atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < submitters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := pool.TrySubmit(func() { executed.Add(1) }); err == nil {
+					started.Add(1)
+				}
+				// Metric reads race with workers and Close.
+				_ = pool.InFlight()
+				_ = pool.QueueLen()
+			}
+		}()
+	}
+	// Let the submitters hammer for a bounded amount of admitted work,
+	// then shut down while they are still spinning.
+	for started.Load() < 500 {
+		runtime.Gosched()
+	}
+	pool.Close()
+	after := executed.Load()
+	close(stop)
+	wg.Wait()
+	if got, want := executed.Load(), started.Load(); got != want {
+		t.Errorf("executed %d of %d admitted tasks", got, want)
+	}
+	if after != executed.Load() {
+		t.Errorf("%d tasks executed after Close returned", executed.Load()-after)
+	}
+}

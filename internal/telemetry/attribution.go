@@ -57,14 +57,21 @@ func (a *Attribution) Request(ev RequestEvent) {
 	a.reqHist.Observe(n)
 }
 
-// Stall implements Sink.
+// Stall implements Sink. Events carry a cycle weight in N (0 means 1):
+// the fast-forward path batches a constant-classification window into
+// one weighted event, and weighting here keeps every aggregate equal to
+// the cycle-by-cycle totals.
 func (a *Attribution) Stall(ev StallEvent) {
-	a.causes[ev.Cause].Inc()
+	n := ev.N
+	if n == 0 {
+		n = 1
+	}
+	a.causes[ev.Cause].Add(n)
 	if ev.Cause == StallQueueFull {
 		return
 	}
-	a.tiles[ev.SAG*a.geom.CDs+ev.CD].Inc()
-	a.perReq[ev.ReqID]++
+	a.tiles[ev.SAG*a.geom.CDs+ev.CD].Add(n)
+	a.perReq[ev.ReqID] += n
 }
 
 // Causes returns the per-cause attributed cycle totals.

@@ -144,10 +144,14 @@ type RequestEvent struct {
 	Arrive sim.Tick // set on ReqCompleted (for latency accounting)
 }
 
-// StallEvent attributes one cycle of one waiting request to a cause.
-// Exactly one StallEvent is emitted per queued request per cycle it
+// StallEvent attributes waiting cycles of one queued request to a
+// cause. One StallEvent is emitted per queued request per cycle it
 // remains queued after scheduling, plus one per rejected enqueue
-// attempt (StallQueueFull).
+// attempt (StallQueueFull) — except across a fast-forwarded idle
+// window, where the controller proves the classification constant and
+// emits a single event with N carrying the cycle count. Consumers that
+// count cycles must weight by N (treating 0 as 1); the aggregate
+// totals are identical either way.
 type StallEvent struct {
 	ReqID   uint64
 	Write   bool
@@ -155,6 +159,9 @@ type StallEvent struct {
 	SAG, CD int
 	Cause   StallCause
 	Now     sim.Tick
+	// N is the number of cycles this event stands for. Zero means 1
+	// (the common cycle-by-cycle case leaves it unset).
+	N uint64
 }
 
 // Sink receives simulation events. Implementations must be cheap: the
