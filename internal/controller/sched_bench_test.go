@@ -1,0 +1,134 @@
+package controller
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/core"
+	"repro/internal/invariant"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/timing"
+)
+
+// saturatedHarness keeps a controller's queues topped up from a request
+// pool, modelling the steady state the hot path optimizations target: a
+// backlogged channel where every Cycle has arbitration work to do and
+// every completion immediately admits a replacement request.
+type saturatedHarness struct {
+	eng   *sim.Engine
+	c     *Controller
+	pool  *mem.Pool
+	addrs []uint64
+	id    uint64
+	k     int
+	fill  func(now sim.Tick)
+}
+
+func newSaturatedHarness(tb testing.TB, indexed bool) *saturatedHarness {
+	tb.Helper()
+	eng := sim.NewEngine()
+	c, err := New(Config{
+		Geom: testGeom(), Tim: timing.Paper(), Modes: core.AllModes(),
+		IssueLanes: 1, Interleave: addr.RowBankRankChanCol,
+		DisableIndex: !indexed,
+	}, eng)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	h := &saturatedHarness{eng: eng, c: c, pool: mem.NewPool(80)}
+	m := addr.MustNewMapper(c.Config().Geom, c.Config().Interleave)
+	// A fixed address walk touching both banks and many (SAG, CD)
+	// tiles, so FR-FCFS sees row hits, conflicts and clobber checks.
+	h.addrs = make([]uint64, 256)
+	for i := range h.addrs {
+		h.addrs[i] = m.Encode(addr.Location{
+			Bank: i % 2, Row: (i * 7) % 64, Col: (i * 3) % 16,
+		})
+	}
+	retire := func(r *mem.Request, _ sim.Tick) { h.pool.Put(r) }
+	h.fill = func(now sim.Tick) {
+		for {
+			r := h.pool.Get()
+			h.id++
+			r.ID = h.id
+			r.Op = mem.Read
+			if h.id%4 == 0 {
+				r.Op = mem.Write
+			}
+			r.Addr = h.addrs[h.k%len(h.addrs)]
+			r.OnComplete = retire
+			if !h.c.Enqueue(r, now) {
+				h.pool.Put(r) // backpressure: park it for the next admit
+				return
+			}
+			h.k++
+		}
+	}
+	return h
+}
+
+// step advances one controller cycle: deliver due events, arbitrate,
+// and re-saturate the queues.
+func (h *saturatedHarness) step(now sim.Tick) {
+	h.eng.RunUntil(now)
+	h.c.Cycle(now)
+	h.fill(now)
+}
+
+// TestSaturatedSteadyStateZeroAlloc is the integration-level pooling
+// guard: once the pool and event wheel are warm, the full
+// issue→complete→retire loop — enqueue from pool, FR-FCFS arbitration,
+// bank commands, completion events, retire back to pool — performs zero
+// allocations per cycle. This is what makes the busy-path overhaul
+// stick: no component hides per-request garbage.
+func TestSaturatedSteadyStateZeroAlloc(t *testing.T) {
+	if invariant.Enabled {
+		t.Skip("invariant builds allocate in index/queue cross-checks by design")
+	}
+	h := newSaturatedHarness(t, true)
+	now := sim.Tick(0)
+	h.fill(0)
+	// Warm-up: let the pool and wheel slots reach their high-water
+	// marks (in-flight population is bounded by the queue capacities).
+	for ; now < 4096; now++ {
+		h.step(now)
+	}
+	allocs := testing.AllocsPerRun(2000, func() {
+		now++
+		h.step(now)
+	})
+	if allocs != 0 {
+		t.Errorf("saturated issue→complete→retire cycle allocates %.2f/op, want 0", allocs)
+	}
+}
+
+// BenchmarkCycleSaturated tracks the cost of one controller cycle under
+// a backlogged queue — the busy-path complement to BenchmarkCycleNoSink
+// (idle path). The CI bench-smoke step runs it once to keep it honest.
+func BenchmarkCycleSaturated(b *testing.B) {
+	h := newSaturatedHarness(b, true)
+	now := sim.Tick(0)
+	h.fill(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now++
+		h.step(now)
+	}
+}
+
+// BenchmarkCycleSaturatedNoIndex is the same loop on the reference
+// scan-everything scheduler, so `benchstat` against the indexed run
+// shows what the tile candidate index buys on a busy channel.
+func BenchmarkCycleSaturatedNoIndex(b *testing.B) {
+	h := newSaturatedHarness(b, false)
+	now := sim.Tick(0)
+	h.fill(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now++
+		h.step(now)
+	}
+}

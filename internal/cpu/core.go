@@ -96,11 +96,11 @@ type Core struct {
 
 	nextID uint64
 
-	// freeReqs recycles completed mem.Requests. A request is parked
-	// here by its completion callback and stays untouched (the
-	// controller still reads its timestamps right after OnComplete
-	// fires) until newRequest resets and reuses it.
-	freeReqs []*mem.Request
+	// pool recycles completed mem.Requests. A request is parked there
+	// by its completion callback and stays untouched (the controller
+	// still reads its timestamps right after OnComplete fires) until
+	// Pool.Get resets and reuses it.
+	pool *mem.Pool
 
 	// Completion callbacks, cached once so assigning OnComplete on the
 	// fetch path does not allocate.
@@ -131,8 +131,10 @@ func NewCore(cfg CoreConfig, s trace.Stream, llc *LLC, ctrl MemorySystem) (*Core
 	}
 	c := &Core{
 		cfg: cfg, stream: s, llc: llc, ctrl: ctrl,
-		loads:    make([]loadEntry, cfg.ROB),
-		freeReqs: make([]*mem.Request, 0, cfg.MSHRs+2),
+		loads: make([]loadEntry, cfg.ROB),
+		// Every request a core can have outstanding at once: one per
+		// MSHR plus a held fill and a held writeback.
+		pool: mem.NewPool(cfg.MSHRs + 2),
 	}
 	c.loadDoneFn = c.loadDone
 	c.storeDoneFn = c.storeDone
@@ -145,32 +147,27 @@ func NewCore(cfg CoreConfig, s trace.Stream, llc *LLC, ctrl MemorySystem) (*Core
 func (c *Core) loadDone(r *mem.Request, _ sim.Tick) {
 	r.Entry.(*loadEntry).done = true
 	c.outstanding--
-	c.freeReqs = append(c.freeReqs, r)
+	c.pool.Put(r)
 }
 
 // storeDone completes a store-miss fill (no ROB entry to wake).
 func (c *Core) storeDone(r *mem.Request, _ sim.Tick) {
 	c.outstanding--
-	c.freeReqs = append(c.freeReqs, r)
+	c.pool.Put(r)
 }
 
 // wbDone completes a dirty-eviction writeback.
 func (c *Core) wbDone(r *mem.Request, _ sim.Tick) {
-	c.freeReqs = append(c.freeReqs, r)
+	c.pool.Put(r)
 }
 
 // newRequest returns a zeroed request with a fresh ID, reusing a
 // recycled one when available.
 func (c *Core) newRequest() *mem.Request {
 	c.nextID++
-	if n := len(c.freeReqs); n > 0 {
-		r := c.freeReqs[n-1]
-		c.freeReqs = c.freeReqs[:n-1]
-		r.Reset()
-		r.ID = c.nextID
-		return r
-	}
-	return &mem.Request{ID: c.nextID}
+	r := c.pool.Get()
+	r.ID = c.nextID
+	return r
 }
 
 // front returns the oldest outstanding load. Caller checks loadLen > 0.

@@ -36,11 +36,14 @@ var HookPurity = &Analyzer{
 // them from a hook body is a purity violation regardless of how the
 // receiver was reached.
 var mutatingMethods = map[string][]string{
-	"internal/sim":        {"Schedule", "ScheduleAfter", "Step", "Run", "RunUntil", "Advance", "SetHook"},
+	"internal/sim":        {"Schedule", "ScheduleAfter", "ScheduleArg", "Step", "Run", "RunUntil", "Advance", "SetHook"},
 	"internal/core":       {"Activate", "Read", "Write"},
 	"internal/bank":       {"Activate", "Read", "Write", "SetTelemetry"},
-	"internal/controller": {"Enqueue", "Cycle"},
-	"internal/mem":        {"Push", "Remove", "MarkIssued", "Finish"},
+	"internal/controller": {"Enqueue", "Cycle", "SkipCycles"},
+	// Pool.Get/Put and Request.Reset recycle request identity: a hook
+	// that touches the free list can alias a live request with a future
+	// one, which is as stateful as mutation gets.
+	"internal/mem": {"Push", "Remove", "MarkIssued", "Finish", "Reset", "Get", "Put"},
 }
 
 func runHookPurity(pass *Pass) error {

@@ -3,6 +3,7 @@
 package hookpurity
 
 import (
+	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
@@ -54,6 +55,23 @@ func (s *Sampler) DrainSample(now sim.Tick, pending int) {
 
 func (s *Sampler) eng() *sim.Engine { return nil }
 
+// RecyclingSink drains a request pool from telemetry context: flagged.
+// Pool traffic recycles request identity, so a sink that touches the
+// free list can alias a live request with a future one.
+type RecyclingSink struct {
+	pool  *mem.Pool
+	spare *mem.Request
+}
+
+func (s *RecyclingSink) Command(telemetry.Command) {
+	s.spare = s.pool.Get() // want "state-mutating"
+}
+func (s *RecyclingSink) Request(telemetry.RequestEvent) {
+	s.pool.Put(s.spare) // want "state-mutating"
+	s.spare.Reset()     // want "state-mutating"
+}
+func (s *RecyclingSink) Stall(telemetry.StallEvent) {}
+
 func installHooks(eng *sim.Engine) {
 	// Observation-only literal: allowed.
 	eng.SetHook(func(now sim.Tick, pending int) {
@@ -61,7 +79,8 @@ func installHooks(eng *sim.Engine) {
 	})
 	// Mutating literal: flagged.
 	eng.SetHook(func(now sim.Tick, pending int) {
-		eng.Advance(now) // want "state-mutating"
+		eng.Advance(now)                                  // want "state-mutating"
+		eng.ScheduleArg(now, func(sim.Tick, any) {}, nil) // want "state-mutating"
 	})
 }
 

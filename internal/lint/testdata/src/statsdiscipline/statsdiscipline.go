@@ -29,4 +29,18 @@ func tamper(st *controller.Stats) uint64 {
 	return st.Reads.Value()       // allowed: reading is everyone's right
 }
 
-var _ = []any{record, tamper}
+// replayMemo mimics the ready-memo's batch-replay of per-cycle stall
+// counters — legitimate inside the controller, flagged from any other
+// package: an external replay would double-count the memoized window.
+func replayMemo(st *controller.Stats, skipped, perCycle uint64) {
+	st.BusStallCycles.Add(skipped * perCycle) // want "owned by package"
+	st.QueuedWaitCycles.Add(skipped)          // want "owned by package"
+}
+
+// replayOwnMemo does the same batch-replay against this package's own
+// counters: allowed, ownership is what the rule protects.
+func replayOwnMemo(o *Own, skipped uint64) {
+	o.Hits.Add(skipped)
+}
+
+var _ = []any{record, tamper, replayMemo, replayOwnMemo}

@@ -1,0 +1,57 @@
+package mem
+
+import "repro/internal/invariant"
+
+// Pool is a free list of Requests. The steady-state
+// issue→complete→retire loop allocates nothing: a retired request goes
+// back with Put and the next miss takes it out with Get.
+//
+// Put accepts requests whose completion side effects may still be
+// observed by the caller (the controller reads timestamps after firing
+// OnComplete), so the stored request keeps its fields; Get resets it
+// before handing it out. Every pooled request therefore passes through
+// Reset — whose reflection test pins that it clears every field —
+// before reuse, and the invariant build re-asserts the cleared state on
+// the way out.
+//
+// Pool is not safe for concurrent use; each core owns its own.
+type Pool struct {
+	free []*Request
+}
+
+// NewPool returns a pool whose free list is pre-sized for hint
+// requests so steady-state traffic never regrows it.
+func NewPool(hint int) *Pool {
+	if hint < 0 {
+		hint = 0
+	}
+	return &Pool{free: make([]*Request, 0, hint)}
+}
+
+// Get returns a zeroed request, recycling a pooled one when available.
+func (p *Pool) Get() *Request {
+	n := len(p.free)
+	if n == 0 {
+		return &Request{}
+	}
+	r := p.free[n-1]
+	p.free[n-1] = nil
+	p.free = p.free[:n-1]
+	r.Reset()
+	if invariant.Enabled {
+		invariant.Assert(r.ID == 0 && !r.issued && !r.done && r.OnComplete == nil && r.Entry == nil,
+			"pooled request not reset before reuse")
+	}
+	return r
+}
+
+// Put parks r for reuse. The request must not be in flight: parking a
+// request the controller still holds would alias two logical requests
+// onto one object. (Reset enforces this when the request is recycled;
+// the invariant build catches it at Put time, closer to the bug.)
+func (p *Pool) Put(r *Request) {
+	if invariant.Enabled && r.issued && !r.done {
+		invariant.Assertf(false, "pooling in-flight request %d", r.ID)
+	}
+	p.free = append(p.free, r)
+}

@@ -1,0 +1,113 @@
+package mem
+
+import (
+	"reflect"
+	"testing"
+	"unsafe"
+)
+
+// fillNonZero sets every field of the struct v (including unexported
+// fields, via unsafe addressing) to a non-zero value. It fails the test
+// on any field kind it does not know how to fill, so adding a field of
+// a new kind to Request forces this test to learn about it instead of
+// silently skipping it.
+func fillNonZero(t *testing.T, v reflect.Value) {
+	t.Helper()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		if !f.CanSet() {
+			// Unexported: re-derive a settable value at the same address.
+			f = reflect.NewAt(f.Type(), unsafe.Pointer(f.UnsafeAddr())).Elem()
+		}
+		switch f.Kind() {
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			f.SetInt(1)
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			f.SetUint(1)
+		case reflect.Bool:
+			f.SetBool(true)
+		case reflect.Func:
+			f.Set(reflect.MakeFunc(f.Type(), func(args []reflect.Value) []reflect.Value {
+				return nil
+			}))
+		case reflect.Interface:
+			f.Set(reflect.ValueOf(42))
+		case reflect.Struct:
+			fillNonZero(t, f)
+		default:
+			t.Fatalf("field %s: no fill rule for kind %s — teach fillNonZero about it so Reset stays covered",
+				v.Type().Field(i).Name, f.Kind())
+		}
+		if f.IsZero() {
+			t.Fatalf("field %s still zero after fill", v.Type().Field(i).Name)
+		}
+	}
+}
+
+// TestResetClearsEveryField fills every Request field — walked by
+// reflection, so a newly added field is covered automatically — and
+// checks Reset returns the struct to its zero value. This is the proof
+// behind pooling: no field can leak stale state into a recycled
+// request.
+func TestResetClearsEveryField(t *testing.T) {
+	r := &Request{}
+	fillNonZero(t, reflect.ValueOf(r).Elem())
+	// fillNonZero set issued=true with done=true as well, so Reset's
+	// in-flight guard does not fire.
+	r.Reset()
+	if !reflect.DeepEqual(*r, Request{}) {
+		t.Fatalf("Reset left state behind: %+v", *r)
+	}
+}
+
+func TestResetInFlightPanics(t *testing.T) {
+	r := &Request{ID: 7}
+	r.MarkIssued(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reset of in-flight request did not panic")
+		}
+	}()
+	r.Reset()
+}
+
+func TestPoolRecycles(t *testing.T) {
+	p := NewPool(4)
+	r := p.Get()
+	r.ID = 9
+	r.MarkIssued(1)
+	r.Finish(2)
+	r.Entry = "stale"
+	p.Put(r)
+	got := p.Get()
+	if got != r {
+		t.Fatal("pool did not recycle the parked request")
+	}
+	if !reflect.DeepEqual(*got, Request{}) {
+		t.Fatalf("recycled request not reset: %+v", *got)
+	}
+}
+
+func TestPoolGetEmptyAllocates(t *testing.T) {
+	p := NewPool(0)
+	a, b := p.Get(), p.Get()
+	if a == b {
+		t.Fatal("empty pool returned the same request twice")
+	}
+}
+
+// TestPoolSteadyStateZeroAlloc pins the point of the pool: a warm
+// get→use→put loop never touches the allocator.
+func TestPoolSteadyStateZeroAlloc(t *testing.T) {
+	p := NewPool(8)
+	p.Put(&Request{})
+	allocs := testing.AllocsPerRun(1000, func() {
+		r := p.Get()
+		r.MarkIssued(1)
+		r.Finish(2)
+		p.Put(r)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state pool loop allocates %.1f per iteration, want 0", allocs)
+	}
+}

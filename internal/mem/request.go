@@ -111,12 +111,19 @@ func (r *Request) String() string {
 		r.Op, r.ID, r.Addr, r.Loc.Channel, r.Loc.Rank, r.Loc.Bank, r.Loc.Row, r.Loc.Col)
 }
 
-// Queue is a bounded FIFO of in-flight requests preserving arrival order,
-// with O(1) removal by index scan (queues are small: Table 2 uses 32
-// entries). Age order is the iteration order, which is what FR-FCFS
-// needs.
+// Queue is a bounded FIFO of in-flight requests preserving arrival order.
+// Age order is the iteration order, which is what FR-FCFS needs: the
+// scheduler breaks ties by position, so removal MUST NOT reorder the
+// survivors (a swap-with-last trick would change arbitration and thus
+// simulation results). Removal therefore shifts entries — but from
+// whichever side is shorter, and the head slides forward instead of
+// shifting when the oldest request is removed, which is the common case
+// under FCFS and the frequent case under FR-FCFS (oldest-first
+// preference). Queues are small (Table 2 uses 32 entries), so the
+// worst-case middle removal stays cheap.
 type Queue struct {
 	entries []*Request
+	head    int // entries[head:] are live, oldest first
 	cap     int
 }
 
@@ -136,13 +143,13 @@ func NewQueue(capacity int) *Queue {
 func (q *Queue) Cap() int { return q.cap }
 
 // Len returns the number of queued requests.
-func (q *Queue) Len() int { return len(q.entries) }
+func (q *Queue) Len() int { return len(q.entries) - q.head }
 
 // Full reports whether the queue is at capacity.
-func (q *Queue) Full() bool { return len(q.entries) >= q.cap }
+func (q *Queue) Full() bool { return q.Len() >= q.cap }
 
 // Empty reports whether the queue has no requests.
-func (q *Queue) Empty() bool { return len(q.entries) == 0 }
+func (q *Queue) Empty() bool { return q.head == len(q.entries) }
 
 // Push appends r in arrival order. It reports false (and does not
 // enqueue) if the queue is full — the caller models backpressure.
@@ -150,26 +157,55 @@ func (q *Queue) Push(r *Request) bool {
 	if q.Full() {
 		return false
 	}
+	if len(q.entries) == cap(q.entries) && q.head > 0 {
+		// Reclaim the dead prefix left by head removals. The live
+		// entries fit by construction (Len < cap <= cap(entries)),
+		// so the backing array never grows after NewQueue.
+		n := copy(q.entries, q.entries[q.head:])
+		for i := n; i < len(q.entries); i++ {
+			q.entries[i] = nil
+		}
+		q.entries = q.entries[:n]
+		q.head = 0
+	}
 	q.entries = append(q.entries, r)
 	return true
 }
 
 // At returns the i-th oldest request.
-func (q *Queue) At(i int) *Request { return q.entries[i] }
+func (q *Queue) At(i int) *Request { return q.entries[q.head+i] }
 
 // Remove deletes the i-th oldest request, preserving the order of the
-// rest.
+// rest. Removing the oldest (i == 0) is O(1): the head index advances.
+// Otherwise the shorter of the two sides shifts by one slot.
 func (q *Queue) Remove(i int) *Request {
+	i += q.head
 	r := q.entries[i]
-	q.entries = append(q.entries[:i], q.entries[i+1:]...)
+	switch {
+	case i == q.head:
+		q.entries[i] = nil
+		q.head++
+		if q.head == len(q.entries) {
+			q.head = 0
+			q.entries = q.entries[:0]
+		}
+	case i-q.head < len(q.entries)-1-i:
+		// Shift the (shorter) older side right into the gap.
+		copy(q.entries[q.head+1:i+1], q.entries[q.head:i])
+		q.entries[q.head] = nil
+		q.head++
+	default:
+		// Shift the (shorter) younger side left into the gap.
+		q.entries = append(q.entries[:i], q.entries[i+1:]...)
+	}
 	return r
 }
 
 // Scan calls fn on each request in age order (oldest first) until fn
 // returns false.
 func (q *Queue) Scan(fn func(i int, r *Request) bool) {
-	for i, r := range q.entries {
-		if !fn(i, r) {
+	for i := q.head; i < len(q.entries); i++ {
+		if !fn(i-q.head, q.entries[i]) {
 			return
 		}
 	}

@@ -10,11 +10,19 @@
 // Determinism: two events scheduled for the same Tick fire in the order
 // they were scheduled (FIFO within a tick), which makes simulation results
 // reproducible across runs and platforms.
+//
+// Internally the queue is a calendar/timing wheel backed by a binary-heap
+// overflow. Nearly every event a memory-system model schedules is a
+// short-horizon timing delay (Table 2 latencies: tens of cycles), so an
+// event landing within wheelSlots ticks of now goes into a direct-mapped
+// slot at O(1); rare far-future events (e.g. DRAM refresh at tREFI) fall
+// back to the heap. Dispatch merges the two structures by (when, seq), so
+// the externally observable order is identical to a single heap.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math/bits"
 
 	"repro/internal/invariant"
 )
@@ -47,28 +55,82 @@ type item struct {
 	arg   any
 }
 
-// eventHeap implements heap.Interface ordered by (when, seq).
+// eventHeap is a binary min-heap ordered by (when, seq). It hand-rolls
+// push/pop instead of using container/heap: the interface-based API
+// boxes every item into an `any`, which costs two heap allocations per
+// event and would defeat the zero-alloc steady state.
 type eventHeap []item
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].when != h[j].when {
 		return h[i].when < h[j].when
 	}
 	return h[i].seq < h[j].seq
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) push(it item) {
+	*h = append(*h, it)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
 
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(item)) }
+func (h *eventHeap) pop() item {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = item{} // release the arg/closure for GC
+	*h = q[:n]
+	q = q[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		q[i], q[smallest] = q[smallest], q[i]
+		i = smallest
+	}
+	return top
+}
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+// Wheel geometry. wheelSlots must be a power of two. 256 slots cover
+// every timing delay in internal/timing (the longest single-command
+// occupancy is a write: tCWD + pulses*tWP + tWR ≈ 66 cycles, and burst
+// transfers are shorter still), so in steady state every completion is a
+// wheel insert; only far-horizon events such as DRAM refresh (tREFI ≈
+// 3120 cycles) take the heap path.
+const (
+	wheelSlots = 256
+	wheelMask  = wheelSlots - 1
+	slotCap0   = 4 // initial per-slot capacity, carved from one backing array
+)
+
+// slot holds the events of exactly one tick. Because an event is only
+// inserted when when-now < wheelSlots and the clock never moves past a
+// pending event, two events in the same slot always share the same when:
+// a second tick mapping to the slot cannot be scheduled until the first
+// tick's events have all dispatched. head indexes the next event to
+// dispatch; entries [head:len) are pending, in seq order (appends are
+// monotone in seq).
+type slot struct {
+	head  int
+	items []item
 }
 
 // Hook observes kernel activity: it is called immediately before each
@@ -84,15 +146,20 @@ type Hook func(now Tick, pending int)
 type Engine struct {
 	now    Tick
 	seq    uint64
-	events eventHeap
+	events eventHeap // overflow: events >= wheelSlots ticks ahead at insert
 	hook   Hook
+
+	wheel      []slot                  // lazily allocated on first near insert
+	occ        [wheelSlots / 64]uint64 // occupancy bitmap, one bit per slot
+	wcount     int                     // events currently in the wheel
+	wNext      Tick                    // earliest wheel tick; valid iff wNextKnown
+	wNextKnown bool
 }
 
-// initialHeapCap pre-sizes the event heap so the steady-state request
-// flow (a few completions in flight per bank) never grows it; 256
-// slots cover every configuration in the repository with room to spare
-// while costing ~10 KiB per engine.
-const initialHeapCap = 256
+// initialHeapCap pre-sizes the overflow heap; far-future events are rare
+// (refresh timers), so a small backing array suffices and never grows in
+// steady state.
+const initialHeapCap = 64
 
 // NewEngine returns an engine with its clock at zero.
 func NewEngine() *Engine {
@@ -104,11 +171,81 @@ func (e *Engine) Now() Tick { return e.now }
 
 // Pending returns the number of events that have been scheduled but not
 // yet dispatched.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.wcount + len(e.events) }
 
 // SetHook attaches (or, with nil, detaches) a telemetry hook. The
 // disabled path costs one nil check per dispatch.
 func (e *Engine) SetHook(h Hook) { e.hook = h }
+
+// initWheel allocates the wheel with every slot's initial capacity carved
+// from a single backing array, so warming the wheel costs two allocations
+// total instead of one per touched slot.
+func (e *Engine) initWheel() {
+	e.wheel = make([]slot, wheelSlots)
+	backing := make([]item, wheelSlots*slotCap0)
+	for i := range e.wheel {
+		off := i * slotCap0
+		e.wheel[i].items = backing[off : off : off+slotCap0]
+	}
+}
+
+// insert routes a stamped item to the wheel or the overflow heap.
+func (e *Engine) insert(it item) {
+	if it.when-e.now < wheelSlots {
+		if e.wheel == nil {
+			e.initWheel()
+		}
+		s := int(it.when) & wheelMask
+		e.wheel[s].items = append(e.wheel[s].items, it)
+		e.occ[s>>6] |= 1 << (uint(s) & 63)
+		if e.wcount == 0 {
+			e.wNext, e.wNextKnown = it.when, true
+		} else if e.wNextKnown && it.when < e.wNext {
+			e.wNext = it.when
+		}
+		e.wcount++
+		return
+	}
+	e.events.push(it)
+}
+
+// wheelNextTick returns the earliest tick with pending wheel events, or
+// MaxTick when the wheel is empty. The value is cached; a cache miss
+// scans the occupancy bitmap (at most wheelSlots/64 + 1 words).
+func (e *Engine) wheelNextTick() Tick {
+	if e.wcount == 0 {
+		return MaxTick
+	}
+	if !e.wNextKnown {
+		e.wNext = e.scanWheel()
+		e.wNextKnown = true
+	}
+	return e.wNext
+}
+
+// scanWheel finds the earliest occupied slot in circular order starting
+// at now's slot. Every wheel event satisfies when in [now, now+wheelSlots),
+// so slot distance from now's slot maps directly to tick distance.
+func (e *Engine) scanWheel() Tick {
+	s0 := uint(e.now) & wheelMask
+	w0 := s0 >> 6
+	off := s0 & 63
+	const words = wheelSlots / 64
+	for k := uint(0); k <= words; k++ {
+		wi := (w0 + k) & (words - 1)
+		word := e.occ[wi]
+		if k == 0 {
+			word &= ^uint64(0) << off
+		} else if k == words {
+			word &= (uint64(1) << off) - 1
+		}
+		if word != 0 {
+			s := wi<<6 | uint(bits.TrailingZeros64(word))
+			return e.now + Tick((s-s0)&wheelMask)
+		}
+	}
+	panic("sim: wheel occupancy bitmap inconsistent with wcount")
+}
 
 // Schedule arranges for fn to run at the absolute time when.
 // Scheduling in the past (when < Now) panics: it always indicates a
@@ -121,7 +258,7 @@ func (e *Engine) Schedule(when Tick, fn Event) {
 		panic("sim: schedule nil event")
 	}
 	e.seq++
-	heap.Push(&e.events, item{when: when, seq: e.seq, fn: fn})
+	e.insert(item{when: when, seq: e.seq, fn: fn})
 }
 
 // ScheduleAfter arranges for fn to run delay ticks from now.
@@ -142,33 +279,58 @@ func (e *Engine) ScheduleArg(when Tick, fn ArgEvent, arg any) {
 		panic("sim: schedule nil event")
 	}
 	e.seq++
-	heap.Push(&e.events, item{when: when, seq: e.seq, argFn: fn, arg: arg})
+	e.insert(item{when: when, seq: e.seq, argFn: fn, arg: arg})
 }
 
 // NextEventTick returns the time of the earliest pending event, or
 // MaxTick when the queue is empty. It lets the run loop compute how far
 // simulated time can jump while every component is provably idle.
 func (e *Engine) NextEventTick() Tick {
-	if len(e.events) == 0 {
-		return MaxTick
+	next := e.wheelNextTick()
+	if len(e.events) > 0 && e.events[0].when < next {
+		next = e.events[0].when
 	}
-	return e.events[0].when
+	return next
 }
 
 // Step dispatches the single earliest pending event, advancing the clock
 // to its timestamp. It reports false if the queue was empty.
+//
+// When the wheel and the heap both hold events at the same tick, the one
+// with the smaller seq dispatches first, preserving the global
+// FIFO-within-tick contract across the two structures.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	wWhen := e.wheelNextTick()
+	hWhen := MaxTick
+	if len(e.events) > 0 {
+		hWhen = e.events[0].when
+	}
+	if wWhen == MaxTick && hWhen == MaxTick {
 		return false
 	}
-	it := heap.Pop(&e.events).(item)
-	if invariant.Enabled {
-		invariant.Assertf(it.when >= e.now,
+	var it item
+	if wWhen < hWhen || (wWhen == hWhen && e.wheel[int(wWhen)&wheelMask].items[e.wheel[int(wWhen)&wheelMask].head].seq < e.events[0].seq) {
+		s := &e.wheel[int(wWhen)&wheelMask]
+		it = s.items[s.head]
+		s.head++
+		e.wcount--
+		if s.head == len(s.items) {
+			s.items = s.items[:0]
+			s.head = 0
+			si := int(wWhen) & wheelMask
+			e.occ[si>>6] &^= 1 << (uint(si) & 63)
+			e.wNextKnown = false
+		}
+	} else {
+		it = e.events.pop()
+	}
+	if invariant.Enabled && it.when < e.now {
+		invariant.Assertf(false,
 			"event queue time ran backwards: dispatching tick %d with clock at %d", it.when, e.now)
 	}
 	e.now = it.when
 	if e.hook != nil {
-		e.hook(it.when, len(e.events))
+		e.hook(it.when, e.Pending())
 	}
 	if it.fn != nil {
 		it.fn(it.when)
@@ -183,7 +345,11 @@ func (e *Engine) Step() bool {
 // It returns the number of events dispatched.
 func (e *Engine) RunUntil(limit Tick) int {
 	n := 0
-	for len(e.events) > 0 && e.events[0].when <= limit {
+	for {
+		next := e.NextEventTick()
+		if next == MaxTick || next > limit {
+			break
+		}
 		e.Step()
 		n++
 	}
@@ -212,8 +378,8 @@ func (e *Engine) Advance(when Tick) {
 	if when < e.now {
 		panic(fmt.Sprintf("sim: advance backwards from %d to %d", e.now, when))
 	}
-	if len(e.events) > 0 && e.events[0].when < when {
-		panic(fmt.Sprintf("sim: advance to %d would skip event at %d", when, e.events[0].when))
+	if next := e.NextEventTick(); next < when {
+		panic(fmt.Sprintf("sim: advance to %d would skip event at %d", when, next))
 	}
 	e.now = when
 }

@@ -1,0 +1,149 @@
+package sim
+
+import "testing"
+
+// TestWheelHeapBoundary pins the routing rule: a delay of wheelSlots-1
+// lands in the wheel, a delay of wheelSlots overflows to the heap, and
+// both dispatch in global time order regardless of structure.
+func TestWheelHeapBoundary(t *testing.T) {
+	e := NewEngine()
+	var fired []Tick
+	rec := func(now Tick) { fired = append(fired, now) }
+	e.Schedule(Tick(wheelSlots), rec)   // heap
+	e.Schedule(Tick(wheelSlots-1), rec) // wheel (last slot)
+	e.Schedule(0, rec)                  // wheel (current slot)
+	if len(e.events) != 1 {
+		t.Fatalf("overflow heap holds %d events, want 1 (delay >= wheelSlots)", len(e.events))
+	}
+	if e.wcount != 2 {
+		t.Fatalf("wheel holds %d events, want 2", e.wcount)
+	}
+	e.Run()
+	want := []Tick{0, wheelSlots - 1, wheelSlots}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+}
+
+// TestWheelHeapSameTickFIFO interleaves wheel and heap events that end
+// up at the same tick and checks the (when, seq) merge keeps global
+// schedule order: a far event (heap) scheduled before a near event
+// (wheel) at the same tick must dispatch first.
+func TestWheelHeapSameTickFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	target := Tick(wheelSlots + 50)
+	e.Schedule(target, func(Tick) { order = append(order, 0) }) // heap: delay > wheelSlots
+	// Advance near the target, then schedule wheel events at the same tick.
+	e.Schedule(target-10, func(now Tick) {
+		e.Schedule(target, func(Tick) { order = append(order, 1) }) // wheel now
+		e.Schedule(target, func(Tick) { order = append(order, 2) })
+	})
+	e.Run()
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("same-tick wheel/heap dispatch order = %v, want [0 1 2]", order)
+	}
+}
+
+// TestWheelSlotReuse drives the clock far enough that slots wrap several
+// times, checking the slot purity argument (one tick per slot at a time)
+// holds through reuse.
+func TestWheelSlotReuse(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick Event
+	tick = func(now Tick) {
+		count++
+		if count < 5*wheelSlots {
+			e.ScheduleAfter(1, tick)
+		}
+	}
+	e.Schedule(0, tick)
+	e.Run()
+	if count != 5*wheelSlots {
+		t.Fatalf("ticker fired %d times, want %d", count, 5*wheelSlots)
+	}
+	if e.Now() != Tick(5*wheelSlots-1) {
+		t.Fatalf("Now = %d, want %d", e.Now(), 5*wheelSlots-1)
+	}
+}
+
+// TestWheelSteadyStateZeroAlloc: once the wheel is warm, the
+// schedule→dispatch loop must not allocate.
+func TestWheelSteadyStateZeroAlloc(t *testing.T) {
+	e := NewEngine()
+	fn := func(Tick) {}
+	// Warm: touch the wheel and the overflow heap.
+	e.Schedule(1, fn)
+	e.Schedule(Tick(wheelSlots*2), fn)
+	e.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.ScheduleAfter(7, fn)
+		e.ScheduleAfter(63, fn)
+		e.Step()
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state schedule/dispatch allocates %.1f per iteration, want 0", allocs)
+	}
+}
+
+// TestAdvanceRespectsWheelEvents: Advance must see wheel events, not
+// just the overflow heap.
+func TestAdvanceRespectsWheelEvents(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func(Tick) {}) // wheel
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance past a wheel event did not panic")
+		}
+	}()
+	e.Advance(20)
+}
+
+// BenchmarkDispatchNear measures the pure wheel path: short-horizon
+// completions like bank timing delays.
+func BenchmarkDispatchNear(b *testing.B) {
+	e := NewEngine()
+	fn := func(Tick) {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.ScheduleAfter(Tick(1+i%100), fn)
+		e.Step()
+	}
+}
+
+// BenchmarkDispatchFar measures the overflow heap path: far-horizon
+// events like refresh timers.
+func BenchmarkDispatchFar(b *testing.B) {
+	e := NewEngine()
+	fn := func(Tick) {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.ScheduleAfter(Tick(wheelSlots+i%1000), fn)
+		e.Step()
+	}
+}
+
+// BenchmarkDispatchMixed approximates a busy controller: several
+// in-flight near completions plus an occasional far event.
+func BenchmarkDispatchMixed(b *testing.B) {
+	e := NewEngine()
+	fn := func(Tick) {}
+	for i := 0; i < 8; i++ {
+		e.ScheduleAfter(Tick(10+i*7), fn)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if i%64 == 0 {
+			e.ScheduleAfter(Tick(wheelSlots+100), fn)
+		} else {
+			e.ScheduleAfter(Tick(1+i%90), fn)
+		}
+		e.Step()
+	}
+	for e.Step() {
+	}
+}

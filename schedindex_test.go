@@ -1,0 +1,120 @@
+// Differential tests for the indexed scheduling hot path.
+//
+// The controller's ready-memo and tile candidate index (controller.go)
+// claim to be exact: skipping provably-idle channel scans and answering
+// clobber queries from incremental counts must leave every observable
+// output byte-identical to the reference queue-scanning scheduler.
+// These tests pin that claim across the full benchmark × design matrix
+// with full telemetry attached, mirroring the fast-forward differential
+// suite — and compose the two optimizations, since the ready memo must
+// stay exact across fast-forward jumps.
+
+package fgnvm
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestSchedIndexDifferential: every benchmark × every design, indexed
+// scheduling vs the reference scan path, must produce byte-identical
+// Result JSON (stall buckets, occupancy, energy, latency percentiles —
+// everything) and byte-identical trace output. Fast-forward stays on
+// in both runs, so this also covers memo-across-jump interactions.
+func TestSchedIndexDifferential(t *testing.T) {
+	for _, d := range Designs() {
+		t.Run(d.String(), func(t *testing.T) {
+			for _, bench := range Benchmarks() {
+				t.Run(bench, func(t *testing.T) {
+					t.Parallel()
+					o := Options{Design: d, SAGs: 8, CDs: 2, Benchmark: bench, Instructions: ffInstr}
+					idxRes, idxTrace := runArtifacts(t, o)
+					o.DisableSchedIndex = true
+					refRes, refTrace := runArtifacts(t, o)
+					if !bytes.Equal(idxRes, refRes) {
+						t.Errorf("Result diverged under indexed scheduling:\n  idx: %s\n  ref: %s", idxRes, refRes)
+					}
+					if !bytes.Equal(idxTrace, refTrace) {
+						t.Errorf("trace diverged under indexed scheduling (%d vs %d bytes)", len(idxTrace), len(refTrace))
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestSchedIndexCycleByCycle re-runs the differential with fast-forward
+// disabled on a design/benchmark slice, so an indexed-scheduling bug
+// masked by the fast-forward's own idle-window skipping (both paths
+// skip idle cycles, by different mechanisms) cannot hide.
+func TestSchedIndexCycleByCycle(t *testing.T) {
+	for _, d := range []Design{DesignBaseline, DesignFgNVM, DesignFgNVMMultiIssue, DesignDRAM} {
+		t.Run(d.String(), func(t *testing.T) {
+			for _, bench := range []string{"lbm", "mcf"} {
+				t.Run(bench, func(t *testing.T) {
+					t.Parallel()
+					o := Options{
+						Design: d, SAGs: 8, CDs: 2, Benchmark: bench,
+						Instructions: ffInstr, DisableFastForward: true,
+					}
+					idxRes, idxTrace := runArtifacts(t, o)
+					o.DisableSchedIndex = true
+					refRes, refTrace := runArtifacts(t, o)
+					if !bytes.Equal(idxRes, refRes) {
+						t.Errorf("Result diverged (cycle-by-cycle):\n  idx: %s\n  ref: %s", idxRes, refRes)
+					}
+					if !bytes.Equal(idxTrace, refTrace) {
+						t.Errorf("trace diverged (cycle-by-cycle): %d vs %d bytes", len(idxTrace), len(refTrace))
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestSchedIndexRandomStream drives the differential with an
+// independently seeded SplitMix64 access stream, so index exactness
+// does not silently depend on the benchmark profiles' locality
+// structure (the same guard the fast-forward suite applies).
+func TestSchedIndexRandomStream(t *testing.T) {
+	mk := func() trace.Stream {
+		state := uint64(0xabcde)
+		next := func() uint64 {
+			state += 0x9e3779b97f4a7c15
+			z := state
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+			return z ^ (z >> 31)
+		}
+		accs := make([]trace.Access, 4096)
+		for i := range accs {
+			accs[i] = trace.Access{
+				Gap:   uint32(next() % 200),
+				Addr:  (next() % (64 << 20)) &^ 63,
+				Write: next()%100 < 40,
+			}
+		}
+		return trace.NewSliceStream(accs)
+	}
+	for _, d := range []Design{DesignBaseline, DesignFgNVM, DesignFgNVMMultiIssue} {
+		run := func(disable bool) Result {
+			r, err := Run(Options{
+				Design: d, SAGs: 8, CDs: 2, Stream: mk(),
+				Instructions: ffInstr, DisableSchedIndex: disable,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r
+		}
+		idx, ref := run(false), run(true)
+		idxJSON, _ := json.Marshal(idx)
+		refJSON, _ := json.Marshal(ref)
+		if !bytes.Equal(idxJSON, refJSON) {
+			t.Errorf("%v: random-stream run diverged under indexed scheduling:\n  idx: %s\n  ref: %s", d, idxJSON, refJSON)
+		}
+	}
+}
