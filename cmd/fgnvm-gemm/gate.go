@@ -1,0 +1,195 @@
+// The BENCH_pr6.json perf gate: a fixed matrix of GEMM runs — one
+// attention and one FFN preset, across the four-design matrix, at
+// naive (rowmajor) and SAG-aligned tiling — recorded as exact cycle
+// counts and stall buckets. -out writes the reference; -check reruns
+// the matrix and fails on any divergence, and additionally enforces
+// the workload-placement claims themselves:
+//
+//   - FgNVM with SAG-aligned tiling must beat baseline (speedup > 1);
+//   - SAG-aligned tiling must reduce the sag-conflict stall bucket
+//     versus rowmajor on the FgNVM design.
+//
+// Everything recorded is machine-independent (no wall-clock metrics),
+// so the gate is exact across hosts.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	fgnvm "repro"
+)
+
+// gatePresets pairs one attention and one FFN layer: a streaming-output
+// projection and an accumulate-in-place projection, so both output
+// traffic shapes stay gated.
+var gatePresets = []string{"gpt2s-attn-qkv", "gpt2s-ffn-down"}
+
+var gateDesigns = []fgnvm.Design{
+	fgnvm.DesignBaseline, fgnvm.DesignSALP, fgnvm.DesignManyBanks, fgnvm.DesignFgNVM,
+}
+
+var gateTilings = []string{"rowmajor", "sag"}
+
+type gateCase struct {
+	Preset string `json:"preset"`
+	Design string `json:"design"`
+	Tiling string `json:"tiling"`
+
+	Cycles         uint64  `json:"cycles"`
+	IPC            float64 `json:"ipc"`
+	SAGConflict    uint64  `json:"sag_conflict"`
+	CDConflict     uint64  `json:"cd_conflict"`
+	BusConflict    uint64  `json:"bus_conflict"`
+	WriteDrain     uint64  `json:"write_drain"`
+	ControllerIdle uint64  `json:"controller_idle"`
+}
+
+type gateReport struct {
+	Instructions uint64     `json:"instructions"`
+	Seed         uint64     `json:"seed"`
+	SAGs         int        `json:"sags"`
+	CDs          int        `json:"cds"`
+	Cases        []gateCase `json:"cases"`
+}
+
+// gateMatrix runs the full gate matrix.
+func gateMatrix(instr, seed uint64, sags, cds int) (gateReport, error) {
+	rep := gateReport{Instructions: instr, Seed: seed, SAGs: sags, CDs: cds}
+	cfg := runConfig{sags: sags, cds: cds, cores: 1, instr: instr, seed: seed}
+	for _, preset := range gatePresets {
+		for _, tl := range gateTilings {
+			w := fgnvm.WorkloadSpec{Preset: preset, Tiling: tl}
+			for _, d := range gateDesigns {
+				r, err := runOne(w, d, cfg)
+				if err != nil {
+					return rep, fmt.Errorf("%s/%s on %s: %w", preset, tl, d, err)
+				}
+				s := r.Stalls
+				rep.Cases = append(rep.Cases, gateCase{
+					Preset: preset, Design: d.String(), Tiling: tl,
+					Cycles: uint64(r.Cycles), IPC: r.IPC,
+					SAGConflict: s.SAGConflict, CDConflict: s.CDConflict,
+					BusConflict: s.BusConflict, WriteDrain: s.WriteDrain,
+					ControllerIdle: s.ControllerIdle,
+				})
+			}
+		}
+	}
+	return rep, nil
+}
+
+func (r gateReport) find(preset, design, tiling string) (gateCase, bool) {
+	for _, c := range r.Cases {
+		if c.Preset == preset && c.Design == design && c.Tiling == tiling {
+			return c, true
+		}
+	}
+	return gateCase{}, false
+}
+
+// gateInvariants checks the placement claims on a (fresh) report.
+func gateInvariants(rep gateReport) []string {
+	var failures []string
+	for _, preset := range gatePresets {
+		sag, ok1 := rep.find(preset, "fgnvm", "sag")
+		naive, ok2 := rep.find(preset, "fgnvm", "rowmajor")
+		base, ok3 := rep.find(preset, "baseline", "sag")
+		if !ok1 || !ok2 || !ok3 {
+			failures = append(failures, fmt.Sprintf("%s: gate matrix incomplete", preset))
+			continue
+		}
+		if sag.SAGConflict >= naive.SAGConflict {
+			failures = append(failures, fmt.Sprintf(
+				"%s: SAG-aligned tiling did not reduce sag-conflict stalls on fgnvm: sag %d >= rowmajor %d",
+				preset, sag.SAGConflict, naive.SAGConflict))
+		}
+		if base.IPC <= 0 || sag.IPC/base.IPC <= 1.0 {
+			failures = append(failures, fmt.Sprintf(
+				"%s: fgnvm/sag speedup over baseline/sag is %.3fx, want > 1",
+				preset, sag.IPC/base.IPC))
+		}
+	}
+	return failures
+}
+
+// gateMain implements -out (write reference) and -check (verify).
+func gateMain(out, check string, instr, seed uint64, sags, cds int) error {
+	if out != "" && check != "" {
+		return fmt.Errorf("set either -out or -check, not both")
+	}
+	if check != "" {
+		// Rerun at the reference's own parameters so the comparison is
+		// apples-to-apples regardless of the flags used.
+		data, err := os.ReadFile(check)
+		if err != nil {
+			return err
+		}
+		var want gateReport
+		if err := json.Unmarshal(data, &want); err != nil {
+			return fmt.Errorf("%s: %v", check, err)
+		}
+		got, err := gateMatrix(want.Instructions, want.Seed, want.SAGs, want.CDs)
+		if err != nil {
+			return err
+		}
+		var failures []string
+		for _, w := range want.Cases {
+			g, ok := got.find(w.Preset, w.Design, w.Tiling)
+			if !ok {
+				failures = append(failures, fmt.Sprintf("%s/%s/%s: missing from rerun", w.Preset, w.Design, w.Tiling))
+				continue
+			}
+			if g != w {
+				failures = append(failures, fmt.Sprintf("%s/%s/%s: diverged:\n  want %+v\n  got  %+v",
+					w.Preset, w.Design, w.Tiling, w, g))
+			}
+		}
+		failures = append(failures, gateInvariants(got)...)
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "FAIL:", f)
+		}
+		if len(failures) > 0 {
+			return fmt.Errorf("%d gate failure(s)", len(failures))
+		}
+		printGateSummary(got)
+		fmt.Printf("gate OK: %d cases match %s\n", len(want.Cases), check)
+		return nil
+	}
+
+	rep, err := gateMatrix(instr, seed, sags, cds)
+	if err != nil {
+		return err
+	}
+	if failures := gateInvariants(rep); len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "FAIL:", f)
+		}
+		return fmt.Errorf("refusing to write %s: %d invariant failure(s)", out, len(failures))
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	printGateSummary(rep)
+	fmt.Printf("wrote %s (%d cases)\n", out, len(rep.Cases))
+	return nil
+}
+
+// printGateSummary prints the headline derived metrics of a report.
+func printGateSummary(rep gateReport) {
+	for _, preset := range gatePresets {
+		sag, ok1 := rep.find(preset, "fgnvm", "sag")
+		naive, ok2 := rep.find(preset, "fgnvm", "rowmajor")
+		base, ok3 := rep.find(preset, "baseline", "sag")
+		if !ok1 || !ok2 || !ok3 {
+			continue
+		}
+		fmt.Printf("%s: fgnvm/sag %.2fx over baseline; sag-conflict stalls %d (sag) vs %d (rowmajor)\n",
+			preset, sag.IPC/base.IPC, sag.SAGConflict, naive.SAGConflict)
+	}
+}

@@ -9,6 +9,7 @@
 //	fgnvm-sweep -axis rob -values 64,128,256,512
 //	fgnvm-sweep -axis mshrs -values 8,16,32,64
 //	fgnvm-sweep -axis tile -values 512,1024,2048,4096
+//	fgnvm-sweep -axis tiling -preset gpt2s-ffn-down
 //
 // Every row also reports the baseline-relative speedup and energy so
 // the output plots directly against the paper's figures. Sweep points
@@ -46,6 +47,8 @@ func run() error {
 		axisName = flag.String("axis", "cds", "sweep axis: "+strings.Join(names, ", "))
 		values   = flag.String("values", "", "comma-separated values (default: axis-specific)")
 		bench    = flag.String("bench", "mcf", "benchmark profile")
+		preset   = flag.String("preset", "", "GEMM workload preset instead of -bench (required by -axis tiling; implies -skip-llc)")
+		skipLLC  = flag.Bool("skip-llc", false, "bypass the LLC (post-cache workload streams)")
 		design   = flag.String("design", "fgnvm", "design under sweep")
 		instr    = flag.Uint64("n", 100_000, "instructions per run")
 		seed     = flag.Uint64("seed", 1, "workload seed")
@@ -74,15 +77,23 @@ func run() error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	res, err := fgnvm.SweepContext(ctx, fgnvm.SweepParams{
+	p := fgnvm.SweepParams{
 		Axis: *axisName, Values: sweep, Design: d, Benchmark: *bench,
-		Instructions: *instr, Seed: *seed, Parallel: *parallel,
-	})
+		Instructions: *instr, Seed: *seed, Parallel: *parallel, SkipLLC: *skipLLC,
+	}
+	workload := *bench
+	if *preset != "" {
+		// A lowered GEMM stream is post-cache traffic: with the LLC in
+		// the path every tiling scores identically, so bypass it.
+		p.Benchmark, p.Workload, p.SkipLLC = "", &fgnvm.WorkloadSpec{Preset: *preset}, true
+		workload = *preset
+	}
+	res, err := fgnvm.SweepContext(ctx, p)
 	if err != nil {
 		return err
 	}
 
-	fmt.Printf("# axis=%s (%s) bench=%s design=%s n=%d\n", ax.Name, ax.Affects, *bench, *design, *instr)
+	fmt.Printf("# axis=%s (%s) workload=%s design=%s n=%d\n", ax.Name, ax.Affects, workload, *design, *instr)
 	fmt.Println("value,ipc,speedup,rel_energy,avg_read_lat,p95_read_lat,bg_reads")
 	for _, pt := range res.Points {
 		fmt.Printf("%d,%.4f,%.3f,%.3f,%.1f,%d,%d\n",

@@ -40,6 +40,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/dram"
 	"repro/internal/energy"
+	"repro/internal/gemm"
 	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -116,10 +117,21 @@ type Options struct {
 	SAGs, CDs int
 
 	// Benchmark names a built-in SPEC2006-like profile (see
-	// trace.Profiles). Exactly one of Benchmark and Stream must be set.
+	// trace.Profiles). Exactly one workload source must be set:
+	// Benchmark/Mix, Stream, Streams, or Workload.
 	Benchmark string
-	// Stream supplies a custom access stream instead of a benchmark.
+	// Stream supplies a custom access stream instead of a benchmark
+	// (single core).
 	Stream trace.Stream
+	// Streams supplies one custom access stream per core — the
+	// multi-programmed form of Stream. Cores, if set, must match
+	// len(Streams). Streams share the memory system as-is: callers
+	// wanting disjoint regions wrap them in trace.NewOffset.
+	Streams []trace.Stream
+	// Workload lowers a GEMM/GEMV shape (a named LLM-layer preset or an
+	// explicit M×K×N) into a tile-aware access stream via internal/gemm;
+	// Cores > 1 partitions the one GEMM across the cores.
+	Workload *WorkloadSpec
 
 	// Cores runs a multi-programmed workload: N copies of Benchmark
 	// (differently seeded, disjoint address regions) on private cores
@@ -513,16 +525,68 @@ func RunContext(ctx context.Context, o Options) (Result, error) {
 	// differently seeded copies in disjoint 512 MiB address regions.
 	var streams []trace.Stream
 	benchName := o.Benchmark
+	sources := 0
+	if o.Benchmark != "" || len(o.Mix) > 0 {
+		sources++
+	}
+	if o.Stream != nil {
+		sources++
+	}
+	if len(o.Streams) > 0 {
+		sources++
+	}
+	if o.Workload != nil {
+		sources++
+	}
+	if sources > 1 {
+		return Result{}, fmt.Errorf("fgnvm: set exactly one workload source: Benchmark/Mix, Stream, Streams, or Workload")
+	}
 	switch {
-	case o.Stream != nil && o.Benchmark != "":
-		return Result{}, fmt.Errorf("fgnvm: set either Benchmark or Stream, not both")
 	case o.Stream != nil:
-		if o.Cores > 1 || len(o.Mix) > 0 {
-			return Result{}, fmt.Errorf("fgnvm: custom Stream supports a single core")
+		if o.Cores > 1 {
+			return Result{}, fmt.Errorf("fgnvm: custom Stream supports a single core (use Streams for multi-programmed custom workloads)")
 		}
 		streams = []trace.Stream{o.Stream}
-		if benchName == "" {
-			benchName = "custom"
+		benchName = "custom"
+	case len(o.Streams) > 0:
+		if len(o.Streams) > 4 {
+			// Same bound as Mix: up to four private cores.
+			return Result{}, fmt.Errorf("fgnvm: at most 4 cores, got %d", len(o.Streams))
+		}
+		if o.Cores > 1 && o.Cores != len(o.Streams) {
+			return Result{}, fmt.Errorf("fgnvm: Cores = %d does not match len(Streams) = %d", o.Cores, len(o.Streams))
+		}
+		for i, s := range o.Streams {
+			if s == nil {
+				return Result{}, fmt.Errorf("fgnvm: Streams[%d] is nil", i)
+			}
+		}
+		streams = o.Streams
+		benchName = "custom"
+		if len(o.Streams) > 1 {
+			benchName = fmt.Sprintf("%dxcustom", len(o.Streams))
+		}
+	case o.Workload != nil:
+		n := o.Cores
+		if n < 1 {
+			n = 1
+		}
+		if n > 4 {
+			return Result{}, fmt.Errorf("fgnvm: at most 4 cores, got %d", n)
+		}
+		spec, err := o.Workload.resolve()
+		if err != nil {
+			return Result{}, err
+		}
+		// Lower against the resolved geometry, so tile placement targets
+		// the subdivisions (or flattened banks) the design actually has.
+		streams, err = gemm.Partition(spec, geom, addr.RowBankRankChanCol, n)
+		if err != nil {
+			return Result{}, err
+		}
+		benchName = spec.String()
+		if n > 1 {
+			benchName = fmt.Sprintf("%dx%s", n, benchName)
 		}
 	case len(o.Mix) > 0 || o.Benchmark != "":
 		names := o.Mix
@@ -557,7 +621,7 @@ func RunContext(ctx context.Context, o Options) (Result, error) {
 			benchName = fmt.Sprintf("%dx%s", len(names), o.Benchmark)
 		}
 	default:
-		return Result{}, fmt.Errorf("fgnvm: no workload: set Benchmark or Stream")
+		return Result{}, fmt.Errorf("fgnvm: no workload: set Benchmark, Stream, Streams, or Workload")
 	}
 
 	// Energy model: background power covers every bank's row buffer and

@@ -1,0 +1,118 @@
+package fgnvm
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// runGEMM runs one GEMM workload with full telemetry and returns the
+// marshaled Result plus the Perfetto trace bytes. SkipLLC models the
+// lowered stream as post-cache traffic of a streaming GEMM engine —
+// with the LLC in the path the output-tile reuse is absorbed and the
+// placement never reaches memory.
+func runGEMM(t *testing.T, w WorkloadSpec, design Design, instr uint64) (Result, []byte, []byte) {
+	t.Helper()
+	var trace bytes.Buffer
+	r, err := Run(Options{
+		Design: design, SAGs: 8, CDs: 2,
+		Instructions: instr, SkipLLC: true,
+		Workload:  &w,
+		Telemetry: &TelemetryOptions{Attribution: true, Occupancy: true, TraceWriter: &trace},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, b, trace.Bytes()
+}
+
+// TestGEMMRunsAreByteDeterministic: for every preset, two runs with
+// identical Options produce byte-identical Result JSON and
+// byte-identical Perfetto traces. The lowering has no entropy source —
+// the stream is a pure function of (Spec, Geometry, Interleave) — so
+// any divergence here is a regression in the lowering or the
+// telemetry serialization.
+func TestGEMMRunsAreByteDeterministic(t *testing.T) {
+	for _, name := range WorkloadPresets() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			w := WorkloadSpec{Preset: name}
+			_, json1, trace1 := runGEMM(t, w, DesignFgNVM, 8000)
+			_, json2, trace2 := runGEMM(t, w, DesignFgNVM, 8000)
+			if !bytes.Equal(json1, json2) {
+				t.Errorf("%s: Result JSON differs across identical runs", name)
+			}
+			if !bytes.Equal(trace1, trace2) {
+				t.Errorf("%s: Perfetto trace differs across identical runs", name)
+			}
+			if len(trace1) == 0 {
+				t.Errorf("%s: empty Perfetto trace", name)
+			}
+		})
+	}
+}
+
+// TestSAGTilingReducesSAGConflicts pins the paper's core claim as it
+// applies to the lowering: on an FgNVM part, placing each matrix's
+// blocks in its own SAG partition eliminates the subarray-group
+// conflicts that row-major placement suffers when the interleaved
+// A/B/C streams land in the same SAG.
+func TestSAGTilingReducesSAGConflicts(t *testing.T) {
+	run := func(tiling string) Result {
+		r, _, _ := runGEMM(t, WorkloadSpec{Preset: "gpt2s-ffn-down", Tiling: tiling}, DesignFgNVM, 60_000)
+		if r.Stalls == nil {
+			t.Fatal("Attribution requested but Result.Stalls is nil")
+		}
+		return r
+	}
+	rowmajor := run("rowmajor")
+	sag := run("sag")
+	if sag.Stalls.SAGConflict >= rowmajor.Stalls.SAGConflict {
+		t.Errorf("sag tiling SAGConflict = %d, want < rowmajor's %d",
+			sag.Stalls.SAGConflict, rowmajor.Stalls.SAGConflict)
+	}
+	if rowmajor.Stalls.SAGConflict == 0 {
+		t.Error("rowmajor tiling shows zero SAG conflicts; the workload no longer exercises the contention the test is about")
+	}
+}
+
+// TestCDTilingShiftsStallBuckets: the orthogonal half of the story —
+// CD-interleaved tiling drains the cd_conflict bucket that SAG-aligned
+// tiling pays, so the two strategies trade stall buckets rather than
+// one dominating everywhere.
+func TestCDTilingShiftsStallBuckets(t *testing.T) {
+	run := func(tiling string) Result {
+		r, _, _ := runGEMM(t, WorkloadSpec{Preset: "gpt2s-ffn-down", Tiling: tiling}, DesignFgNVM, 60_000)
+		if r.Stalls == nil {
+			t.Fatal("Attribution requested but Result.Stalls is nil")
+		}
+		return r
+	}
+	sag := run("sag")
+	cd := run("cd")
+	if cd.Stalls.CDConflict >= sag.Stalls.CDConflict {
+		t.Errorf("cd tiling CDConflict = %d, want < sag tiling's %d",
+			cd.Stalls.CDConflict, sag.Stalls.CDConflict)
+	}
+}
+
+// TestGEMMBaselineSuffersMost: the undivided baseline bank serializes
+// everything behind a single row buffer, so its SAG-conflict bucket
+// (row-buffer conflicts, in baseline terms) dwarfs FgNVM's under the
+// same SAG-aligned workload, and FgNVM's IPC is at least as good.
+func TestGEMMBaselineSuffersMost(t *testing.T) {
+	w := WorkloadSpec{Preset: "gpt2s-ffn-down"}
+	base, _, _ := runGEMM(t, w, DesignBaseline, 60_000)
+	fg, _, _ := runGEMM(t, w, DesignFgNVM, 60_000)
+	if base.Stalls.SAGConflict <= fg.Stalls.SAGConflict {
+		t.Errorf("baseline SAGConflict = %d, want > fgnvm's %d",
+			base.Stalls.SAGConflict, fg.Stalls.SAGConflict)
+	}
+	if fg.IPC <= base.IPC {
+		t.Errorf("fgnvm IPC = %.4f, want > baseline's %.4f", fg.IPC, base.IPC)
+	}
+}

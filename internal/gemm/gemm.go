@@ -1,0 +1,398 @@
+// Package gemm lowers GEMM/GEMV workload shapes into deterministic,
+// tile-aware memory access streams — the "bring your workload shape"
+// counterpart to the SPEC-like profiles in internal/trace.
+//
+// A tiled matmul C[M,N] (+)= A[M,K] × B[K,N] is exactly the access
+// structure the FgNVM bank subdivision is built for: blocked loops
+// stream weight tiles while read-modify-writing an output tile, so the
+// mapping of tiles onto (SAG, CD) decides whether concurrent streams
+// collide on one subdivision or overlap across several. The lowering
+// here makes that mapping explicit. Every strategy enumerates the same
+// logical blocked loop nest (identical block order, line counts, and
+// instruction gaps); only the physical placement of matrix blocks —
+// computed through internal/addr's phys⇄(SAG, CD) mapping — differs:
+//
+//   - TilingRowMajor: the naive layout. Matrices occupy contiguous,
+//     power-of-two-aligned byte regions, the way a simple allocator
+//     would place them. Under the row:bank:...:col interleave each
+//     32 KB span of a region sits in one SAG across the banks, and the
+//     aligned region bases phase-align the A/B/C streams, so an output
+//     tile being written shares its SAG with incoming weight reads —
+//     the aliasing pathology SALP/PALP-style placement exists to fix.
+//   - TilingSAGAligned: each stream (A, B, C) owns a disjoint slice of
+//     the SAG space, and consecutive blocks of one stream rotate
+//     through that slice. Output writes can never block weight reads
+//     on a row latch (Backgrounded Writes gets disjoint SAGs to hide
+//     writes in), and back-to-back block reads land in distinct SAGs
+//     (Multi-Activation can overlap their senses).
+//   - TilingCDInterleaved: each stream owns a slice of the CD space;
+//     block lines cycle through the owned column divisions. Writes
+//     occupy only their own CDs' sense paths (Partial-Activation
+//     senses one segment), but rows are placed naively, so SAG-level
+//     collisions remain — the contrast case that shifts stalls between
+//     the sag and cd buckets.
+//   - TilingOutputStationary: SAG-aligned placement, but the output
+//     tile is held on-chip across the whole K loop and written once at
+//     the end — the read-modify-write traffic of accumulation
+//     disappears, isolating how much of a strategy's win comes from
+//     write pressure.
+//
+// Streams loop forever (an inference server runs layer after layer),
+// are pure integer state machines (no RNG), and are byte-deterministic
+// for a fixed Spec and geometry. Partition splits one GEMM across
+// cores — by M-row tiles, or by N-column tiles for GEMV-shaped work —
+// with the weight matrix B genuinely shared between the cores' streams.
+package gemm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/addr"
+	"repro/internal/trace"
+)
+
+// Tiling selects the lowering strategy: how matrix blocks are placed
+// onto the memory system's (bank, SAG, CD) structure.
+type Tiling int
+
+const (
+	// TilingRowMajor is the naive contiguous layout (see package doc).
+	TilingRowMajor Tiling = iota
+	// TilingSAGAligned partitions the SAG space among the A/B/C streams.
+	TilingSAGAligned
+	// TilingCDInterleaved partitions the CD space among the streams.
+	TilingCDInterleaved
+	// TilingOutputStationary is SAG-aligned placement with the output
+	// tile kept on-chip across the K loop (single write per tile).
+	TilingOutputStationary
+)
+
+var tilingNames = [...]string{"rowmajor", "sag", "cd", "outstat"}
+
+func (t Tiling) String() string {
+	if t >= 0 && int(t) < len(tilingNames) {
+		return tilingNames[t]
+	}
+	return fmt.Sprintf("Tiling(%d)", int(t))
+}
+
+// ParseTiling maps a name (as printed by String) back to a Tiling.
+func ParseTiling(name string) (Tiling, error) {
+	for i, n := range tilingNames {
+		if n == name {
+			return Tiling(i), nil
+		}
+	}
+	return 0, fmt.Errorf("gemm: unknown tiling %q (want one of %s)",
+		name, strings.Join(tilingNames[:], ", "))
+}
+
+// Tilings returns all strategies in a stable order.
+func Tilings() []Tiling {
+	return []Tiling{TilingRowMajor, TilingSAGAligned, TilingCDInterleaved, TilingOutputStationary}
+}
+
+// Shape is the logical GEMM problem: C[M,N] (+)= A[M,K] × B[K,N].
+// N = 1 degenerates to GEMV.
+type Shape struct {
+	M, K, N int
+	// WordBytes is the element size (default 2 — fp16).
+	WordBytes int
+	// Accumulate selects read-modify-write output traffic: each K-step
+	// reads and rewrites the output block in place (a residual add or
+	// split-K accumulation). False streams the output: one write pass
+	// when the K loop completes.
+	Accumulate bool
+}
+
+// Spec is one lowerable workload: a shape plus the tiling strategy and
+// the block/intensity knobs. Zero knobs take the documented defaults.
+type Spec struct {
+	Shape
+	Tiling Tiling
+
+	// TileM×TileK blocks of A, TileK×TileN blocks of B and TileM×TileN
+	// blocks of C form the blocked loop nest. Defaults 32×64×64
+	// (an fp16 A block is then exactly one 4 KB memory row). Blocks
+	// are clamped to the shape; partial edge tiles are padded to full
+	// tiles, so the lowering is uniform.
+	TileM, TileK, TileN int
+
+	// Gap is the number of non-memory instructions between consecutive
+	// accesses (constant — the lowering is RNG-free). Default 4.
+	Gap int
+
+	// Name labels the spec (set for presets); String falls back to the
+	// shape when empty.
+	Name string
+}
+
+const (
+	defaultWordBytes = 2
+	defaultTileM     = 32
+	defaultTileK     = 64
+	defaultTileN     = 64
+	defaultGap       = 4
+	maxGap           = 1 << 20
+)
+
+// WithDefaults returns the spec with zero knobs replaced by their
+// defaults and tiles clamped to the shape — the canonical form used
+// for cache keys and labels.
+func (s Spec) WithDefaults() Spec {
+	if s.WordBytes == 0 {
+		s.WordBytes = defaultWordBytes
+	}
+	if s.TileM == 0 {
+		s.TileM = defaultTileM
+	}
+	if s.TileK == 0 {
+		s.TileK = defaultTileK
+	}
+	if s.TileN == 0 {
+		s.TileN = defaultTileN
+	}
+	if s.Gap == 0 {
+		s.Gap = defaultGap
+	}
+	if s.M > 0 && s.TileM > s.M {
+		s.TileM = s.M
+	}
+	if s.K > 0 && s.TileK > s.K {
+		s.TileK = s.K
+	}
+	if s.N > 0 && s.TileN > s.N {
+		s.TileN = s.N
+	}
+	return s
+}
+
+// Validate checks a spec (after WithDefaults).
+func (s Spec) Validate() error {
+	if s.M < 1 || s.K < 1 || s.N < 1 {
+		return fmt.Errorf("gemm: shape %dx%dx%d: M, K, N must be positive", s.M, s.K, s.N)
+	}
+	switch s.WordBytes {
+	case 1, 2, 4, 8:
+	default:
+		return fmt.Errorf("gemm: word size %d bytes (want 1, 2, 4 or 8)", s.WordBytes)
+	}
+	if s.TileM < 1 || s.TileK < 1 || s.TileN < 1 {
+		return fmt.Errorf("gemm: tile %dx%dx%d: tile dimensions must be positive", s.TileM, s.TileK, s.TileN)
+	}
+	if s.Tiling < 0 || int(s.Tiling) >= len(tilingNames) {
+		return fmt.Errorf("gemm: unknown tiling %d", int(s.Tiling))
+	}
+	if s.Gap < 0 || s.Gap > maxGap {
+		return fmt.Errorf("gemm: gap %d out of range [0, %d]", s.Gap, maxGap)
+	}
+	return nil
+}
+
+// ShapeName is the tiling-independent label: the preset name, or
+// "gemm-MxKxNwW" for explicit shapes.
+func (s Spec) ShapeName() string {
+	if s.Name != "" {
+		return s.Name
+	}
+	w := s.WordBytes
+	if w == 0 {
+		w = defaultWordBytes
+	}
+	return fmt.Sprintf("gemm-%dx%dx%dw%d", s.M, s.K, s.N, w)
+}
+
+// String labels the spec including its tiling, e.g.
+// "gpt2s-ffn-down/sag" or "gemm-128x768x768w2/rowmajor".
+func (s Spec) String() string { return s.ShapeName() + "/" + s.Tiling.String() }
+
+// The three access streams of a GEMM, in placement order.
+const (
+	matA = 0
+	matB = 1
+	matC = 2
+)
+
+// NewStream lowers spec for a single core. The geometry and interleave
+// must match the simulated memory system so SAG/CD-targeted placement
+// lands where it claims to.
+func NewStream(spec Spec, g addr.Geometry, iv addr.Interleave) (trace.Stream, error) {
+	ss, err := Partition(spec, g, iv, 1)
+	if err != nil {
+		return nil, err
+	}
+	return ss[0], nil
+}
+
+// Partition lowers spec into per-core streams: the M-row tiles are
+// split contiguously across the cores (or, when M has fewer tiles than
+// cores — the GEMV case — the N-column tiles are split instead). The
+// weight matrix B is shared: every core reads the same B addresses,
+// while A and C tiles are core-disjoint by construction.
+func Partition(spec Spec, g addr.Geometry, iv addr.Interleave, cores int) ([]trace.Stream, error) {
+	spec = spec.WithDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if cores < 1 {
+		return nil, fmt.Errorf("gemm: %d cores, must be positive", cores)
+	}
+	if spec.WordBytes > g.LineBytes {
+		return nil, fmt.Errorf("gemm: word size %d exceeds line size %d", spec.WordBytes, g.LineBytes)
+	}
+	pl, err := newPlacement(spec, g, iv)
+	if err != nil {
+		return nil, err
+	}
+	mB := ceilDiv(spec.M, spec.TileM)
+	kB := ceilDiv(spec.K, spec.TileK)
+	nB := ceilDiv(spec.N, spec.TileN)
+	splitM := mB >= cores
+	if !splitM && nB < cores {
+		return nil, fmt.Errorf("gemm: %d cores exceed both the %d row tiles and %d column tiles of %dx%dx%d",
+			cores, mB, nB, spec.M, spec.K, spec.N)
+	}
+	// A GEMM engine double-buffers: the A, B and (when touched) C tile
+	// streams of one k-step are fetched concurrently, not one after the
+	// other. The lowering interleaves them proportionally, so several
+	// rows are in flight at once — the access-level parallelism the
+	// subdivisions are there to serve. schedC covers k-steps that touch
+	// the output; sched covers the read-only middle of a streaming
+	// K loop.
+	schedC := buildSchedule([3]int{pl.blockLines[matA], pl.blockLines[matB], pl.blockLines[matC]})
+	sched := buildSchedule([3]int{pl.blockLines[matA], pl.blockLines[matB], 0})
+	out := make([]trace.Stream, cores)
+	for c := 0; c < cores; c++ {
+		st := &stream{
+			sp: spec, pl: pl,
+			mB: mB, kB: kB, nB: nB,
+			ibHi: mB, jbHi: nB,
+			rmw:    spec.Accumulate && spec.Tiling != TilingOutputStationary,
+			sched:  sched,
+			schedC: schedC,
+		}
+		if splitM {
+			st.ibLo, st.ibHi = c*mB/cores, (c+1)*mB/cores
+		} else {
+			st.jbLo, st.jbHi = c*nB/cores, (c+1)*nB/cores
+		}
+		st.ib, st.jb = st.ibLo, st.jbLo
+		out[c] = st
+	}
+	return out, nil
+}
+
+// buildSchedule produces the deterministic proportional interleave of
+// one k-step's line slots: a weighted round-robin (largest-deficit
+// first, ties broken A before B before C) over the per-stream counts.
+func buildSchedule(counts [3]int) []uint8 {
+	total := counts[0] + counts[1] + counts[2]
+	sched := make([]uint8, 0, total)
+	var emitted [3]int
+	for len(sched) < total {
+		best := -1
+		bestVal := 0
+		for x := 0; x < 3; x++ {
+			if emitted[x] >= counts[x] {
+				continue
+			}
+			// Deficit of stream x if it does NOT emit now, scaled by
+			// total to stay in integers.
+			v := counts[x]*(len(sched)+1) - emitted[x]*total
+			if best == -1 || v > bestVal {
+				best, bestVal = x, v
+			}
+		}
+		sched = append(sched, uint8(best))
+		emitted[best]++
+	}
+	return sched
+}
+
+// stream walks the blocked loop nest (ib, jb, kb) forever. Within each
+// k-step it follows the precomputed interleave schedule, emitting lines
+// of the A, B and C blocks concurrently; the C block is read+written
+// per line under accumulation, or written once on the final K step
+// otherwise.
+type stream struct {
+	sp Spec
+	pl *placement
+
+	mB, kB, nB int // block counts over M, K, N
+	ibLo, ibHi int // this core's M-tile range
+	jbLo, jbHi int // this core's N-tile range
+
+	rmw    bool    // C is read-modify-written on every K step
+	sched  []uint8 // k-step slot order without C traffic
+	schedC []uint8 // k-step slot order including C traffic
+
+	// Cursor.
+	ib, jb, kb int
+	pos        int    // index into the current schedule
+	line       [3]int // per-stream line cursor within the k-step
+	cWrite     bool   // RMW: the write half of the current C line is pending
+}
+
+// curSched selects the slot order of the current k-step: output traffic
+// happens every step under accumulation, else only on the last K step.
+func (s *stream) curSched() []uint8 {
+	if s.rmw || s.kb == s.kB-1 {
+		return s.schedC
+	}
+	return s.sched
+}
+
+// Next implements trace.Stream. GEMM streams never exhaust.
+func (s *stream) Next() (trace.Access, bool) {
+	sched := s.curSched()
+	a := trace.Access{Gap: uint32(s.sp.Gap)}
+	switch sched[s.pos] {
+	case matA:
+		a.Addr = s.pl.lineAddr(matA, s.ib*s.kB+s.kb, s.line[matA])
+		s.line[matA]++
+		s.pos++
+	case matB:
+		a.Addr = s.pl.lineAddr(matB, s.kb*s.nB+s.jb, s.line[matB])
+		s.line[matB]++
+		s.pos++
+	default: // matC
+		a.Addr = s.pl.lineAddr(matC, s.ib*s.nB+s.jb, s.line[matC])
+		if s.rmw && !s.cWrite {
+			s.cWrite = true // read half; the write half comes next
+		} else {
+			a.Write = true
+			s.cWrite = false
+			s.line[matC]++
+			s.pos++
+		}
+	}
+	if s.pos == len(sched) {
+		s.advance()
+	}
+	return a, true
+}
+
+// advance steps the loop nest to the next (ib, jb, kb) tile, wrapping
+// to this core's first tile when the GEMM completes (streams loop).
+func (s *stream) advance() {
+	s.pos = 0
+	s.line = [3]int{}
+	s.kb++
+	if s.kb < s.kB {
+		return
+	}
+	s.kb = 0
+	s.jb++
+	if s.jb < s.jbHi {
+		return
+	}
+	s.jb = s.jbLo
+	s.ib++
+	if s.ib < s.ibHi {
+		return
+	}
+	s.ib = s.ibLo
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

@@ -1,0 +1,388 @@
+package gemm
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/trace"
+)
+
+func testGeometry() addr.Geometry {
+	g := addr.PaperGeometry()
+	g.SAGs, g.CDs = 8, 2
+	return g
+}
+
+func collect(t *testing.T, s trace.Stream, n int) []trace.Access {
+	t.Helper()
+	out := make([]trace.Access, 0, n)
+	for i := 0; i < n; i++ {
+		a, ok := s.Next()
+		if !ok {
+			t.Fatalf("stream exhausted after %d accesses (GEMM streams must loop)", i)
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+func TestParseTilingRoundTrip(t *testing.T) {
+	for _, tl := range Tilings() {
+		got, err := ParseTiling(tl.String())
+		if err != nil {
+			t.Fatalf("ParseTiling(%q): %v", tl.String(), err)
+		}
+		if got != tl {
+			t.Errorf("ParseTiling(%q) = %v, want %v", tl.String(), got, tl)
+		}
+	}
+	if _, err := ParseTiling("nope"); err == nil {
+		t.Error("ParseTiling(nope): want error")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	base := Spec{Shape: Shape{M: 8, K: 8, N: 8}}.WithDefaults()
+	if err := base.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"zero M", func(s *Spec) { s.M = 0 }},
+		{"negative K", func(s *Spec) { s.K = -1 }},
+		{"bad word", func(s *Spec) { s.WordBytes = 3 }},
+		{"zero tile", func(s *Spec) { s.TileM = 0 }},
+		{"bad tiling", func(s *Spec) { s.Tiling = Tiling(99) }},
+		{"negative gap", func(s *Spec) { s.Gap = -1 }},
+	}
+	for _, tc := range cases {
+		s := base
+		tc.mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: want error", tc.name)
+		}
+	}
+}
+
+func TestWithDefaultsClampsTiles(t *testing.T) {
+	s := Spec{Shape: Shape{M: 4, K: 16, N: 1}}.WithDefaults()
+	if s.TileM != 4 || s.TileK != 16 || s.TileN != 1 {
+		t.Errorf("tiles not clamped to shape: %dx%dx%d", s.TileM, s.TileK, s.TileN)
+	}
+	if s.WordBytes != 2 || s.Gap != 4 {
+		t.Errorf("defaults not applied: word %d gap %d", s.WordBytes, s.Gap)
+	}
+}
+
+func TestStreamDeterministic(t *testing.T) {
+	spec := Spec{Shape: Shape{M: 64, K: 256, N: 128, Accumulate: true}, Tiling: TilingSAGAligned}
+	g := testGeometry()
+	s1, err := NewStream(spec, g, addr.RowBankRankChanCol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewStream(spec, g, addr.RowBankRankChanCol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1 := collect(t, s1, 20000)
+	a2 := collect(t, s2, 20000)
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("access %d diverges: %+v vs %+v", i, a1[i], a2[i])
+		}
+	}
+}
+
+// TestSAGPlacementTargetsOwnedSAGs decodes every emitted address and
+// checks the central claim of the SAG-aligned lowering: each stream's
+// lines land only in its owned subarray groups, and the three streams'
+// SAG sets are disjoint.
+func TestSAGPlacementTargetsOwnedSAGs(t *testing.T) {
+	spec := Spec{Shape: Shape{M: 64, K: 256, N: 128, Accumulate: true}, Tiling: TilingSAGAligned}.WithDefaults()
+	g := testGeometry()
+	pl, err := newPlacement(spec, g, addr.RowBankRankChanCol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp := addr.MustNewMapper(g, addr.RowBankRankChanCol)
+
+	own := map[int]map[int]bool{}
+	for mat := 0; mat < 3; mat++ {
+		own[mat] = map[int]bool{}
+		for _, s := range pl.sets[mat] {
+			own[mat][s] = true
+		}
+	}
+	// Disjointness across streams.
+	for s := 0; s < g.SAGs; s++ {
+		owners := 0
+		for mat := 0; mat < 3; mat++ {
+			if own[mat][s] {
+				owners++
+			}
+		}
+		if owners > 1 {
+			t.Errorf("SAG %d owned by %d streams, want at most 1", s, owners)
+		}
+	}
+	// Every address of the first 64 blocks targets an owned SAG.
+	for mat := 0; mat < 3; mat++ {
+		for block := 0; block < 64; block++ {
+			for line := 0; line < pl.blockLines[mat]; line++ {
+				pa := pl.lineAddr(mat, block, line)
+				loc := mp.Decode(pa)
+				if !mp.Valid(loc) {
+					t.Fatalf("mat %d block %d line %d: invalid location %+v", mat, block, line, loc)
+				}
+				if sag := g.SAG(loc.Row); !own[mat][sag] {
+					t.Fatalf("mat %d block %d line %d: SAG %d not owned (own %v)",
+						mat, block, line, sag, pl.sets[mat])
+				}
+			}
+		}
+	}
+}
+
+// TestCDPlacementTargetsOwnedCDs is the CD-interleaved counterpart.
+func TestCDPlacementTargetsOwnedCDs(t *testing.T) {
+	spec := Spec{Shape: Shape{M: 64, K: 256, N: 128}, Tiling: TilingCDInterleaved}.WithDefaults()
+	g := addr.PaperGeometry() // 4×4: enough CDs for disjoint sets
+	pl, err := newPlacement(spec, g, addr.RowBankRankChanCol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp := addr.MustNewMapper(g, addr.RowBankRankChanCol)
+	for mat := 0; mat < 3; mat++ {
+		own := map[int]bool{}
+		for _, c := range pl.sets[mat] {
+			own[c] = true
+		}
+		for block := 0; block < 64; block++ {
+			for line := 0; line < pl.blockLines[mat]; line++ {
+				loc := mp.Decode(pl.lineAddr(mat, block, line))
+				if !mp.Valid(loc) {
+					t.Fatalf("mat %d: invalid location %+v", mat, loc)
+				}
+				if cd := g.CD(loc.Col); !own[cd] {
+					t.Fatalf("mat %d block %d line %d: CD %d not owned (own %v)",
+						mat, block, line, cd, pl.sets[mat])
+				}
+			}
+		}
+	}
+}
+
+// TestRowMajorRegionsDisjoint checks the naive layout's A/B/C regions
+// do not overlap and start SAG-rotation aligned.
+func TestRowMajorRegionsDisjoint(t *testing.T) {
+	spec := Spec{Shape: Shape{M: 64, K: 256, N: 128}, Tiling: TilingRowMajor}.WithDefaults()
+	g := testGeometry()
+	pl, err := newPlacement(spec, g, addr.RowBankRankChanCol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mB, kB, nB := 2, 4, 2
+	sizes := [3]uint64{
+		uint64(mB * kB * pl.blockLines[matA]),
+		uint64(kB * nB * pl.blockLines[matB]),
+		uint64(mB * nB * pl.blockLines[matC]),
+	}
+	align := uint64(g.Channels * g.Ranks * g.Banks * g.SAGs * g.Cols)
+	for mat := 0; mat < 3; mat++ {
+		if pl.base[mat]%align != 0 {
+			t.Errorf("mat %d base %d not aligned to %d lines", mat, pl.base[mat], align)
+		}
+	}
+	if pl.base[matA]+sizes[matA] > pl.base[matB] {
+		t.Errorf("A [%d,+%d) overlaps B base %d", pl.base[matA], sizes[matA], pl.base[matB])
+	}
+	if pl.base[matB]+sizes[matB] > pl.base[matC] {
+		t.Errorf("B [%d,+%d) overlaps C base %d", pl.base[matB], sizes[matB], pl.base[matC])
+	}
+}
+
+// TestScheduleInterleaves checks one k-step's slot order contains the
+// exact per-stream counts, proportionally interleaved (no stream is
+// finished before the schedule's final decile).
+func TestScheduleInterleaves(t *testing.T) {
+	counts := [3]int{64, 128, 64}
+	sched := buildSchedule(counts)
+	if len(sched) != 256 {
+		t.Fatalf("schedule length %d, want 256", len(sched))
+	}
+	var got [3]int
+	last := [3]int{-1, -1, -1}
+	for i, x := range sched {
+		got[x]++
+		last[x] = i
+	}
+	if got != counts {
+		t.Fatalf("slot counts %v, want %v", got, counts)
+	}
+	for x, l := range last {
+		if l < len(sched)*9/10 {
+			t.Errorf("stream %d finished at slot %d of %d: not interleaved", x, l, len(sched))
+		}
+	}
+}
+
+func TestPartitionCoversAllTiles(t *testing.T) {
+	spec := Spec{Shape: Shape{M: 96, K: 128, N: 64}}
+	g := testGeometry()
+	ss, err := Partition(spec, g, addr.RowBankRankChanCol, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// M = 96, TileM = 32 → 3 row tiles, one per core, disjoint.
+	seen := map[int]int{}
+	for c, s := range ss {
+		st := s.(*stream)
+		if st.jbLo != 0 || st.jbHi != st.nB {
+			t.Errorf("core %d: M-split stream must own all column tiles, got [%d,%d)", c, st.jbLo, st.jbHi)
+		}
+		for ib := st.ibLo; ib < st.ibHi; ib++ {
+			if prev, dup := seen[ib]; dup {
+				t.Errorf("row tile %d owned by cores %d and %d", ib, prev, c)
+			}
+			seen[ib] = c
+		}
+	}
+	if len(seen) != 3 {
+		t.Errorf("row tiles covered %d, want 3", len(seen))
+	}
+}
+
+func TestPartitionGEMVSplitsColumns(t *testing.T) {
+	spec := Spec{Shape: Shape{M: 1, K: 768, N: 2304}}
+	g := testGeometry()
+	ss, err := Partition(spec, g, addr.RowBankRankChanCol, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := 0
+	for c, s := range ss {
+		st := s.(*stream)
+		if st.ibLo != 0 || st.ibHi != st.mB {
+			t.Errorf("core %d: N-split stream must own all row tiles", c)
+		}
+		covered += st.jbHi - st.jbLo
+	}
+	if want := ceilDiv(2304, 64); covered != want {
+		t.Errorf("column tiles covered %d, want %d", covered, want)
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	g := testGeometry()
+	if _, err := Partition(Spec{Shape: Shape{M: 8, K: 8, N: 8}}, g, addr.RowBankRankChanCol, 0); err == nil {
+		t.Error("0 cores: want error")
+	}
+	// 1×1 shape: one tile in each dimension, cannot feed 2 cores.
+	if _, err := Partition(Spec{Shape: Shape{M: 1, K: 8, N: 1}}, g, addr.RowBankRankChanCol, 2); err == nil {
+		t.Error("more cores than tiles: want error")
+	}
+	if _, err := Partition(Spec{Shape: Shape{M: 0, K: 8, N: 8}}, g, addr.RowBankRankChanCol, 1); err == nil {
+		t.Error("invalid shape: want error")
+	}
+	bad := g
+	bad.Rows = 1000 // not a power of two
+	if _, err := Partition(Spec{Shape: Shape{M: 8, K: 8, N: 8}}, bad, addr.RowBankRankChanCol, 1); err == nil {
+		t.Error("invalid geometry: want error")
+	}
+}
+
+// TestStreamTraffic checks the per-k-step access mix: accumulation
+// read-modify-writes the output every step, streaming writes it once.
+func TestStreamTraffic(t *testing.T) {
+	g := testGeometry()
+	for _, tc := range []struct {
+		name       string
+		accumulate bool
+		tiling     Tiling
+		wantWrites bool
+	}{
+		{"streaming", false, TilingSAGAligned, true},
+		{"accumulate", true, TilingSAGAligned, true},
+		{"outstat", true, TilingOutputStationary, true},
+	} {
+		spec := Spec{Shape: Shape{M: 32, K: 128, N: 64, Accumulate: tc.accumulate}, Tiling: tc.tiling}
+		s, err := NewStream(spec, g, addr.RowBankRankChanCol)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		reads, writes := 0, 0
+		for _, a := range collect(t, s, 30000) {
+			if a.Write {
+				writes++
+			} else {
+				reads++
+			}
+		}
+		if writes == 0 {
+			t.Errorf("%s: no writes in 30000 accesses", tc.name)
+		}
+		if reads == 0 {
+			t.Errorf("%s: no reads", tc.name)
+		}
+		if tc.accumulate && tc.tiling != TilingOutputStationary {
+			// RMW traffic: writes every k-step, so a solid fraction.
+			if frac := float64(writes) / 30000; frac < 0.1 {
+				t.Errorf("%s: write fraction %.3f, want >= 0.1 under RMW", tc.name, frac)
+			}
+		}
+	}
+}
+
+// TestStreamAddressesWithinCapacity: partitioned placements must encode
+// valid in-range locations; the naive layout's small shapes too.
+func TestStreamAddressesWithinCapacity(t *testing.T) {
+	g := testGeometry()
+	for _, tl := range Tilings() {
+		spec := Spec{Shape: Shape{M: 128, K: 3072, N: 768, Accumulate: true}, Tiling: tl}
+		s, err := NewStream(spec, g, addr.RowBankRankChanCol)
+		if err != nil {
+			t.Fatalf("%v: %v", tl, err)
+		}
+		total := g.TotalBytes()
+		for i, a := range collect(t, s, 20000) {
+			if a.Addr >= total {
+				t.Fatalf("%v: access %d address %#x beyond capacity %#x", tl, i, a.Addr, total)
+			}
+			if a.Addr%uint64(g.LineBytes) != 0 {
+				t.Fatalf("%v: access %d address %#x not line aligned", tl, i, a.Addr)
+			}
+		}
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	s := Spec{Shape: Shape{M: 128, K: 768, N: 768}, Tiling: TilingSAGAligned}
+	if got, want := s.String(), "gemm-128x768x768w2/sag"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	s.Name = "gpt2s-attn-out"
+	if got, want := s.String(), "gpt2s-attn-out/sag"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// BenchmarkLowering is the bench-smoke hook: the cost of generating the
+// stream itself (placement arithmetic, no simulation).
+func BenchmarkLowering(b *testing.B) {
+	spec := Spec{Shape: Shape{M: 128, K: 3072, N: 768, Accumulate: true}, Tiling: TilingSAGAligned}
+	s, err := NewStream(spec, testGeometry(), addr.RowBankRankChanCol)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		a, _ := s.Next()
+		sink += a.Addr
+	}
+	_ = sink
+}

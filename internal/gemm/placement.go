@@ -1,0 +1,194 @@
+// Tile placement: maps (matrix, block, line) coordinates onto physical
+// addresses for each tiling strategy. All strategies address the same
+// logical lines in the same order; only where those lines live in the
+// (channel, rank, bank, row/SAG, col/CD) space differs.
+package gemm
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+)
+
+// placement is the per-spec address calculator shared by all the cores'
+// streams of one Partition call (it is read-only after construction).
+type placement struct {
+	tiling Tiling
+	g      addr.Geometry
+	mp     *addr.Mapper
+
+	// blockLines is the cache-line count of one A/B/C block.
+	blockLines [3]int
+
+	// Row-major: line-index bases of the three contiguous regions.
+	base [3]uint64
+
+	// SAG-aligned / output-stationary: the SAG indices owned by each
+	// stream. CD-interleaved: the CD indices owned by each stream.
+	sets [3][]int
+
+	// bankSlots is Channels×Ranks×Banks — the bank-level rotation
+	// period for the partitioned placements.
+	bankSlots int
+}
+
+func newPlacement(spec Spec, g addr.Geometry, iv addr.Interleave) (*placement, error) {
+	mp, err := addr.NewMapper(g, iv)
+	if err != nil {
+		return nil, fmt.Errorf("gemm: %w", err)
+	}
+	p := &placement{
+		tiling:    spec.Tiling,
+		g:         g,
+		mp:        mp,
+		bankSlots: g.Channels * g.Ranks * g.Banks,
+	}
+	lineBytes := g.LineBytes
+	p.blockLines[matA] = blockLineCount(spec.TileM*spec.TileK, spec.WordBytes, lineBytes)
+	p.blockLines[matB] = blockLineCount(spec.TileK*spec.TileN, spec.WordBytes, lineBytes)
+	p.blockLines[matC] = blockLineCount(spec.TileM*spec.TileN, spec.WordBytes, lineBytes)
+
+	switch spec.Tiling {
+	case TilingRowMajor:
+		// Contiguous regions, each base rounded up to a full SAG
+		// rotation of the interleave (channels×ranks×banks×SAGs×Cols
+		// lines) — the aliasing a power-of-two allocator produces.
+		align := uint64(g.Channels) * uint64(g.Ranks) * uint64(g.Banks) *
+			uint64(g.SAGs) * uint64(g.Cols)
+		mB := ceilDiv(spec.M, spec.TileM)
+		kB := ceilDiv(spec.K, spec.TileK)
+		nB := ceilDiv(spec.N, spec.TileN)
+		aLines := uint64(mB) * uint64(kB) * uint64(p.blockLines[matA])
+		bLines := uint64(kB) * uint64(nB) * uint64(p.blockLines[matB])
+		p.base[matA] = 0
+		p.base[matB] = roundUp(aLines, align)
+		p.base[matC] = roundUp(p.base[matB]+bLines, align)
+	case TilingCDInterleaved:
+		p.sets = partitionIndices(g.CDs)
+	default: // TilingSAGAligned, TilingOutputStationary
+		p.sets = partitionIndices(g.SAGs)
+	}
+	return p, nil
+}
+
+// blockLineCount returns the cache lines occupied by a block of elems
+// words (at least one line; partial tiles are padded to full blocks).
+func blockLineCount(elems, wordBytes, lineBytes int) int {
+	n := ceilDiv(elems*wordBytes, lineBytes)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func roundUp(v, align uint64) uint64 {
+	if align == 0 {
+		return v
+	}
+	return (v + align - 1) / align * align
+}
+
+// partitionIndices splits [0, n) into the per-stream index sets. With
+// n ≥ 3 each stream owns a disjoint contiguous slice (the weight
+// stream B takes the remainder — it moves the most traffic). Smaller
+// subdivision counts degrade gracefully: n = 2 isolates the two read
+// streams and lets the output span both; n = 1 shares the single
+// index, which collapses the strategy to bank-level rotation only.
+func partitionIndices(n int) [3][]int {
+	var out [3][]int
+	idx := func(lo, hi int) []int {
+		s := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			s = append(s, i)
+		}
+		return s
+	}
+	switch {
+	case n >= 3:
+		aN := n / 3
+		cN := n / 3
+		out[matA] = idx(0, aN)
+		out[matB] = idx(aN, n-cN)
+		out[matC] = idx(n-cN, n)
+	case n == 2:
+		out[matA] = idx(0, 1)
+		out[matB] = idx(1, 2)
+		out[matC] = idx(0, 2)
+	default:
+		all := idx(0, n)
+		out[matA], out[matB], out[matC] = all, all, all
+	}
+	return out
+}
+
+// lineAddr returns the physical address of one line of one block of
+// one matrix stream. block is the flattened block id (row-major over
+// the matrix's block grid); line indexes within the block.
+func (p *placement) lineAddr(mat, block, line int) uint64 {
+	switch p.tiling {
+	case TilingRowMajor:
+		li := p.base[mat] + uint64(block)*uint64(p.blockLines[mat]) + uint64(line)
+		return li * uint64(p.g.LineBytes)
+	case TilingCDInterleaved:
+		return p.cdAddr(mat, block, line)
+	default: // TilingSAGAligned, TilingOutputStationary
+		return p.sagAddr(mat, block, line)
+	}
+}
+
+// sagAddr places block rows round-robin over the stream's owned SAGs,
+// rotating banks underneath, with each stream confined to a disjoint
+// third of every SAG's row space (so streams never share a row).
+func (p *placement) sagAddr(mat, block, line int) uint64 {
+	g := p.g
+	set := p.sets[mat]
+	rowsPerBlock := ceilDiv(p.blockLines[mat], g.Cols)
+	u := block*rowsPerBlock + line/g.Cols
+	col := line % g.Cols
+	sag := set[u%len(set)]
+	v := u / len(set)
+	slot := v % p.bankSlots
+	w := v / p.bankSlots
+	span := g.RowsPerSAG() / 3
+	if span == 0 {
+		span = 1
+	}
+	rowInSAG := (mat*span + w%span) % g.RowsPerSAG()
+	// SAG(row) = row % SAGs, so row = rowInSAG·SAGs + sag lands in sag.
+	row := rowInSAG*g.SAGs + sag
+	return p.mp.Encode(addr.Location{
+		Channel: slot % g.Channels,
+		Rank:    (slot / g.Channels) % g.Ranks,
+		Bank:    slot / (g.Channels * g.Ranks),
+		Row:     row,
+		Col:     col,
+	})
+}
+
+// cdAddr confines each stream's lines to its owned column divisions
+// (CD(col) = col % CDs), walking banks round-robin; rows are placed
+// naively in per-stream regions, so SAG behavior is uncontrolled.
+func (p *placement) cdAddr(mat, block, line int) uint64 {
+	g := p.g
+	set := p.sets[mat]
+	colsAvail := g.ColsPerCD() * len(set)
+	rowsPerBlock := ceilDiv(p.blockLines[mat], colsAvail)
+	u := block*rowsPerBlock + line/colsAvail
+	t := line % colsAvail
+	cd := set[t%len(set)]
+	col := (t/len(set))*g.CDs + cd
+	slot := u % p.bankSlots
+	w := u / p.bankSlots
+	span := g.Rows / 3
+	if span == 0 {
+		span = 1
+	}
+	row := (mat*span + w%span) % g.Rows
+	return p.mp.Encode(addr.Location{
+		Channel: slot % g.Channels,
+		Rank:    (slot / g.Channels) % g.Ranks,
+		Bank:    slot / (g.Channels * g.Ranks),
+		Row:     row,
+		Col:     col,
+	})
+}

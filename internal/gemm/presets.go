@@ -1,0 +1,54 @@
+// LLM-inference layer presets: the named GEMM shapes of a GPT-2-small
+// transformer block (d_model 768, 12 heads × d_head 64, d_ff 3072,
+// fp16 weights/activations) at prefill sequence length 128, plus one
+// single-token decode GEMV. These are the canonical "attention QKV /
+// score / output, FFN up / down" shapes the tiling case study runs.
+package gemm
+
+const (
+	presetSeq   = 128  // prefill sequence length
+	presetD     = 768  // d_model
+	presetDHead = 64   // per-head dimension
+	presetDFF   = 3072 // FFN inner dimension
+	presetWord  = 2    // fp16
+)
+
+// Presets returns the named LLM layer shapes in a stable order. The
+// returned specs carry no tiling choice (TilingRowMajor zero value);
+// callers pick the strategy.
+func Presets() []Spec {
+	return []Spec{
+		// Fused QKV projection: X[seq,d] × W_qkv[d,3d].
+		{Name: "gpt2s-attn-qkv", Shape: Shape{M: presetSeq, K: presetD, N: 3 * presetD, WordBytes: presetWord}},
+		// One head's attention scores: Q[seq,d_head] × K^T[d_head,seq].
+		{Name: "gpt2s-attn-score", Shape: Shape{M: presetSeq, K: presetDHead, N: presetSeq, WordBytes: presetWord}},
+		// Attention output projection, accumulated onto the residual.
+		{Name: "gpt2s-attn-out", Shape: Shape{M: presetSeq, K: presetD, N: presetD, WordBytes: presetWord, Accumulate: true}},
+		// FFN up projection: X[seq,d] × W_up[d,d_ff].
+		{Name: "gpt2s-ffn-up", Shape: Shape{M: presetSeq, K: presetD, N: presetDFF, WordBytes: presetWord}},
+		// FFN down projection, accumulated onto the residual.
+		{Name: "gpt2s-ffn-down", Shape: Shape{M: presetSeq, K: presetDFF, N: presetD, WordBytes: presetWord, Accumulate: true}},
+		// Single-token decode QKV: a GEMV (M = 1).
+		{Name: "gpt2s-decode-qkv", Shape: Shape{M: 1, K: presetD, N: 3 * presetD, WordBytes: presetWord}},
+	}
+}
+
+// PresetByName looks a preset up by its Name.
+func PresetByName(name string) (Spec, bool) {
+	for _, p := range Presets() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Spec{}, false
+}
+
+// PresetNames returns the preset names in presentation order.
+func PresetNames() []string {
+	ps := Presets()
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+package gemm
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+)
+
+func TestPresetsValidAndLowerable(t *testing.T) {
+	g := testGeometry()
+	for _, p := range Presets() {
+		sp := p.WithDefaults()
+		if err := sp.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+			continue
+		}
+		for _, tl := range Tilings() {
+			sp := p
+			sp.Tiling = tl
+			s, err := NewStream(sp, g, addr.RowBankRankChanCol)
+			if err != nil {
+				t.Errorf("%s/%v: %v", p.Name, tl, err)
+				continue
+			}
+			collect(t, s, 1000)
+		}
+	}
+}
+
+func TestPresetByName(t *testing.T) {
+	for _, name := range PresetNames() {
+		p, ok := PresetByName(name)
+		if !ok {
+			t.Fatalf("PresetByName(%q): not found", name)
+		}
+		if p.Name != name {
+			t.Errorf("PresetByName(%q).Name = %q", name, p.Name)
+		}
+	}
+	if _, ok := PresetByName("nope"); ok {
+		t.Error("PresetByName(nope): want not found")
+	}
+}
+
+// TestPresetTrafficShapes pins the intent of the preset set: the FFN
+// down projection accumulates (RMW output), the up projection streams,
+// and the decode preset is a GEMV.
+func TestPresetTrafficShapes(t *testing.T) {
+	down, _ := PresetByName("gpt2s-ffn-down")
+	if !down.Accumulate {
+		t.Error("gpt2s-ffn-down must accumulate")
+	}
+	up, _ := PresetByName("gpt2s-ffn-up")
+	if up.Accumulate {
+		t.Error("gpt2s-ffn-up must stream its output")
+	}
+	dec, _ := PresetByName("gpt2s-decode-qkv")
+	if dec.M != 1 {
+		t.Errorf("gpt2s-decode-qkv M = %d, want 1 (GEMV)", dec.M)
+	}
+}

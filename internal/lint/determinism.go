@@ -40,7 +40,8 @@ var Determinism = &Analyzer{
 // prints results whose byte-identity the tests rely on.
 var determinismPackages = []string{
 	"internal/sim", "internal/bank", "internal/controller",
-	"internal/core", "internal/mem", "internal/telemetry", "internal/trace",
+	"internal/core", "internal/gemm", "internal/mem",
+	"internal/telemetry", "internal/trace",
 }
 
 func determinismScope(pkgPath string) bool {

@@ -34,25 +34,66 @@ type DeviceRequest struct {
 	CellAreaF2 float64 `json:"cell_area_f2,omitempty"`
 }
 
+// WorkloadRequest mirrors fgnvm.WorkloadSpec: a GEMM/GEMV workload by
+// preset name or explicit shape, plus the tiling strategy.
+type WorkloadRequest struct {
+	Preset     string `json:"preset,omitempty"`
+	M          int    `json:"m,omitempty"`
+	K          int    `json:"k,omitempty"`
+	N          int    `json:"n,omitempty"`
+	WordBytes  int    `json:"word_bytes,omitempty"`
+	Accumulate bool   `json:"accumulate,omitempty"`
+	Tiling     string `json:"tiling,omitempty"`
+	TileM      int    `json:"tile_m,omitempty"`
+	TileK      int    `json:"tile_k,omitempty"`
+	TileN      int    `json:"tile_n,omitempty"`
+	Gap        int    `json:"gap,omitempty"`
+}
+
+// toSpec converts to the library form.
+func (w WorkloadRequest) toSpec() fgnvm.WorkloadSpec {
+	return fgnvm.WorkloadSpec{
+		Preset: w.Preset,
+		M:      w.M, K: w.K, N: w.N,
+		WordBytes: w.WordBytes, Accumulate: w.Accumulate,
+		Tiling: w.Tiling,
+		TileM:  w.TileM, TileK: w.TileK, TileN: w.TileN,
+		Gap: w.Gap,
+	}
+}
+
+// workloadRequestFrom converts a (canonical) spec back to wire form.
+func workloadRequestFrom(s fgnvm.WorkloadSpec) *WorkloadRequest {
+	return &WorkloadRequest{
+		Preset: s.Preset,
+		M:      s.M, K: s.K, N: s.N,
+		WordBytes: s.WordBytes, Accumulate: s.Accumulate,
+		Tiling: s.Tiling,
+		TileM:  s.TileM, TileK: s.TileK, TileN: s.TileN,
+		Gap: s.Gap,
+	}
+}
+
 // RunRequest is the body of POST /v1/run: the JSON-serializable subset
 // of fgnvm.Options (custom streams and raw geometry/timing overrides
 // are CLI-only). Zero fields take the library defaults.
 type RunRequest struct {
-	Design         string         `json:"design,omitempty"`
-	SAGs           int            `json:"sags,omitempty"`
-	CDs            int            `json:"cds,omitempty"`
-	Benchmark      string         `json:"benchmark,omitempty"`
-	Mix            []string       `json:"mix,omitempty"`
-	Cores          int            `json:"cores,omitempty"`
-	Instructions   uint64         `json:"instructions,omitempty"`
-	Seed           uint64         `json:"seed,omitempty"`
-	SkipLLC        bool           `json:"skip_llc,omitempty"`
-	WarmupAccesses int            `json:"warmup_accesses,omitempty"`
-	IssueLanes     int            `json:"issue_lanes,omitempty"`
-	Scheduler      string         `json:"scheduler,omitempty"`
-	Technology     string         `json:"technology,omitempty"`
-	Modes          *ModesRequest  `json:"modes,omitempty"`
-	Device         *DeviceRequest `json:"device,omitempty"`
+	Design         string           `json:"design,omitempty"`
+	SAGs           int              `json:"sags,omitempty"`
+	CDs            int              `json:"cds,omitempty"`
+	Benchmark      string           `json:"benchmark,omitempty"`
+	Mix            []string         `json:"mix,omitempty"`
+	Workload       *WorkloadRequest `json:"workload,omitempty"`
+	Cores          int              `json:"cores,omitempty"`
+	Instructions   uint64           `json:"instructions,omitempty"`
+	Seed           uint64           `json:"seed,omitempty"`
+	SkipLLC        bool             `json:"skip_llc,omitempty"`
+	WarmupAccesses int              `json:"warmup_accesses,omitempty"`
+	IssueLanes     int              `json:"issue_lanes,omitempty"`
+	Scheduler      string           `json:"scheduler,omitempty"`
+	Technology     string           `json:"technology,omitempty"`
+	Modes          *ModesRequest    `json:"modes,omitempty"`
+	Device         *DeviceRequest   `json:"device,omitempty"`
 
 	// StallReport attaches the telemetry subsystem: the response's
 	// result carries the stall-attribution breakdown (Stalls) and the
@@ -114,8 +155,19 @@ func (r RunRequest) normalize() (RunRequest, fgnvm.Options, error) {
 	}
 	r.Technology = tech.String()
 
-	if r.Benchmark == "" && len(r.Mix) == 0 {
-		return r, fgnvm.Options{}, fmt.Errorf("no workload: set benchmark or mix")
+	if r.Workload != nil {
+		if r.Benchmark != "" || len(r.Mix) > 0 {
+			return r, fgnvm.Options{}, fmt.Errorf("set either workload or benchmark/mix, not both")
+		}
+		// Canonicalize: defaults made explicit, so equivalent workload
+		// specs share one cache key.
+		canon, err := r.Workload.toSpec().Canonical()
+		if err != nil {
+			return r, fgnvm.Options{}, err
+		}
+		r.Workload = workloadRequestFrom(canon)
+	} else if r.Benchmark == "" && len(r.Mix) == 0 {
+		return r, fgnvm.Options{}, fmt.Errorf("no workload: set benchmark, mix, or workload")
 	}
 	if err := checkBenchmarks(append([]string{r.Benchmark}, r.Mix...)...); err != nil {
 		return r, fgnvm.Options{}, err
@@ -180,6 +232,10 @@ func (r RunRequest) normalize() (RunRequest, fgnvm.Options, error) {
 		IssueLanes:     r.IssueLanes,
 		Scheduler:      sched,
 		Technology:     tech,
+	}
+	if r.Workload != nil {
+		spec := r.Workload.toSpec()
+		o.Workload = &spec
 	}
 	if r.Modes != nil {
 		o.Modes = &fgnvm.AccessModeSet{
@@ -252,12 +308,14 @@ func (r Figure4Request) cacheKey() string {
 // SweepRequest is the body of POST /v1/sweep, mirroring
 // fgnvm.SweepParams.
 type SweepRequest struct {
-	Axis         string `json:"axis,omitempty"`
-	Values       []int  `json:"values,omitempty"`
-	Design       string `json:"design,omitempty"`
-	Benchmark    string `json:"benchmark,omitempty"`
-	Instructions uint64 `json:"instructions,omitempty"`
-	Seed         uint64 `json:"seed,omitempty"`
+	Axis         string           `json:"axis,omitempty"`
+	Values       []int            `json:"values,omitempty"`
+	Design       string           `json:"design,omitempty"`
+	Benchmark    string           `json:"benchmark,omitempty"`
+	Workload     *WorkloadRequest `json:"workload,omitempty"`
+	Instructions uint64           `json:"instructions,omitempty"`
+	Seed         uint64           `json:"seed,omitempty"`
+	SkipLLC      bool             `json:"skip_llc,omitempty"`
 
 	// Parallel and TimeoutMS are execution-only: excluded from the key.
 	Parallel  int   `json:"parallel,omitempty"`
@@ -283,11 +341,24 @@ func (r SweepRequest) normalize() (SweepRequest, fgnvm.SweepParams, error) {
 		return r, fgnvm.SweepParams{}, err
 	}
 	r.Design = design.String()
-	if r.Benchmark == "" {
-		r.Benchmark = "mcf"
-	}
-	if err := checkBenchmarks(r.Benchmark); err != nil {
-		return r, fgnvm.SweepParams{}, err
+	if r.Workload != nil {
+		if r.Benchmark != "" {
+			return r, fgnvm.SweepParams{}, fmt.Errorf("set either workload or benchmark, not both")
+		}
+		canon, err := r.Workload.toSpec().Canonical()
+		if err != nil {
+			return r, fgnvm.SweepParams{}, err
+		}
+		r.Workload = workloadRequestFrom(canon)
+	} else if r.Axis == "tiling" {
+		return r, fgnvm.SweepParams{}, fmt.Errorf("the tiling axis requires a workload")
+	} else {
+		if r.Benchmark == "" {
+			r.Benchmark = "mcf"
+		}
+		if err := checkBenchmarks(r.Benchmark); err != nil {
+			return r, fgnvm.SweepParams{}, err
+		}
 	}
 	if r.Instructions == 0 {
 		r.Instructions = 100_000
@@ -302,7 +373,12 @@ func (r SweepRequest) normalize() (SweepRequest, fgnvm.SweepParams, error) {
 		Benchmark:    r.Benchmark,
 		Instructions: r.Instructions,
 		Seed:         r.Seed,
+		SkipLLC:      r.SkipLLC,
 		Parallel:     r.Parallel,
+	}
+	if r.Workload != nil {
+		spec := r.Workload.toSpec()
+		p.Workload = &spec
 	}
 	return r, p, nil
 }

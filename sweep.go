@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
+
+	"repro/internal/gemm"
 )
 
 // SweepAxis describes one sweepable parameter: how a value applies to
@@ -45,6 +47,15 @@ func SweepAxes() []SweepAxis {
 			apply: func(o *Options, v int) { o.Core.MSHRs = v }},
 		{Name: "tile", Affects: "device tile side (cells)", Default: []int{512, 1024, 2048, 4096}, appliesToBaseline: true,
 			apply: func(o *Options, v int) { o.Device = &DeviceParams{TileRows: v, TileCols: v} }},
+		// The tiling axis sweeps the GEMM lowering strategy (values index
+		// WorkloadTilings) and therefore requires SweepParams.Workload.
+		// It is workload-side: the baseline must run the same lowering.
+		{Name: "tiling", Affects: "GEMM tiling strategy", Default: []int{0, 1, 2, 3}, appliesToBaseline: true,
+			apply: func(o *Options, v int) {
+				if o.Workload != nil {
+					o.Workload.Tiling = gemm.Tiling(v).String()
+				}
+			}},
 	}
 }
 
@@ -70,8 +81,16 @@ type SweepParams struct {
 	Values []int
 	// Design is the design under sweep (default DesignFgNVM).
 	Design Design
-	// Benchmark is the workload profile (default "mcf").
+	// Benchmark is the workload profile (default "mcf"). Ignored when
+	// Workload is set.
 	Benchmark string
+	// Workload sweeps a GEMM workload instead of a benchmark profile;
+	// required by the "tiling" axis.
+	Workload *WorkloadSpec
+	// SkipLLC feeds the workload straight to the memory system. GEMM
+	// sweeps usually want this: with the LLC in the path, tile reuse is
+	// absorbed and every tiling strategy scores identically.
+	SkipLLC bool
 	// Instructions per run (default 100 000) and workload Seed (default 1).
 	Instructions uint64
 	Seed         uint64
@@ -85,7 +104,7 @@ func (p *SweepParams) applyDefaults(ax SweepAxis) {
 	if len(p.Values) == 0 {
 		p.Values = ax.Default
 	}
-	if p.Benchmark == "" {
+	if p.Benchmark == "" && p.Workload == nil {
 		p.Benchmark = "mcf"
 	}
 	if p.Instructions == 0 {
@@ -138,23 +157,52 @@ func SweepContext(ctx context.Context, p SweepParams) (SweepResult, error) {
 		return SweepResult{}, err
 	}
 	p.applyDefaults(ax)
+	if ax.Name == "tiling" {
+		if p.Workload == nil {
+			return SweepResult{}, fmt.Errorf("fgnvm: the tiling axis requires SweepParams.Workload")
+		}
+		for _, v := range p.Values {
+			if v < 0 || v >= len(WorkloadTilings()) {
+				return SweepResult{}, fmt.Errorf("fgnvm: tiling axis value %d out of range [0, %d)",
+					v, len(WorkloadTilings()))
+			}
+		}
+	}
+	if p.Workload != nil {
+		if _, err := p.Workload.Canonical(); err != nil {
+			return SweepResult{}, err
+		}
+	}
+	label := p.Benchmark
+	if p.Workload != nil {
+		label = p.Workload.label()
+	}
 	out := SweepResult{
 		Axis:      ax.Name,
 		Design:    p.Design.String(),
-		Benchmark: p.Benchmark,
+		Benchmark: label,
 		Points:    make([]SweepPoint, len(p.Values)),
 	}
 	err = forEachN(ctx, len(p.Values), p.Parallel, func(i int) error {
 		v := p.Values[i]
 		o := Options{
-			Design: p.Design, SAGs: 8, CDs: 2, Benchmark: p.Benchmark,
+			Design: p.Design, SAGs: 8, CDs: 2,
 			Instructions: p.Instructions, Seed: p.Seed,
+			SkipLLC: p.SkipLLC,
+		}
+		b := Options{
+			Design:       DesignBaseline,
+			Instructions: p.Instructions, Seed: p.Seed,
+			SkipLLC: p.SkipLLC,
+		}
+		if p.Workload != nil {
+			// Private copies: apply may mutate the spec (tiling axis).
+			ow, bw := *p.Workload, *p.Workload
+			o.Workload, b.Workload = &ow, &bw
+		} else {
+			o.Benchmark, b.Benchmark = p.Benchmark, p.Benchmark
 		}
 		ax.apply(&o, v)
-		b := Options{
-			Design: DesignBaseline, Benchmark: p.Benchmark,
-			Instructions: p.Instructions, Seed: p.Seed,
-		}
 		if ax.appliesToBaseline {
 			ax.apply(&b, v)
 		}

@@ -1,0 +1,141 @@
+// Workload specs: the public, JSON-friendly description of a GEMM/GEMV
+// workload that Options.Workload, the sweep API, and the HTTP server
+// all share. A spec names either an LLM-layer preset or an explicit
+// shape, plus the tiling strategy; internal/gemm does the lowering.
+
+package fgnvm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/gemm"
+)
+
+// WorkloadSpec selects a GEMM/GEMV workload. Set either Preset (a name
+// from WorkloadPresets) or an explicit M, K, N shape — not both. The
+// zero knobs take the lowering defaults (fp16 words, 32×64×64 tiles,
+// gap 4, SAG-aligned tiling).
+type WorkloadSpec struct {
+	// Preset names an LLM-layer shape (see WorkloadPresets).
+	Preset string `json:"preset,omitempty"`
+
+	// Explicit shape: C[M,N] (+)= A[M,K] × B[K,N]; N = 1 is a GEMV.
+	M int `json:"m,omitempty"`
+	K int `json:"k,omitempty"`
+	N int `json:"n,omitempty"`
+	// WordBytes is the element size (default 2 — fp16).
+	WordBytes int `json:"word_bytes,omitempty"`
+	// Accumulate selects read-modify-write output traffic.
+	Accumulate bool `json:"accumulate,omitempty"`
+
+	// Tiling names the lowering strategy: "rowmajor", "sag", "cd" or
+	// "outstat" (see WorkloadTilings). Default "sag".
+	Tiling string `json:"tiling,omitempty"`
+
+	// Tile block sizes (defaults 32×64×64, clamped to the shape).
+	TileM int `json:"tile_m,omitempty"`
+	TileK int `json:"tile_k,omitempty"`
+	TileN int `json:"tile_n,omitempty"`
+
+	// Gap is the instruction gap between accesses (default 4).
+	Gap int `json:"gap,omitempty"`
+}
+
+// WorkloadPresets returns the available preset names.
+func WorkloadPresets() []string { return gemm.PresetNames() }
+
+// WorkloadTilings returns the tiling strategy names in a stable order.
+func WorkloadTilings() []string {
+	ts := gemm.Tilings()
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = t.String()
+	}
+	return out
+}
+
+// resolve converts the spec to a gemm.Spec (without filling lowering
+// defaults — gemm.Partition does that).
+func (w WorkloadSpec) resolve() (gemm.Spec, error) {
+	var sp gemm.Spec
+	if w.Preset != "" {
+		if w.M != 0 || w.K != 0 || w.N != 0 || w.WordBytes != 0 || w.Accumulate {
+			return sp, fmt.Errorf("fgnvm: workload: set either Preset or an explicit shape, not both")
+		}
+		p, ok := gemm.PresetByName(w.Preset)
+		if !ok {
+			return sp, fmt.Errorf("fgnvm: unknown workload preset %q (want one of %s)",
+				w.Preset, strings.Join(gemm.PresetNames(), ", "))
+		}
+		sp = p
+	} else {
+		if w.M < 1 || w.K < 1 || w.N < 1 {
+			return sp, fmt.Errorf("fgnvm: workload: set Preset or a positive M, K, N shape")
+		}
+		sp.Shape = gemm.Shape{M: w.M, K: w.K, N: w.N, WordBytes: w.WordBytes, Accumulate: w.Accumulate}
+	}
+	tiling := w.Tiling
+	if tiling == "" {
+		tiling = gemm.TilingSAGAligned.String()
+	}
+	t, err := gemm.ParseTiling(tiling)
+	if err != nil {
+		return sp, fmt.Errorf("fgnvm: workload: %w", err)
+	}
+	sp.Tiling = t
+	if w.TileM != 0 {
+		sp.TileM = w.TileM
+	}
+	if w.TileK != 0 {
+		sp.TileK = w.TileK
+	}
+	if w.TileN != 0 {
+		sp.TileN = w.TileN
+	}
+	if w.Gap != 0 {
+		sp.Gap = w.Gap
+	}
+	return sp, nil
+}
+
+// Canonical validates the spec and returns it with every default made
+// explicit — the form cache keys hash, so equivalent specs collide.
+// Preset specs keep the preset name and leave the shape fields zero
+// (the preset already pins them).
+func (w WorkloadSpec) Canonical() (WorkloadSpec, error) {
+	sp, err := w.resolve()
+	if err != nil {
+		return WorkloadSpec{}, err
+	}
+	sp = sp.WithDefaults()
+	if err := sp.Validate(); err != nil {
+		return WorkloadSpec{}, err
+	}
+	out := WorkloadSpec{
+		Tiling: sp.Tiling.String(),
+		TileM:  sp.TileM, TileK: sp.TileK, TileN: sp.TileN,
+		Gap: sp.Gap,
+	}
+	if w.Preset != "" {
+		out.Preset = w.Preset
+	} else {
+		out.M, out.K, out.N = sp.M, sp.K, sp.N
+		out.WordBytes = sp.WordBytes
+		out.Accumulate = sp.Accumulate
+	}
+	return out, nil
+}
+
+// label is the tiling-independent display name of the workload (for
+// sweep results, where the tiling may be the swept axis).
+func (w WorkloadSpec) label() string {
+	if w.Preset != "" {
+		return w.Preset
+	}
+	sp, err := w.resolve()
+	if err != nil {
+		return "gemm"
+	}
+	return sp.ShapeName()
+}

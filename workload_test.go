@@ -1,0 +1,254 @@
+package fgnvm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// short returns small-budget options for validation-path tests.
+func shortOpts() Options {
+	return Options{Design: DesignFgNVM, Instructions: 2000}
+}
+
+func TestWorkloadSourceExclusivity(t *testing.T) {
+	stream := trace.NewSliceStream([]trace.Access{{Addr: 64}})
+	w := &WorkloadSpec{Preset: "gpt2s-attn-qkv"}
+	cases := []struct {
+		name   string
+		mutate func(*Options)
+	}{
+		{"benchmark+stream", func(o *Options) { o.Benchmark = "mcf"; o.Stream = stream }},
+		{"benchmark+workload", func(o *Options) { o.Benchmark = "mcf"; o.Workload = w }},
+		{"stream+streams", func(o *Options) { o.Stream = stream; o.Streams = []trace.Stream{stream} }},
+		{"streams+workload", func(o *Options) { o.Streams = []trace.Stream{stream}; o.Workload = w }},
+		{"mix+workload", func(o *Options) { o.Mix = []string{"mcf"}; o.Workload = w }},
+	}
+	for _, tc := range cases {
+		o := shortOpts()
+		tc.mutate(&o)
+		_, err := Run(o)
+		if err == nil || !strings.Contains(err.Error(), "exactly one workload source") {
+			t.Errorf("%s: err = %v, want exactly-one-of error", tc.name, err)
+		}
+	}
+
+	o := shortOpts()
+	if _, err := Run(o); err == nil || !strings.Contains(err.Error(), "no workload") {
+		t.Errorf("no source: err = %v, want no-workload error", err)
+	}
+}
+
+func TestStreamSingleCoreRestriction(t *testing.T) {
+	o := shortOpts()
+	o.Stream = trace.NewSliceStream([]trace.Access{{Addr: 64}})
+	o.Cores = 2
+	_, err := Run(o)
+	if err == nil || !strings.Contains(err.Error(), "single core") {
+		t.Errorf("Stream with Cores=2: err = %v, want single-core error", err)
+	}
+}
+
+func TestStreamsMultiProgrammed(t *testing.T) {
+	mk := func(base uint64) trace.Stream {
+		accs := make([]trace.Access, 256)
+		for i := range accs {
+			accs[i] = trace.Access{Gap: 2, Addr: base + uint64(i)*64}
+		}
+		return trace.NewSliceStream(accs)
+	}
+	o := shortOpts()
+	o.SkipLLC = true
+	o.Streams = []trace.Stream{mk(0), mk(1 << 29)}
+	r, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cores != 2 {
+		t.Errorf("Cores = %d, want 2", r.Cores)
+	}
+	if r.Benchmark != "2xcustom" {
+		t.Errorf("Benchmark = %q, want 2xcustom", r.Benchmark)
+	}
+
+	// A single entry is plain "custom", matching Stream's label.
+	o = shortOpts()
+	o.SkipLLC = true
+	o.Streams = []trace.Stream{mk(0)}
+	r, err = Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Benchmark != "custom" || r.Cores != 1 {
+		t.Errorf("single stream: benchmark %q cores %d", r.Benchmark, r.Cores)
+	}
+}
+
+func TestStreamsErrors(t *testing.T) {
+	mk := func() trace.Stream { return trace.NewSliceStream([]trace.Access{{Addr: 64}}) }
+
+	o := shortOpts()
+	o.Streams = []trace.Stream{mk(), mk()}
+	o.Cores = 3
+	if _, err := Run(o); err == nil || !strings.Contains(err.Error(), "does not match") {
+		t.Errorf("cores/len mismatch: err = %v", err)
+	}
+
+	o = shortOpts()
+	o.Streams = []trace.Stream{mk(), mk(), mk(), mk(), mk()}
+	if _, err := Run(o); err == nil || !strings.Contains(err.Error(), "at most 4 cores") {
+		t.Errorf("5 streams: err = %v", err)
+	}
+
+	o = shortOpts()
+	o.Streams = []trace.Stream{mk(), nil}
+	if _, err := Run(o); err == nil || !strings.Contains(err.Error(), "is nil") {
+		t.Errorf("nil stream: err = %v", err)
+	}
+}
+
+func TestWorkloadSpecResolveErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		w    WorkloadSpec
+		want string
+	}{
+		{"preset and shape", WorkloadSpec{Preset: "gpt2s-attn-qkv", M: 8, K: 8, N: 8}, "not both"},
+		{"unknown preset", WorkloadSpec{Preset: "nope"}, "unknown workload preset"},
+		{"no shape", WorkloadSpec{}, "positive M, K, N"},
+		{"bad tiling", WorkloadSpec{M: 8, K: 8, N: 8, Tiling: "zigzag"}, "unknown tiling"},
+		{"bad word", WorkloadSpec{M: 8, K: 8, N: 8, WordBytes: 3}, "word size"},
+	}
+	for _, tc := range cases {
+		if _, err := tc.w.Canonical(); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestWorkloadCanonicalSharesDefaults(t *testing.T) {
+	a, err := WorkloadSpec{Preset: "gpt2s-attn-qkv"}.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := WorkloadSpec{Preset: "gpt2s-attn-qkv", Tiling: "sag", Gap: 4}.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("canonical forms differ:\n  %+v\n  %+v", a, b)
+	}
+	if a.Tiling != "sag" || a.Gap == 0 || a.TileM == 0 {
+		t.Errorf("canonical did not fill defaults: %+v", a)
+	}
+	if a.M != 0 || a.K != 0 {
+		t.Errorf("canonical preset form must keep shape fields zero: %+v", a)
+	}
+}
+
+func TestWorkloadRunSingleAndMultiCore(t *testing.T) {
+	o := Options{
+		Design: DesignFgNVM, Instructions: 5000, SkipLLC: true,
+		Workload: &WorkloadSpec{Preset: "gpt2s-attn-qkv"},
+	}
+	r, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Benchmark != "gpt2s-attn-qkv/sag" {
+		t.Errorf("Benchmark = %q, want gpt2s-attn-qkv/sag", r.Benchmark)
+	}
+
+	o.Cores = 4
+	r, err = Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cores != 4 || r.Benchmark != "4xgpt2s-attn-qkv/sag" {
+		t.Errorf("multi-core: cores %d benchmark %q", r.Cores, r.Benchmark)
+	}
+
+	o.Cores = 5
+	if _, err := Run(o); err == nil || !strings.Contains(err.Error(), "at most 4 cores") {
+		t.Errorf("5 cores: err = %v", err)
+	}
+}
+
+// TestWorkloadThroughLLC: the default cache-filtered path also runs.
+func TestWorkloadThroughLLC(t *testing.T) {
+	r, err := Run(Options{
+		Design: DesignFgNVM, Instructions: 5000,
+		Workload: &WorkloadSpec{M: 64, K: 64, N: 64, Accumulate: true, Tiling: "rowmajor"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Benchmark != "gemm-64x64x64w2/rowmajor" {
+		t.Errorf("Benchmark = %q", r.Benchmark)
+	}
+}
+
+func TestSweepTilingAxis(t *testing.T) {
+	res, err := Sweep(SweepParams{
+		Axis:         "tiling",
+		Values:       []int{0, 1},
+		Design:       DesignFgNVM,
+		Workload:     &WorkloadSpec{Preset: "gpt2s-attn-score"},
+		SkipLLC:      true,
+		Instructions: 3000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d, want 2", len(res.Points))
+	}
+	if res.Benchmark != "gpt2s-attn-score" {
+		t.Errorf("Benchmark label = %q", res.Benchmark)
+	}
+	for _, p := range res.Points {
+		if p.IPC <= 0 || p.Speedup <= 0 {
+			t.Errorf("point %+v: non-positive metrics", p)
+		}
+	}
+	if res.Points[0].IPC == res.Points[1].IPC {
+		t.Error("rowmajor and sag tiling scored identically; SkipLLC is not reaching the sweep points")
+	}
+}
+
+func TestSweepTilingAxisErrors(t *testing.T) {
+	if _, err := Sweep(SweepParams{Axis: "tiling", Instructions: 1000}); err == nil ||
+		!strings.Contains(err.Error(), "requires SweepParams.Workload") {
+		t.Errorf("tiling without workload: err = %v", err)
+	}
+	if _, err := Sweep(SweepParams{
+		Axis: "tiling", Values: []int{9},
+		Workload:     &WorkloadSpec{Preset: "gpt2s-attn-score"},
+		Instructions: 1000,
+	}); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("tiling value 9: err = %v", err)
+	}
+	if _, err := Sweep(SweepParams{
+		Axis: "cds", Values: []int{1, 2},
+		Workload:     &WorkloadSpec{Preset: "nope"},
+		Instructions: 1000,
+	}); err == nil || !strings.Contains(err.Error(), "unknown workload preset") {
+		t.Errorf("bad workload: err = %v", err)
+	}
+}
+
+// TestSweepBenchmarkAxisStillWorks guards the pre-existing path.
+func TestSweepWorkloadOnDesignAxis(t *testing.T) {
+	res, err := Sweep(SweepParams{
+		Axis: "cds", Values: []int{1, 2},
+		Workload:     &WorkloadSpec{Preset: "gpt2s-attn-score"},
+		Instructions: 3000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d, want 2", len(res.Points))
+	}
+}
