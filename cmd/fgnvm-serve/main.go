@@ -25,9 +25,11 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/analytic"
 	"repro/internal/server"
 )
 
@@ -47,19 +49,62 @@ func run() error {
 		timeout  = flag.Duration("timeout", 0, "default per-request timeout (0 = none; requests may set timeout_ms)")
 		maxInstr = flag.Uint64("max-instructions", 5_000_000, "reject runs longer than this (0 = unlimited)")
 		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+
+		storeDir   = flag.String("store-dir", "", "disk store directory: results survive restarts and are shared by replicas on one volume (empty: memory cache only)")
+		storeBytes = flag.Int64("store-bytes", 0, "disk-store payload byte budget, LRU-evicted (0 = unbounded)")
+		peers      = flag.String("peers", "", "comma-separated sibling replica base URLs to shard sweeps across (e.g. http://host2:8080,http://host3:8080)")
+
+		sizeFor  = flag.Float64("size-for", 0, "print the analytic worker count for this uncached request rate (req/s) and exit")
+		serviceS = flag.Float64("size-service", 1.0, "with -size-for: mean seconds per simulation")
+		sizeWait = flag.Float64("size-wait", 0, "with -size-for: target mean queueing wait in seconds (0: one service time)")
 	)
 	flag.Parse()
 	if *workers == 0 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
 
-	svc := server.New(server.Config{
+	if *sizeFor > 0 {
+		// Offline capacity planning: the same M/D/c model that predicts
+		// bank queueing sizes the worker pool (see internal/analytic).
+		s, err := analytic.SizeWorkers(analytic.PoolParams{
+			ArrivalPerSec: *sizeFor,
+			ServiceSec:    *serviceS,
+			TargetWaitSec: *sizeWait,
+			MaxWorkers:    runtime.GOMAXPROCS(0),
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("workers=%d utilization=%.2f wait_s=%.3f target_met=%v\n",
+			s.Workers, s.Utilization, s.WaitSec, s.Met)
+		if !s.Met {
+			fmt.Println("target unreachable on this host: add replicas (-peers) instead of workers")
+		}
+		return nil
+	}
+
+	var peerList []string
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+	}
+
+	svc, err := server.New(server.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
 		CacheEntries:    *cache,
 		DefaultTimeout:  *timeout,
 		MaxInstructions: *maxInstr,
+		StoreDir:        *storeDir,
+		StoreMaxBytes:   *storeBytes,
+		Peers:           peerList,
 	})
+	if err != nil {
+		return err
+	}
 	hs := &http.Server{Addr: *addr, Handler: svc}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -81,7 +126,7 @@ func run() error {
 	log.Printf("fgnvm-serve: shutting down, draining in-flight runs (budget %s)", *drain)
 	sctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
-	err := hs.Shutdown(sctx)
+	err = hs.Shutdown(sctx)
 	svc.Close()
 	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err

@@ -16,12 +16,25 @@
 // run concurrently (-parallel, default GOMAXPROCS) on a bounded pool;
 // each simulation is deterministic and rows print in axis-value order,
 // so output is byte-identical at any parallelism.
+//
+// With -server the sweep is delegated to a running fgnvm-serve via its
+// streaming endpoint: per-point progress prints to stderr as it
+// happens, the final CSV (identical to the local mode's, because the
+// server's merged result is byte-identical to fgnvm.Sweep) prints to
+// stdout, and an interrupted invocation re-run against the same server
+// resumes from the server's store instead of recomputing:
+//
+//	fgnvm-sweep -server http://localhost:8080 -axis cds -values 1,2,4,8
 package main
 
 import (
+	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -53,6 +66,7 @@ func run() error {
 		instr    = flag.Uint64("n", 100_000, "instructions per run")
 		seed     = flag.Uint64("seed", 1, "workload seed")
 		parallel = flag.Int("parallel", 0, "concurrent sweep points (0 = GOMAXPROCS)")
+		server   = flag.String("server", "", "delegate to a running fgnvm-serve at this base URL (streams progress to stderr)")
 	)
 	flag.Parse()
 
@@ -88,7 +102,12 @@ func run() error {
 		p.Benchmark, p.Workload, p.SkipLLC = "", &fgnvm.WorkloadSpec{Preset: *preset}, true
 		workload = *preset
 	}
-	res, err := fgnvm.SweepContext(ctx, p)
+	var res fgnvm.SweepResult
+	if *server != "" {
+		res, err = serverSweep(ctx, *server, p)
+	} else {
+		res, err = fgnvm.SweepContext(ctx, p)
+	}
 	if err != nil {
 		return err
 	}
@@ -101,4 +120,96 @@ func run() error {
 			pt.AvgReadLatency, pt.P95ReadLatency, pt.BackgroundedRds)
 	}
 	return nil
+}
+
+// streamEvent decodes every /v1/sweep/stream NDJSON event shape.
+type streamEvent struct {
+	Event  string          `json:"event"`
+	Value  int             `json:"value"`
+	Cached bool            `json:"cached"`
+	Remote bool            `json:"remote"`
+	Done   int             `json:"done"`
+	Total  int             `json:"total"`
+	Cycles uint64          `json:"cycles"`
+	Error  string          `json:"error"`
+	Result json.RawMessage `json:"result"`
+}
+
+// serverSweep delegates the sweep to a running fgnvm-serve, consuming
+// its progress stream: per-point status to stderr, the terminal merged
+// result returned for the usual CSV rendering.
+func serverSweep(ctx context.Context, base string, p fgnvm.SweepParams) (fgnvm.SweepResult, error) {
+	// Wire form of the server's SweepRequest; zero fields are omitted
+	// and re-defaulted server-side identically.
+	req := map[string]any{
+		"axis":         p.Axis,
+		"design":       p.Design.String(),
+		"instructions": p.Instructions,
+		"seed":         p.Seed,
+	}
+	if len(p.Values) > 0 {
+		req["values"] = p.Values
+	}
+	if p.Benchmark != "" {
+		req["benchmark"] = p.Benchmark
+	}
+	if p.Workload != nil {
+		req["workload"] = map[string]any{"preset": p.Workload.Preset}
+	}
+	if p.SkipLLC {
+		req["skip_llc"] = true
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fgnvm.SweepResult{}, err
+	}
+
+	hreq, err := http.NewRequestWithContext(ctx, "POST",
+		strings.TrimRight(base, "/")+"/v1/sweep/stream", strings.NewReader(string(body)))
+	if err != nil {
+		return fgnvm.SweepResult{}, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		return fgnvm.SweepResult{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fgnvm.SweepResult{}, fmt.Errorf("server: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 8<<20)
+	for sc.Scan() {
+		var ev streamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return fgnvm.SweepResult{}, fmt.Errorf("bad stream event %q: %v", sc.Text(), err)
+		}
+		switch ev.Event {
+		case "start":
+			fmt.Fprintf(os.Stderr, "sweep: %d points\n", ev.Total)
+		case "point":
+			src := "computed"
+			if ev.Cached {
+				src = "cached"
+			} else if ev.Remote {
+				src = "remote"
+			}
+			fmt.Fprintf(os.Stderr, "sweep: [%d/%d] value=%d %s\n", ev.Done, ev.Total, ev.Value, src)
+		case "error":
+			return fgnvm.SweepResult{}, fmt.Errorf("server: %s", ev.Error)
+		case "done":
+			var res fgnvm.SweepResult
+			if err := json.Unmarshal(ev.Result, &res); err != nil {
+				return fgnvm.SweepResult{}, fmt.Errorf("bad terminal result: %v", err)
+			}
+			return res, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fgnvm.SweepResult{}, err
+	}
+	return fgnvm.SweepResult{}, fmt.Errorf("stream ended without a result (rerun to resume from the server's store)")
 }

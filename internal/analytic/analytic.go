@@ -63,29 +63,48 @@ func Predict(p Params) (Prediction, error) {
 	if p.ArrivalPerCycle < 0 {
 		return Prediction{}, fmt.Errorf("analytic: negative arrival rate")
 	}
-	c := float64(p.Servers())
 	d := float64(p.Tim.TRCD + p.Tim.TCAS) // deterministic service (sense window)
 	lam := p.ArrivalPerCycle / float64(p.Banks)
-	rho := lam * d / c
+	rho, wq := mdcWait(lam, d, p.Servers())
 	out := Prediction{Utilization: rho, Stable: rho < 1}
 	if !out.Stable {
 		out.WaitCycles = math.Inf(1)
 		out.LatencyCycles = math.Inf(1)
 		return out, nil
 	}
-	// Erlang-C (M/M/c) wait probability.
-	a := lam * d // offered load in Erlangs
-	pw := erlangC(a, int(c))
-	wqMMc := pw * d / (c * (1 - rho))
-	// Cosmetatos correction from M/M/c to M/D/c: deterministic service
-	// halves the wait asymptotically.
-	wq := wqMMc / 2 * (1 + (1-rho)*(c-1)*(math.Sqrt(4+5*c)-2)/(16*rho*c))
-	if math.IsNaN(wq) || wq < 0 {
-		wq = wqMMc / 2
-	}
 	out.WaitCycles = wq
 	out.LatencyCycles = wq + d + float64(p.Tim.TBURST)
 	return out, nil
+}
+
+// mdcWait returns the server utilization ρ and the mean queueing wait
+// of an M/D/c queue: arrival rate lam, deterministic service time d
+// (any consistent time unit), c servers. Unstable systems (ρ ≥ 1)
+// report an infinite wait. The wait is the standard Erlang-C M/M/c
+// delay scaled by the Cosmetatos M/D/c correction.
+func mdcWait(lam, d float64, c int) (rho, wq float64) {
+	if c < 1 {
+		c = 1
+	}
+	cf := float64(c)
+	rho = lam * d / cf
+	if rho >= 1 {
+		return rho, math.Inf(1)
+	}
+	if lam <= 0 || d <= 0 {
+		return rho, 0
+	}
+	// Erlang-C (M/M/c) wait probability.
+	a := lam * d // offered load in Erlangs
+	pw := erlangC(a, c)
+	wqMMc := pw * d / (cf * (1 - rho))
+	// Cosmetatos correction from M/M/c to M/D/c: deterministic service
+	// halves the wait asymptotically.
+	wq = wqMMc / 2 * (1 + (1-rho)*(cf-1)*(math.Sqrt(4+5*cf)-2)/(16*rho*cf))
+	if math.IsNaN(wq) || wq < 0 {
+		wq = wqMMc / 2
+	}
+	return rho, wq
 }
 
 // erlangC returns the probability an arrival waits in an M/M/c queue

@@ -1,0 +1,78 @@
+// Worker-pool sizing for the serving layer, from the same M/D/c model
+// that predicts bank queueing. A replica's simulation pool *is* an
+// M/D/c queue: requests arrive (approximately Poisson at the front
+// door), each admitted simulation costs a near-deterministic wall time
+// for a given workload mix (the simulator is deterministic; wall time
+// varies only with host noise), and c workers serve them. So instead
+// of guessing GOMAXPROCS, a replica can be sized honestly: the
+// smallest worker count whose predicted queueing wait meets a target.
+
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// PoolParams describes one replica's expected load.
+type PoolParams struct {
+	// ArrivalPerSec is the expected uncached request rate reaching this
+	// replica (after the shared store and coalescing have absorbed
+	// repeats — only simulations that actually run occupy workers).
+	ArrivalPerSec float64
+	// ServiceSec is the mean wall-clock time of one simulation.
+	ServiceSec float64
+	// TargetWaitSec is the acceptable mean queueing delay before a
+	// simulation starts (0: default to one service time).
+	TargetWaitSec float64
+	// MaxWorkers caps the answer (0: uncapped). A sensible cap is the
+	// host's core count — beyond it workers just time-slice.
+	MaxWorkers int
+}
+
+// PoolSizing is the recommendation and the model's view of it.
+type PoolSizing struct {
+	// Workers is the smallest worker count meeting the target (or the
+	// cap, when the target is unreachable under it).
+	Workers int
+	// Utilization is ρ at the recommended size.
+	Utilization float64
+	// WaitSec is the predicted mean queueing delay at that size.
+	WaitSec float64
+	// Met reports whether the target wait was actually achieved;
+	// false means MaxWorkers capped the answer and the replica set
+	// should grow instead (add peers, not goroutines).
+	Met bool
+}
+
+// SizeWorkers returns the minimum M/D/c server count whose predicted
+// mean wait is at or below the target.
+func SizeWorkers(p PoolParams) (PoolSizing, error) {
+	if p.ArrivalPerSec < 0 {
+		return PoolSizing{}, fmt.Errorf("analytic: negative arrival rate")
+	}
+	if p.ServiceSec <= 0 {
+		return PoolSizing{}, fmt.Errorf("analytic: non-positive service time")
+	}
+	target := p.TargetWaitSec
+	if target <= 0 {
+		target = p.ServiceSec
+	}
+	// Stability floor: c must exceed the offered load ⌈λ·D⌉.
+	c := int(math.Ceil(p.ArrivalPerSec * p.ServiceSec))
+	if c < 1 {
+		c = 1
+	}
+	if p.MaxWorkers > 0 && c > p.MaxWorkers {
+		c = p.MaxWorkers
+	}
+	for {
+		rho, wq := mdcWait(p.ArrivalPerSec, p.ServiceSec, c)
+		met := rho < 1 && wq <= target
+		capped := p.MaxWorkers > 0 && c >= p.MaxWorkers
+		if met || capped {
+			return PoolSizing{Workers: c, Utilization: rho, WaitSec: wq, Met: met}, nil
+		}
+		c++
+	}
+}

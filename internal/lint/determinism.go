@@ -37,11 +37,15 @@ var Determinism = &Analyzer{
 
 // determinismPackages are the internal packages whose behaviour feeds
 // simulation scheduling or output. cmd/ is covered as well: every CLI
-// prints results whose byte-identity the tests rely on.
+// prints results whose byte-identity the tests rely on. The serving
+// stack (server, store, shard) is in scope too: sharded sweep merging
+// and the content-addressed store both promise byte-identical results,
+// so wall-clock reads there must be explicit, audited waivers.
 var determinismPackages = []string{
 	"internal/sim", "internal/bank", "internal/controller",
 	"internal/core", "internal/gemm", "internal/mem",
 	"internal/telemetry", "internal/trace",
+	"internal/server", "internal/store", "internal/shard",
 }
 
 func determinismScope(pkgPath string) bool {

@@ -1,0 +1,179 @@
+// Golden canonical-hash fixtures. The cache, the disk store, and the
+// cross-replica sharding protocol all address results by the canonical
+// request hash — two replicas agree on "the same result" ONLY because
+// they derive identical keys. Any drift in normalization or key
+// derivation (a renamed field, a changed default, a reordered struct)
+// silently invalidates every stored result and splits replicas'
+// address spaces, so this test pins the exact keys in
+// testdata/cachekeys.json and fails loudly when they move.
+//
+// If a key change is intentional (a deliberate schema bump), regenerate
+// with:
+//
+//	go test ./internal/server -run TestGoldenCacheKeys -update-golden
+//
+// and say so in the commit message: existing stores become cold.
+
+package server
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// keyFixture is one pinned request → key pair. Sweeppoint fixtures
+// also carry the axis value being addressed.
+type keyFixture struct {
+	Name    string          `json:"name"`
+	Kind    string          `json:"kind"`
+	Request json.RawMessage `json:"request"`
+	Value   int             `json:"value,omitempty"`
+	Key     string          `json:"key"`
+}
+
+// computeKey normalizes the fixture's request the same way the
+// handlers do and derives its canonical key.
+func computeKey(kind string, raw json.RawMessage, value int) (string, error) {
+	switch kind {
+	case "run":
+		var r RunRequest
+		if err := json.Unmarshal(raw, &r); err != nil {
+			return "", err
+		}
+		norm, _, err := r.normalize()
+		if err != nil {
+			return "", err
+		}
+		return norm.cacheKey(), nil
+	case "figure4":
+		var r Figure4Request
+		if err := json.Unmarshal(raw, &r); err != nil {
+			return "", err
+		}
+		norm, _, err := r.normalize()
+		if err != nil {
+			return "", err
+		}
+		return norm.cacheKey(), nil
+	case "sweep":
+		var r SweepRequest
+		if err := json.Unmarshal(raw, &r); err != nil {
+			return "", err
+		}
+		norm, _, err := r.normalize()
+		if err != nil {
+			return "", err
+		}
+		return norm.cacheKey(), nil
+	case "sweeppoint":
+		var r SweepRequest
+		if err := json.Unmarshal(raw, &r); err != nil {
+			return "", err
+		}
+		norm, _, err := r.normalize()
+		if err != nil {
+			return "", err
+		}
+		return norm.pointKey(value), nil
+	default:
+		return "", fmt.Errorf("unknown fixture kind %q", kind)
+	}
+}
+
+// seedFixtures defines the pinned corpus. Pairs that must collapse to
+// one key (normalization) share a "same-key-as" naming convention and
+// are asserted below.
+func seedFixtures() []keyFixture {
+	raw := func(s string) json.RawMessage { return json.RawMessage(s) }
+	return []keyFixture{
+		{Name: "run-defaults", Kind: "run", Request: raw(`{"benchmark":"mcf"}`)},
+		{Name: "run-defaults-spelled-out", Kind: "run",
+			Request: raw(`{"benchmark":"mcf","design":"baseline","seed":1,"instructions":200000,"scheduler":"frfcfs","technology":"pcm"}`)},
+		{Name: "run-fgnvm-telemetry", Kind: "run",
+			Request: raw(`{"design":"fgnvm","benchmark":"lbm","stall_report":true,"timeout_ms":5000}`)},
+		{Name: "run-mix", Kind: "run",
+			Request: raw(`{"design":"fgnvm","mix":["mcf","lbm"],"instructions":50000}`)},
+		{Name: "figure4-default", Kind: "figure4",
+			Request: raw(`{"benchmarks":["mcf"],"parallel":8}`)},
+		{Name: "sweep-all-defaults", Kind: "sweep", Request: raw(`{}`)},
+		{Name: "sweep-sags", Kind: "sweep",
+			Request: raw(`{"axis":"sags","values":[1,2,4],"benchmark":"lbm"}`)},
+		{Name: "sweeppoint-cds4", Kind: "sweeppoint",
+			Request: raw(`{"axis":"cds","values":[1,2,4]}`), Value: 4},
+		{Name: "sweeppoint-cds4-narrowed", Kind: "sweeppoint",
+			Request: raw(`{"axis":"cds","values":[4],"parallel":3,"timeout_ms":100}`), Value: 4},
+	}
+}
+
+func TestGoldenCacheKeys(t *testing.T) {
+	path := filepath.Join("testdata", "cachekeys.json")
+
+	if *updateGolden {
+		fixtures := seedFixtures()
+		for i := range fixtures {
+			key, err := computeKey(fixtures[i].Kind, fixtures[i].Request, fixtures[i].Value)
+			if err != nil {
+				t.Fatalf("fixture %s: %v", fixtures[i].Name, err)
+			}
+			fixtures[i].Key = key
+		}
+		b, err := json.MarshalIndent(fixtures, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d fixtures", path, len(fixtures))
+		return
+	}
+
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden fixtures missing (run with -update-golden to create): %v", err)
+	}
+	var fixtures []keyFixture
+	if err := json.Unmarshal(b, &fixtures); err != nil {
+		t.Fatalf("corrupt golden file %s: %v", path, err)
+	}
+	if len(fixtures) < 8 {
+		t.Fatalf("golden file has %d fixtures, expected at least 8 — was it truncated?", len(fixtures))
+	}
+
+	keys := map[string]string{}
+	for _, f := range fixtures {
+		got, err := computeKey(f.Kind, f.Request, f.Value)
+		if err != nil {
+			t.Errorf("fixture %s no longer normalizes: %v", f.Name, err)
+			continue
+		}
+		keys[f.Name] = got
+		if got != f.Key {
+			t.Errorf("CANONICAL KEY DRIFT: fixture %s\n  golden: %s\n  now:    %s\n"+
+				"Every persisted store entry and cross-replica address just changed meaning. "+
+				"If intentional, regenerate with -update-golden and call it out in the commit.",
+				f.Name, f.Key, got)
+		}
+	}
+
+	// Normalization collapses: differently-spelled equivalent requests
+	// must share one key, or replicas recompute what siblings stored.
+	for _, pair := range [][2]string{
+		{"run-defaults", "run-defaults-spelled-out"},
+		{"sweeppoint-cds4", "sweeppoint-cds4-narrowed"},
+	} {
+		if keys[pair[0]] != keys[pair[1]] {
+			t.Errorf("normalization split: %s and %s should share a key\n  %s\n  %s",
+				pair[0], pair[1], keys[pair[0]], keys[pair[1]])
+		}
+	}
+}

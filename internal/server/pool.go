@@ -7,9 +7,11 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ErrSaturated is returned by Pool.TrySubmit when every worker is busy
@@ -66,6 +68,37 @@ func (p *Pool) TrySubmit(task func()) error {
 		return nil
 	default:
 		return ErrSaturated
+	}
+}
+
+// SubmitWait enqueues task, waiting for queue room instead of failing
+// fast. It returns ctx.Err() if ctx ends first, or ErrSaturated only
+// when the pool is closed. Unlike TrySubmit it is for callers that
+// prefer queueing to a 429 — sweep points, whose caller already holds
+// an admitted request. Never call it from a pool worker: a full queue
+// would deadlock the pool against itself.
+func (p *Pool) SubmitWait(ctx context.Context, task func()) error {
+	for {
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return ErrSaturated
+		}
+		select {
+		case p.queue <- task:
+			p.mu.Unlock()
+			return nil
+		default:
+		}
+		p.mu.Unlock()
+		// Poll rather than send outside the lock: a send racing Close
+		// would panic on the closed channel. The 2ms beat is invisible
+		// next to simulation times.
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(2 * time.Millisecond):
+		}
 	}
 }
 

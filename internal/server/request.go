@@ -388,6 +388,18 @@ func (r SweepRequest) cacheKey() string {
 	return hashKey("sweep", r)
 }
 
+// pointKey is the cache/store key of ONE point of a sweep: the
+// canonical request narrowed to a single axis value. Derived the same
+// way on every replica (normalize is idempotent on canonical
+// requests), so a coordinator and the peer it shards to address the
+// same stored result without coordination — content addressing is the
+// only protocol.
+func (r SweepRequest) pointKey(value int) string {
+	r.Values = []int{value}
+	r.Parallel, r.TimeoutMS = 0, 0
+	return hashKey("sweeppoint", r)
+}
+
 // hashKey derives the cache/coalescing key: endpoint name plus the
 // SHA-256 of the canonical request's JSON encoding (struct field order
 // is fixed, so the encoding is deterministic).

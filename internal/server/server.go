@@ -17,8 +17,17 @@
 // expired per-request timeout propagates through context into the
 // simulation loop (fgnvm.RunContext), freeing the worker promptly.
 //
-// Endpoints: POST /v1/run, /v1/figure4, /v1/sweep; GET /healthz,
-// /metrics (plain-text counters; see metrics.go).
+// Scale-out (see store.go/sweep_engine.go in this package and
+// internal/store, internal/shard): an optional disk-backed
+// content-addressed store persists results across restarts and lets N
+// stateless replicas on one volume share them; configured peers turn
+// /v1/sweep into a sharded fan-out whose merged output is
+// byte-identical to the single-process sweep; and /v1/sweep/stream
+// reports per-point progress as NDJSON events, resumable because every
+// completed point lands in the store.
+//
+// Endpoints: POST /v1/run, /v1/figure4, /v1/sweep, /v1/sweep/stream;
+// GET /healthz, /metrics (plain-text counters; see metrics.go).
 package server
 
 import (
@@ -31,6 +40,8 @@ import (
 	"time"
 
 	fgnvm "repro"
+	"repro/internal/shard"
+	"repro/internal/store"
 )
 
 // statusClientClosedRequest is nginx's non-standard code for "client
@@ -57,6 +68,18 @@ type Config struct {
 	// (0 = unlimited) — an admission guard so one request cannot pin a
 	// worker for hours.
 	MaxInstructions uint64
+
+	// StoreDir, when set, backs the memory cache with a disk-based
+	// content-addressed result store at that path: results survive
+	// restarts, and replicas sharing the volume share the results.
+	StoreDir string
+	// StoreMaxBytes bounds the store's payload bytes with LRU eviction
+	// (0 = unbounded). Ignored without StoreDir.
+	StoreMaxBytes int64
+	// Peers lists sibling replicas (base URLs) to fan sweep points out
+	// to. The local replica always takes its own shard; a failed peer's
+	// shard falls back to local execution.
+	Peers []string
 }
 
 func (c *Config) applyDefaults() {
@@ -77,6 +100,8 @@ type Server struct {
 	cfg     Config
 	pool    *Pool
 	cache   *Cache
+	store   *store.Store // nil without Config.StoreDir
+	peers   []shard.Peer
 	flights flightGroup
 	metrics metrics
 	mux     *http.ServeMux
@@ -85,8 +110,9 @@ type Server struct {
 	runFn func(context.Context, fgnvm.Options) (fgnvm.Result, error)
 }
 
-// New builds a Server and starts its worker pool.
-func New(cfg Config) *Server {
+// New builds a Server and starts its worker pool. It fails only when
+// Config.StoreDir is set and cannot be opened.
+func New(cfg Config) (*Server, error) {
 	cfg.applyDefaults()
 	s := &Server{
 		cfg:   cfg,
@@ -94,14 +120,26 @@ func New(cfg Config) *Server {
 		cache: NewCache(cfg.CacheEntries),
 		runFn: fgnvm.RunContext,
 	}
+	if cfg.StoreDir != "" {
+		st, err := store.Open(cfg.StoreDir, cfg.StoreMaxBytes)
+		if err != nil {
+			s.pool.Close()
+			return nil, err
+		}
+		s.store = st
+	}
+	for _, p := range cfg.Peers {
+		s.peers = append(s.peers, shard.Peer{BaseURL: p})
+	}
 	s.flights.onCoalesce = func() { s.metrics.coalesced.Add(1) }
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/figure4", s.handleFigure4)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/sweep/stream", s.handleSweepStream)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return s
+	return s, nil
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -119,6 +157,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	s.metrics.writeTo(w, s.pool.QueueLen(), s.pool.InFlight())
+	if s.store != nil {
+		writeStoreMetrics(w, s.store.Stats())
+	}
 }
 
 // maxBodyBytes bounds request bodies; simulation requests are tiny.
@@ -176,25 +217,8 @@ func (s *Server) handleFigure4(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	var req SweepRequest
-	if !decodeJSON(w, r, &req) {
-		return
-	}
-	norm, params, err := req.normalize()
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	if s.cfg.MaxInstructions > 0 && norm.Instructions > s.cfg.MaxInstructions {
-		http.Error(w, fmt.Sprintf("instructions %d exceeds server limit %d",
-			norm.Instructions, s.cfg.MaxInstructions), http.StatusBadRequest)
-		return
-	}
-	s.serveCached(w, r, norm.cacheKey(), req.TimeoutMS, func(ctx context.Context) (any, error) {
-		return fgnvm.SweepContext(ctx, params)
-	})
-}
+// handleSweep and handleSweepStream — the per-point, store-backed,
+// optionally sharded sweep paths — live in sweep_engine.go.
 
 // serveCached is the shared request path: cache lookup, coalescing,
 // pool admission, execution with cancellation, response. compute runs
@@ -207,18 +231,17 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
 		writeJSON(w, "hit", b)
 		return
 	}
+	// Tier 2: the shared disk store — a restart (or a sibling replica's
+	// earlier run) serves here instead of re-simulating.
+	if b, ok := s.storeGet(key); ok {
+		s.cache.Add(key, b)
+		writeJSON(w, "store", b)
+		return
+	}
 	s.metrics.cacheMisses.Add(1)
 
-	ctx := r.Context()
-	timeout := s.cfg.DefaultTimeout
-	if timeoutMS > 0 {
-		timeout = time.Duration(timeoutMS) * time.Millisecond
-	}
-	if timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, timeout)
-		defer cancel()
-	}
+	ctx, cancel := s.requestContext(r, timeoutMS)
+	defer cancel()
 
 	b, shared, err := s.flights.do(ctx, key, func(fctx context.Context) ([]byte, error) {
 		type outcome struct {
@@ -234,7 +257,7 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
 				return
 			}
 			s.metrics.runsStarted.Add(1)
-			start := time.Now()
+			start := time.Now() //lint:allow wallclock measuring real run latency for /metrics
 			v, err := compute(fctx)
 			if err != nil {
 				ch <- outcome{nil, err}
@@ -254,32 +277,72 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
 		o := <-ch
 		return o.b, o.err
 	})
-	switch {
-	case err == nil:
-	case errors.Is(err, ErrSaturated):
-		s.metrics.rejected.Add(1)
-		w.Header().Set("Retry-After", "1")
-		http.Error(w, "server saturated: all workers busy and queue full", http.StatusTooManyRequests)
-		return
-	case errors.Is(err, context.DeadlineExceeded):
-		s.metrics.canceled.Add(1)
-		http.Error(w, "simulation deadline exceeded", http.StatusGatewayTimeout)
-		return
-	case errors.Is(err, context.Canceled):
-		s.metrics.canceled.Add(1)
-		w.WriteHeader(statusClientClosedRequest)
-		return
-	default:
-		s.metrics.errored.Add(1)
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+	if err != nil {
+		s.writeComputeError(w, err)
 		return
 	}
 	s.cache.Add(key, b)
+	s.storePut(key, b)
 	disposition := "miss"
 	if shared {
 		disposition = "coalesced"
 	}
 	writeJSON(w, disposition, b)
+}
+
+// requestContext derives the compute context: the client's lifetime
+// bounded by the per-request (or default) timeout.
+func (s *Server) requestContext(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	ctx := r.Context()
+	timeout := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		timeout = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if timeout > 0 {
+		return context.WithTimeout(ctx, timeout)
+	}
+	return context.WithCancel(ctx)
+}
+
+// writeComputeError maps a failed computation to its HTTP status and
+// counters — one mapping for the cached, sharded, and streaming paths.
+func (s *Server) writeComputeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrSaturated):
+		s.metrics.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "server saturated: all workers busy and queue full", http.StatusTooManyRequests)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.metrics.canceled.Add(1)
+		http.Error(w, "simulation deadline exceeded", http.StatusGatewayTimeout)
+	case errors.Is(err, context.Canceled):
+		s.metrics.canceled.Add(1)
+		w.WriteHeader(statusClientClosedRequest)
+	default:
+		s.metrics.errored.Add(1)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// storeGet consults the disk store; a nil store always misses. The
+// store keeps its own hit/miss/eviction counters (see /metrics).
+func (s *Server) storeGet(key string) ([]byte, bool) {
+	if s.store == nil {
+		return nil, false
+	}
+	return s.store.Get(key)
+}
+
+// storePut writes through to the disk store. Failures are counted, not
+// fatal: the response was already computed, and the store's absence
+// only costs future recomputes.
+func (s *Server) storePut(key string, b []byte) {
+	if s.store == nil {
+		return
+	}
+	if err := s.store.Put(key, b); err != nil {
+		s.metrics.storeErrors.Add(1)
+	}
 }
 
 // writeJSON sends pre-serialized JSON with the cache disposition in a

@@ -21,7 +21,10 @@ import (
 // keeps the real simulator.
 func newTestServer(t *testing.T, cfg Config, runFn func(context.Context, fgnvm.Options) (fgnvm.Result, error)) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	if runFn != nil {
 		s.runFn = runFn
 	}

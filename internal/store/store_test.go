@@ -1,0 +1,268 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func mustPut(t *testing.T, s *Store, key string, val []byte) {
+	t.Helper()
+	if err := s.Put(key, val); err != nil {
+		t.Fatalf("Put(%q): %v", key, err)
+	}
+}
+
+func TestRoundTripAndOverwrite(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("absent"); ok {
+		t.Fatal("Get on empty store hit")
+	}
+	mustPut(t, s, "k", []byte("v1"))
+	got, ok := s.Get("k")
+	if !ok || !bytes.Equal(got, []byte("v1")) {
+		t.Fatalf("Get = %q, %v; want v1", got, ok)
+	}
+	mustPut(t, s, "k", []byte("value-two"))
+	got, ok = s.Get("k")
+	if !ok || !bytes.Equal(got, []byte("value-two")) {
+		t.Fatalf("Get after overwrite = %q, %v", got, ok)
+	}
+	if n := s.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1 (overwrite must not duplicate)", n)
+	}
+	// Empty payloads are legal (zero-length results are still results).
+	mustPut(t, s, "empty", nil)
+	if got, ok := s.Get("empty"); !ok || len(got) != 0 {
+		t.Fatalf("empty payload Get = %q, %v", got, ok)
+	}
+}
+
+// TestSurvivesReopen is the restart property the serving layer rests
+// on: a second Store opened on the same directory serves the bytes the
+// first one wrote.
+func TestSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, s1, "run:abc", []byte(`{"ipc":1.5}`))
+	mustPut(t, s1, "run:def", []byte(`{"ipc":2.5}`))
+
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := s2.Len(); n != 2 {
+		t.Fatalf("reopened store indexed %d entries, want 2", n)
+	}
+	got, ok := s2.Get("run:abc")
+	if !ok || !bytes.Equal(got, []byte(`{"ipc":1.5}`)) {
+		t.Fatalf("reopened Get = %q, %v", got, ok)
+	}
+	if st := s2.Stats(); st.Bytes != int64(len(`{"ipc":1.5}`)+len(`{"ipc":2.5}`)) {
+		t.Errorf("reopened Bytes = %d", st.Bytes)
+	}
+}
+
+// entryPath locates the one on-disk file for key.
+func entryPath(t *testing.T, s *Store, key string) string {
+	t.Helper()
+	p := filepath.Join(s.Dir(), fileName(key))
+	if _, err := os.Stat(p); err != nil {
+		t.Fatalf("entry file for %q: %v", key, err)
+	}
+	return p
+}
+
+// TestCorruptionIsAMiss is the robustness satellite: a bit-flipped
+// payload, a truncated file, a wrong-version header, and foreign bytes
+// are all misses — never errors or panics — and a subsequent Put
+// rewrites the entry cleanly.
+func TestCorruptionIsAMiss(t *testing.T) {
+	payload := []byte(`{"cycles":123456,"ipc":0.75}`)
+	corrupt := map[string]func(b []byte) []byte{
+		"bit-flip in payload": func(b []byte) []byte {
+			b[headerSize+3] ^= 0x40
+			return b
+		},
+		"bit-flip in checksum": func(b []byte) []byte {
+			b[len(magic)+1+8] ^= 0x01
+			return b
+		},
+		"truncated payload": func(b []byte) []byte { return b[:len(b)-5] },
+		"truncated header":  func(b []byte) []byte { return b[:headerSize-2] },
+		"empty file":        func(b []byte) []byte { return nil },
+		"wrong version": func(b []byte) []byte {
+			b[len(magic)] = version + 1
+			return b
+		},
+		"foreign magic": func(b []byte) []byte {
+			copy(b, "NOTOURFILE")
+			return b
+		},
+	}
+	for name, mangle := range corrupt {
+		t.Run(name, func(t *testing.T) {
+			s, err := Open(t.TempDir(), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustPut(t, s, "k", payload)
+			p := entryPath(t, s, "k")
+			raw, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(p, mangle(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			if got, ok := s.Get("k"); ok {
+				t.Fatalf("corrupted entry served as a hit: %q", got)
+			}
+			if _, err := os.Stat(p); !os.IsNotExist(err) {
+				t.Errorf("corrupted file not removed (self-heal): %v", err)
+			}
+			// Recovery: recompute + rewrite works and reads back clean.
+			mustPut(t, s, "k", payload)
+			got, ok := s.Get("k")
+			if !ok || !bytes.Equal(got, payload) {
+				t.Fatalf("Get after rewrite = %q, %v", got, ok)
+			}
+			st := s.Stats()
+			if st.Misses != 1 || st.Hits != 1 {
+				t.Errorf("stats = %+v, want 1 miss (corrupt) and 1 hit (rewritten)", st)
+			}
+		})
+	}
+}
+
+// TestCorruptEntrySurvivesReopen proves the miss-not-error contract
+// also holds for corruption that predates the process: reopening a
+// directory with a mangled file must not fail, and the entry reads as
+// a miss.
+func TestCorruptEntrySurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, s1, "k", []byte("data"))
+	p := entryPath(t, s1, "k")
+	raw, _ := os.ReadFile(p)
+	raw[len(raw)-1] ^= 0xFF
+	if err := os.WriteFile(p, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatalf("Open over corrupt entry: %v", err)
+	}
+	if _, ok := s2.Get("k"); ok {
+		t.Fatal("corrupt entry hit after reopen")
+	}
+}
+
+// TestEvictionByteBudget pins the LRU byte budget: Put evicts
+// least-recently-used entries, a Get refreshes recency, and the entry
+// just written is never its own victim.
+func TestEvictionByteBudget(t *testing.T) {
+	val := bytes.Repeat([]byte("x"), 100)
+	s, err := Open(t.TempDir(), 250) // room for two 100-byte entries
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, s, "a", val)
+	mustPut(t, s, "b", val)
+	if _, ok := s.Get("a"); !ok { // refresh a: b becomes LRU
+		t.Fatal("a missing before eviction")
+	}
+	mustPut(t, s, "c", val) // over budget: evicts b, not a
+
+	if _, ok := s.Get("b"); ok {
+		t.Error("b survived eviction (LRU order ignored)")
+	}
+	if _, ok := s.Get("a"); !ok {
+		t.Error("a evicted despite recent use")
+	}
+	if _, ok := s.Get("c"); !ok {
+		t.Error("c (just written) evicted")
+	}
+	st := s.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("Evictions = %d, want 1", st.Evictions)
+	}
+	if st.Bytes > 250 {
+		t.Errorf("Bytes = %d, over the 250 budget", st.Bytes)
+	}
+
+	// An oversized single entry is kept (the alternative is a store
+	// that silently refuses work) but everything else goes.
+	mustPut(t, s, "huge", bytes.Repeat([]byte("y"), 300))
+	if _, ok := s.Get("huge"); !ok {
+		t.Error("oversized entry not retained")
+	}
+	if n := s.Len(); n != 1 {
+		t.Errorf("Len after oversized Put = %d, want 1", n)
+	}
+}
+
+// TestConcurrentAccess hammers one store from many goroutines; run
+// under -race this is the data-race gate for the shared-volume path.
+func TestConcurrentAccess(t *testing.T) {
+	s, err := Open(t.TempDir(), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("k%d", i%10)
+				val := []byte(fmt.Sprintf("g%d-i%d", g, i))
+				if err := s.Put(key, val); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				if got, ok := s.Get(key); ok && len(got) == 0 {
+					t.Error("hit returned empty payload")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() == 0 {
+		t.Error("store empty after concurrent writes")
+	}
+}
+
+// TestTempFilesIgnored: in-progress temp files and stray names must
+// not be indexed or served.
+func TestTempFilesIgnored(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, ".tmp-123"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "README"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Len(); n != 0 {
+		t.Fatalf("indexed %d stray files, want 0", n)
+	}
+}

@@ -149,42 +149,71 @@ func Sweep(p SweepParams) (SweepResult, error) {
 	return SweepContext(context.Background(), p)
 }
 
-// SweepContext is Sweep with cancellation: ctx aborts in-flight
-// simulations and stops dispatching further points.
-func SweepContext(ctx context.Context, p SweepParams) (SweepResult, error) {
+// SweepJob is one planned point of a sweep: the fully resolved Options
+// for the design under test and for the normalization baseline at one
+// axis value. Jobs are independent — a job can be simulated on any
+// worker, any replica, in any order — and deterministic: the same
+// SweepParams always plan the same jobs.
+type SweepJob struct {
+	// Index is the job's position in the plan (and the point's position
+	// in the assembled SweepResult).
+	Index int
+	// Value is the axis value this job evaluates.
+	Value int
+	// Options configures the design-under-test run; Baseline the
+	// normalization run the point's Speedup/RelEnergy are relative to.
+	Options  Options
+	Baseline Options
+}
+
+// SweepPlan is a validated, fully-resolved sweep: the metadata of the
+// eventual SweepResult plus one job per point. The plan is the unit
+// the scale-out layer shards: any partition of Jobs across replicas
+// assembles into the same SweepResult, byte for byte.
+type SweepPlan struct {
+	Axis      string
+	Design    string
+	Benchmark string
+	Jobs      []SweepJob
+}
+
+// PlanSweep validates p, applies its defaults, and expands it into one
+// job per axis value. SweepContext executes exactly this plan, so a
+// caller that runs the jobs itself (the serving layer's sharded and
+// streaming paths) reproduces Sweep's output exactly via Assemble.
+func PlanSweep(p SweepParams) (SweepPlan, error) {
 	ax, err := SweepAxisByName(p.Axis)
 	if err != nil {
-		return SweepResult{}, err
+		return SweepPlan{}, err
 	}
 	p.applyDefaults(ax)
 	if ax.Name == "tiling" {
 		if p.Workload == nil {
-			return SweepResult{}, fmt.Errorf("fgnvm: the tiling axis requires SweepParams.Workload")
+			return SweepPlan{}, fmt.Errorf("fgnvm: the tiling axis requires SweepParams.Workload")
 		}
 		for _, v := range p.Values {
 			if v < 0 || v >= len(WorkloadTilings()) {
-				return SweepResult{}, fmt.Errorf("fgnvm: tiling axis value %d out of range [0, %d)",
+				return SweepPlan{}, fmt.Errorf("fgnvm: tiling axis value %d out of range [0, %d)",
 					v, len(WorkloadTilings()))
 			}
 		}
 	}
 	if p.Workload != nil {
 		if _, err := p.Workload.Canonical(); err != nil {
-			return SweepResult{}, err
+			return SweepPlan{}, err
 		}
 	}
 	label := p.Benchmark
 	if p.Workload != nil {
 		label = p.Workload.label()
 	}
-	out := SweepResult{
+	plan := SweepPlan{
 		Axis:      ax.Name,
 		Design:    p.Design.String(),
 		Benchmark: label,
-		Points:    make([]SweepPoint, len(p.Values)),
+		Jobs:      make([]SweepJob, len(p.Values)),
 	}
-	err = forEachN(ctx, len(p.Values), p.Parallel, func(i int) error {
-		v := p.Values[i]
+	for i, v := range p.Values {
 		o := Options{
 			Design: p.Design, SAGs: 8, CDs: 2,
 			Instructions: p.Instructions, Seed: p.Seed,
@@ -206,24 +235,77 @@ func SweepContext(ctx context.Context, p SweepParams) (SweepResult, error) {
 		if ax.appliesToBaseline {
 			ax.apply(&b, v)
 		}
-		base, err := RunContext(ctx, b)
+		plan.Jobs[i] = SweepJob{Index: i, Value: v, Options: o, Baseline: b}
+	}
+	return plan, nil
+}
+
+// NewSweepPoint derives the sweep row from a design-under-test result
+// and its baseline. Every execution path — in-process, sharded,
+// streamed — builds points through this one function, which is what
+// makes their outputs byte-identical.
+func NewSweepPoint(value int, r, base Result) SweepPoint {
+	return SweepPoint{
+		Value:           value,
+		IPC:             r.IPC,
+		Speedup:         r.SpeedupOver(base),
+		RelEnergy:       r.RelativeEnergy(base),
+		AvgReadLatency:  r.AvgReadLatency,
+		P95ReadLatency:  r.P95ReadLatency,
+		BackgroundedRds: r.BackgroundedRds,
+	}
+}
+
+// ComputeSweepPoint executes one planned job: baseline run, then the
+// design under test, reduced to a SweepPoint.
+func ComputeSweepPoint(ctx context.Context, job SweepJob) (SweepPoint, error) {
+	base, err := RunContext(ctx, job.Baseline)
+	if err != nil {
+		return SweepPoint{}, fmt.Errorf("sweep baseline at value %d: %w", job.Value, err)
+	}
+	r, err := RunContext(ctx, job.Options)
+	if err != nil {
+		return SweepPoint{}, fmt.Errorf("sweep at value %d: %w", job.Value, err)
+	}
+	return NewSweepPoint(job.Value, r, base), nil
+}
+
+// Assemble combines per-job points (points[i] must be job i's result,
+// regardless of where or in what order it was computed) into the final
+// SweepResult.
+func (pl SweepPlan) Assemble(points []SweepPoint) (SweepResult, error) {
+	if len(points) != len(pl.Jobs) {
+		return SweepResult{}, fmt.Errorf("fgnvm: assembling %d points into a %d-job plan",
+			len(points), len(pl.Jobs))
+	}
+	return SweepResult{
+		Axis:      pl.Axis,
+		Design:    pl.Design,
+		Benchmark: pl.Benchmark,
+		Points:    points,
+	}, nil
+}
+
+// SweepContext is Sweep with cancellation: ctx aborts in-flight
+// simulations and stops dispatching further points.
+func SweepContext(ctx context.Context, p SweepParams) (SweepResult, error) {
+	plan, err := PlanSweep(p)
+	if err != nil {
+		return SweepResult{}, err
+	}
+	ax, _ := SweepAxisByName(plan.Axis)
+	p.applyDefaults(ax) // for Parallel
+	points := make([]SweepPoint, len(plan.Jobs))
+	err = forEachN(ctx, len(plan.Jobs), p.Parallel, func(i int) error {
+		pt, err := ComputeSweepPoint(ctx, plan.Jobs[i])
 		if err != nil {
-			return fmt.Errorf("sweep baseline at %s=%d: %w", ax.Name, v, err)
+			return fmt.Errorf("%s axis: %w", plan.Axis, err)
 		}
-		r, err := RunContext(ctx, o)
-		if err != nil {
-			return fmt.Errorf("sweep %s=%d: %w", ax.Name, v, err)
-		}
-		out.Points[i] = SweepPoint{
-			Value:           v,
-			IPC:             r.IPC,
-			Speedup:         r.SpeedupOver(base),
-			RelEnergy:       r.RelativeEnergy(base),
-			AvgReadLatency:  r.AvgReadLatency,
-			P95ReadLatency:  r.P95ReadLatency,
-			BackgroundedRds: r.BackgroundedRds,
-		}
+		points[i] = pt
 		return nil
 	})
-	return out, err
+	if err != nil {
+		return SweepResult{}, err
+	}
+	return plan.Assemble(points)
 }
