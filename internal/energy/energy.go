@@ -40,9 +40,6 @@ type Model struct {
 	rowBufferBits float64 // bits kept powered per bank (row buffer + periphery)
 	banks         float64
 
-	readPJ  float64
-	writePJ float64
-
 	reads      uint64
 	writes     uint64
 	bitsSensed uint64
@@ -94,17 +91,23 @@ func New(c Config) *Model {
 
 // Sense charges the cost of sensing bits during an activation (full or
 // partial). bits is the number of cells read by the sense amplifiers.
+//
+// Like every accumulator in the model, the charge is tracked as an
+// exact integer bit count and converted to picojoules only when read:
+// the model is shared by every bank in the system, so the accumulation
+// must be commutative and association-free for results to stay
+// bit-identical regardless of which channel's bank charges first (the
+// per-channel sharding invariant; float += ordering would break it for
+// non-dyadic per-bit rates).
 func (m *Model) Sense(bits int) {
 	m.reads++
 	m.bitsSensed += uint64(bits)
-	m.readPJ += float64(bits) * m.readPJPerBit
 }
 
 // Write charges the cost of programming bits.
 func (m *Model) Write(bits int) {
 	m.writes++
 	m.bitsWrit += uint64(bits)
-	m.writePJ += float64(bits) * m.writePJPerBit
 }
 
 // AdvanceBackground charges background energy up to time now. Call it
@@ -120,10 +123,10 @@ func (m *Model) AdvanceBackground(now sim.Tick) {
 }
 
 // ReadPJ returns accumulated sensing energy in pJ.
-func (m *Model) ReadPJ() float64 { return m.readPJ }
+func (m *Model) ReadPJ() float64 { return float64(m.bitsSensed) * m.readPJPerBit }
 
 // WritePJ returns accumulated write energy in pJ.
-func (m *Model) WritePJ() float64 { return m.writePJ }
+func (m *Model) WritePJ() float64 { return float64(m.bitsWrit) * m.writePJPerBit }
 
 // BackgroundPJ returns accumulated background energy in pJ.
 func (m *Model) BackgroundPJ() float64 {
@@ -131,7 +134,7 @@ func (m *Model) BackgroundPJ() float64 {
 }
 
 // TotalPJ returns total energy in pJ.
-func (m *Model) TotalPJ() float64 { return m.readPJ + m.writePJ + m.BackgroundPJ() }
+func (m *Model) TotalPJ() float64 { return m.ReadPJ() + m.WritePJ() + m.BackgroundPJ() }
 
 // Senses returns the number of sensing operations charged.
 func (m *Model) Senses() uint64 { return m.reads }
