@@ -1,0 +1,174 @@
+// The boundary analyzer: closes the declared boundary surface. The
+// ownership analyzer lets any function call itself a boundary with a
+// doc comment; without a second check, widening the cross-shard surface
+// would be a one-line unreviewed change. The manifest in boundaries.txt
+// is the single reviewed list of crossing points — drift in either
+// direction (an undeclared boundary, or a stale manifest entry) is a
+// finding, so every widening of the surface shows up as a diff to a
+// checked-in file.
+
+package lint
+
+import (
+	_ "embed"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// boundaryManifest is the checked-in list of declared boundary
+// functions, one types.Func FullName per line ('#' comments allowed).
+//
+//go:embed boundaries.txt
+var boundaryManifest string
+
+// Boundary verifies the boundary surface is closed:
+//
+//   - every function declared //own:boundary(reason) must appear in
+//     internal/lint/boundaries.txt;
+//   - every manifest entry naming a function of the package under
+//     analysis must correspond to a declared boundary function (stale
+//     entries are drift too);
+//   - every call to a method of a shard type made outside a shard
+//     method must go through a manifest-listed boundary function.
+var Boundary = &Analyzer{
+	Name:  "boundary",
+	Doc:   "cross-shard calls go only through boundary functions listed in the checked-in manifest",
+	Scope: ownershipScope,
+	Run:   runBoundary,
+}
+
+// parseBoundaryManifest returns the manifest as a set of FullNames.
+func parseBoundaryManifest() map[string]bool {
+	set := make(map[string]bool)
+	for _, line := range strings.Split(boundaryManifest, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		set[line] = true
+	}
+	return set
+}
+
+// manifestPackage extracts the import path from a manifest FullName:
+// "(*repro/internal/controller.Controller).Enqueue" or
+// "repro/internal/controller.New".
+func manifestPackage(full string) string {
+	s := full
+	if strings.HasPrefix(s, "(") {
+		s = strings.TrimPrefix(s, "(")
+		s = strings.TrimPrefix(s, "*")
+		if i := strings.Index(s, ")"); i >= 0 {
+			s = s[:i]
+		}
+	}
+	i := strings.LastIndex(s, ".")
+	if i < 0 {
+		return ""
+	}
+	return s[:i]
+}
+
+func runBoundary(pass *Pass) error {
+	manifest := parseBoundaryManifest()
+	path := pass.Pkg.Path()
+
+	// Collect this package's declared boundary functions and check each
+	// against the manifest.
+	declared := make(map[string]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			fn, _ := pass.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			full := fn.FullName()
+			if _, ok := pass.Own.BoundaryFunc(full); !ok {
+				continue
+			}
+			declared[full] = true
+			if !manifest[full] && !pass.Allowed(fd, "boundary") {
+				pass.Reportf(fd.Name.Pos(), "boundary function %s is not listed in internal/lint/boundaries.txt (the surface is reviewed there)", full)
+			}
+		}
+	}
+
+	// Stale manifest entries for this package: listed but no longer a
+	// declared boundary function. Reported at the package clause of the
+	// first file (there is no better anchor for an absent declaration).
+	if len(pass.Files) > 0 {
+		anchor := pass.Files[0].Name.Pos()
+		for full := range manifest {
+			if manifestPackage(full) != path {
+				continue
+			}
+			if !declared[full] {
+				pass.Reportf(anchor, "manifest entry %s has no matching //own:boundary declaration (stale boundaries.txt)", full)
+			}
+		}
+	}
+
+	// Cross-shard calls: a shard-type method invoked outside shard
+	// context must come from a manifest-listed boundary function.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkBoundaryCalls(pass, fd, manifest)
+		}
+	}
+	return nil
+}
+
+func checkBoundaryCalls(pass *Pass, fd *ast.FuncDecl, manifest map[string]bool) {
+	ctx := contextOf(pass, fd)
+	if ctx == ctxShardMethod {
+		return // intra-shard calls are the shard's own business
+	}
+	inManifest := false
+	if fn, _ := pass.Info.Defs[fd.Name].(*types.Func); fn != nil {
+		inManifest = manifest[fn.FullName()]
+	}
+	if inManifest {
+		return
+	}
+	// Function literals inherit the enclosing declaration's context:
+	// a closure inside a boundary function is still boundary code.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := pass.Info.Selections[sel]
+		if !ok || selection.Kind() != types.MethodVal {
+			return true
+		}
+		if !pass.Own.ShardType(selection.Recv()) {
+			return true
+		}
+		fn, _ := selection.Obj().(*types.Func)
+		if fn == nil {
+			return true
+		}
+		// Calling a manifest-listed boundary method is the sanctioned
+		// crossing; calling any other shard method from here is not.
+		if manifest[fn.FullName()] {
+			return true
+		}
+		if !pass.Allowed(sel, "boundary") {
+			pass.Reportf(sel.Pos(), "cross-shard call to %s outside a shard method or manifest-listed boundary function", fn.FullName())
+		}
+		return true
+	})
+}

@@ -1,0 +1,360 @@
+// The escape analyzer: the aliasing complement to ownership. The
+// ownership analyzer proves shard state is *touched* only from shard
+// context; escape proves references to shard state do not *leak* into
+// engine-owned containers, hook closures, or telemetry sinks — the
+// channels through which a future parallel engine would see another
+// shard's memory. These are exactly the bugs -race can only catch
+// dynamically, and only on schedules the tests happen to exercise.
+
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Escape flags per-channel state escaping its shard:
+//
+//   - a value of shard-tainted type (a pointer to a shard type, or any
+//     container thereof) assigned into an //own:engine field or
+//     package-level variable;
+//   - at the declaration level, an engine-struct field of shard-tainted
+//     type that is not explicitly annotated //own:channel (a roster the
+//     coordinator owns structurally but must not dereference), and a
+//     shard-struct field referencing an engine type or a telemetry.Sink
+//     implementation that is not //own:immutable or //own:boundary;
+//   - a hook closure (sim.Engine.SetHook argument) capturing shard
+//     values or shard-tainted references from its environment;
+//   - a telemetry.Sink method storing a shard-tainted value into its
+//     receiver (sinks observe events, they must not retain shards);
+//   - a shard-tainted value returned from a plain or boundary function
+//     (only shard methods and New*/Must* constructors may hand out
+//     shard references; anything else is an audited //lint:allow).
+var Escape = &Analyzer{
+	Name:  "escape",
+	Doc:   "references to channel-owned shard state must not leak into engine structs, hook closures, sinks, or across the boundary",
+	Scope: ownershipScope,
+	Run:   runEscape,
+}
+
+// taintedByShard reports whether a value of type t can carry a mutable
+// reference to a shard: a pointer to a shard struct, or a slice, array,
+// map or channel that ultimately contains one. A plain shard *value* is
+// not tainted (copies are independent), except as a direct slice
+// element where the element memory is shared through the backing array.
+func taintedByShard(ix *OwnIndex, t types.Type) bool {
+	return taintedRec(ix, t, make(map[types.Type]bool))
+}
+
+func taintedRec(ix *OwnIndex, t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Pointer:
+		if ix.ShardType(u.Elem()) {
+			return true
+		}
+		return taintedRec(ix, u.Elem(), seen)
+	case *types.Slice:
+		// A slice of shard values shares the backing array, so []S is
+		// as dangerous as []*S.
+		if ix.ShardType(u.Elem()) {
+			return true
+		}
+		return taintedRec(ix, u.Elem(), seen)
+	case *types.Array:
+		if ix.ShardType(u.Elem()) {
+			return true
+		}
+		return taintedRec(ix, u.Elem(), seen)
+	case *types.Map:
+		if ix.ShardType(u.Elem()) || ix.ShardType(u.Key()) {
+			return true
+		}
+		return taintedRec(ix, u.Key(), seen) || taintedRec(ix, u.Elem(), seen)
+	case *types.Chan:
+		if ix.ShardType(u.Elem()) {
+			return true
+		}
+		return taintedRec(ix, u.Elem(), seen)
+	}
+	return false
+}
+
+// isConstructorName reports whether a function name follows the
+// constructor convention exempt from the return-escape rule.
+func isConstructorName(name string) bool {
+	return strings.HasPrefix(name, "New") || strings.HasPrefix(name, "Must")
+}
+
+func runEscape(pass *Pass) error {
+	for _, f := range pass.Files {
+		checkEscapeDecls(pass, f)
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkEscapeFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkEscapeDecls applies the declaration-level rules: the shape of a
+// struct already tells us when a reference crosses domains.
+func checkEscapeDecls(pass *Pass, f *ast.File) {
+	path := pass.Pkg.Path()
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.TYPE {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			ts := spec.(*ast.TypeSpec)
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				continue
+			}
+			tkey := path + "." + ts.Name.Name
+			tAnn := pass.Own.typeAnn[tkey]
+			for _, field := range st.Fields.List {
+				ft := pass.TypeOf(field.Type)
+				if ft == nil {
+					continue
+				}
+				names := field.Names
+				if len(names) == 0 {
+					names = []*ast.Ident{{Name: embeddedName(field.Type), NamePos: field.Pos()}}
+				}
+				for _, name := range names {
+					eff, hasField := pass.Own.fieldAnn[tkey+"."+name.Name]
+					if !hasField {
+						eff = tAnn
+					}
+					switch tAnn.Kind {
+					case OwnEngine:
+						// Engine struct holding shard references: fine as the
+						// structural roster (the coordinator owns the shards'
+						// lifetimes) but only when declared //own:channel, so
+						// the ownership analyzer guards every dereference.
+						if taintedByShard(pass.Own, ft) && eff.Kind != OwnChannel && !pass.Allowed(field, "escape") {
+							pass.Reportf(name.Pos(), "engine struct %s holds shard reference in field %s: annotate //own:channel so dereferences stay guarded, or remove the alias", ts.Name.Name, name.Name)
+						}
+					case OwnChannel:
+						// Shard struct referencing the engine domain: must be an
+						// audited boundary or immutable wiring.
+						if eff.Kind == OwnBoundary || eff.Kind == OwnImmutable {
+							continue
+						}
+						if pass.Own.EngineType(ft) || implementsSinkType(ft) {
+							if !pass.Allowed(field, "escape") {
+								pass.Reportf(name.Pos(), "shard struct %s field %s references the engine domain: annotate //own:boundary(reason) or //own:immutable", ts.Name.Name, name.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// implementsSinkType reports whether t is or implements
+// telemetry.Sink (checking t and *t).
+func implementsSinkType(t types.Type) bool {
+	n := namedOf(t)
+	if n == nil {
+		return false
+	}
+	pkg := n.Obj().Pkg()
+	if pkg == nil {
+		return false
+	}
+	// Resolve the Sink interface from the telemetry package, whether t
+	// lives there or imports it.
+	sink := lookupSinkIn(pkg)
+	if sink == nil {
+		for _, imp := range pkg.Imports() {
+			if sink = lookupSinkIn(imp); sink != nil {
+				break
+			}
+		}
+	}
+	if sink == nil {
+		return false
+	}
+	if types.Implements(t, sink) {
+		return true
+	}
+	if _, isPtr := t.(*types.Pointer); !isPtr {
+		return types.Implements(types.NewPointer(t), sink)
+	}
+	return false
+}
+
+func lookupSinkIn(pkg *types.Package) *types.Interface {
+	if !pathHasSuffix(pkg.Path(), "internal/telemetry") {
+		return nil
+	}
+	obj := pkg.Scope().Lookup("Sink")
+	if obj == nil {
+		return nil
+	}
+	iface, _ := obj.Type().Underlying().(*types.Interface)
+	return iface
+}
+
+// checkEscapeFunc applies the statement-level rules inside one function.
+func checkEscapeFunc(pass *Pass, fd *ast.FuncDecl) {
+	fn, _ := pass.Info.Defs[fd.Name].(*types.Func)
+	ctx := contextOf(pass, fd)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkEscapeAssign(pass, n)
+		case *ast.ReturnStmt:
+			// Returning shard references across the boundary: only shard
+			// methods (intra-domain) and constructors hand out shards.
+			if ctx == ctxShardMethod {
+				return true
+			}
+			if fn != nil && isConstructorName(fn.Name()) {
+				return true
+			}
+			for _, res := range n.Results {
+				t := pass.TypeOf(res)
+				if t == nil {
+					continue
+				}
+				if (taintedByShard(pass.Own, t) || pass.Own.ShardType(t)) && !pass.Allowed(n, "escape") {
+					pass.Reportf(res.Pos(), "shard reference returned across the boundary (only shard methods and New*/Must* constructors may hand out shard state)")
+				}
+			}
+		case *ast.CallExpr:
+			checkEscapeHookCall(pass, n)
+		}
+		return true
+	})
+
+	// Sink methods must not retain shard references in their receiver.
+	if fn != nil && isSinkMethod(pass, fd, lookupSinkInterface(pass)) {
+		checkSinkRetention(pass, fd)
+	}
+}
+
+// checkEscapeAssign flags shard-tainted values assigned into
+// engine-annotated fields or package-level variables.
+func checkEscapeAssign(pass *Pass, as *ast.AssignStmt) {
+	for i, lhs := range as.Lhs {
+		if i >= len(as.Rhs) {
+			break // v1, v2 := f() — function results carry no new aliases we can name
+		}
+		rt := pass.TypeOf(as.Rhs[i])
+		if rt == nil || !taintedByShard(pass.Own, rt) {
+			continue
+		}
+		lhs = unparen(lhs)
+		switch l := lhs.(type) {
+		case *ast.SelectorExpr:
+			sel, ok := pass.Info.Selections[l]
+			if !ok || sel.Kind() != types.FieldVal {
+				continue
+			}
+			field, _ := sel.Obj().(*types.Var)
+			if field == nil {
+				continue
+			}
+			ann, known := pass.Own.FieldAnn(sel.Recv(), field)
+			if known && ann.Kind == OwnEngine && !pass.Allowed(as, "escape") {
+				pass.Reportf(l.Pos(), "shard reference stored into engine-owned field %q", l.Sel.Name)
+			}
+		case *ast.Ident:
+			v, ok := pass.Info.Uses[l].(*types.Var)
+			if !ok || v.IsField() {
+				continue
+			}
+			ann, known := pass.Own.GlobalAnn(v)
+			if known && ann.Kind == OwnEngine && !pass.Allowed(as, "escape") {
+				pass.Reportf(l.Pos(), "shard reference stored into engine-owned package var %q", l.Name)
+			}
+		}
+	}
+}
+
+// checkEscapeHookCall flags SetHook closures capturing shard state from
+// the enclosing scope. The engine invokes hooks between events, outside
+// any shard context, so a captured shard reference is a cross-domain
+// alias with no guard.
+func checkEscapeHookCall(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "SetHook" || len(call.Args) != 1 {
+		return
+	}
+	recvT := pass.TypeOf(sel.X)
+	if recvT == nil || !isNamed(recvT, "internal/sim", "Engine") {
+		return
+	}
+	lit, ok := unparen(call.Args[0]).(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Free variable: declared outside the literal's extent.
+		if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+			return true
+		}
+		if (taintedByShard(pass.Own, v.Type()) || pass.Own.ShardType(v.Type())) && !pass.Allowed(id, "escape") {
+			pass.Reportf(id.Pos(), "hook closure captures shard state %q: hooks run outside shard context", id.Name)
+		}
+		return true
+	})
+}
+
+// checkSinkRetention flags Sink methods that store shard-tainted values
+// into fields reachable from the receiver.
+func checkSinkRetention(pass *Pass, fd *ast.FuncDecl) {
+	recvName := ""
+	if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+		recvName = fd.Recv.List[0].Names[0].Name
+	}
+	if recvName == "" || recvName == "_" {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			rt := pass.TypeOf(as.Rhs[i])
+			if rt == nil {
+				continue
+			}
+			if !taintedByShard(pass.Own, rt) && !pass.Own.ShardType(rt) {
+				continue
+			}
+			if base := baseIdent(lhs); base != nil && base.Name == recvName && !pass.Allowed(as, "escape") {
+				pass.Reportf(lhs.Pos(), "telemetry sink retains shard state: sinks observe events, they must not hold shard references")
+			}
+		}
+		return true
+	})
+}

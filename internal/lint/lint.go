@@ -53,6 +53,11 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	// Own is the cross-package ownership annotation index (see own.go),
+	// consulted by the ownership/escape/boundary analyzers. Run builds
+	// it over every loaded package; fixture tests build it from the
+	// fixture package alone.
+	Own *OwnIndex
 
 	report func(Diagnostic)
 
@@ -138,6 +143,7 @@ func All() []*Analyzer {
 // combined findings sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
+	own := BuildOwnIndex(pkgs)
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			if a.Scope != nil && !a.Scope(pkg.ImportPath) {
@@ -149,6 +155,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
+				Own:      own,
 				report:   func(d Diagnostic) { diags = append(diags, d) },
 			}
 			if err := a.Run(pass); err != nil {

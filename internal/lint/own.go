@@ -1,0 +1,350 @@
+// The ownership annotation model shared by the ownership, escape and
+// boundary analyzers.
+//
+// Every struct field and package-level variable in the hot-path
+// simulation packages carries an ownership annotation naming the
+// execution domain that may touch it:
+//
+//	//own:channel            per-channel shard state: only methods of a
+//	                         shard type or declared boundary functions
+//	                         may touch it
+//	//own:engine             engine/coordinator state: serial context
+//	//own:immutable          written only during construction, safe to
+//	                         read from any domain
+//	//own:boundary(reason)   an audited crossing point (a reference
+//	                         held across domains, or on a func decl,
+//	                         a function allowed to touch shard state)
+//
+// A type-level annotation on a struct declaration sets the default for
+// all of its fields (individual fields may override it); a type-level
+// //own:channel additionally marks the struct as a *shard type*, whose
+// methods form the intra-shard execution context.
+//
+// The index is built over every loaded package before analyzers run,
+// keyed by stable strings (import path + type + field), so annotations
+// declared in one package are visible when analyzing another.
+
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// OwnKind enumerates the ownership domains.
+type OwnKind int
+
+const (
+	// OwnNone means no annotation was found.
+	OwnNone OwnKind = iota
+	// OwnChannel marks per-channel shard state.
+	OwnChannel
+	// OwnEngine marks engine/coordinator state.
+	OwnEngine
+	// OwnImmutable marks construction-time-only state.
+	OwnImmutable
+	// OwnBoundary marks an audited cross-domain reference or function.
+	OwnBoundary
+	// OwnInvalid marks a malformed //own: annotation.
+	OwnInvalid
+)
+
+func (k OwnKind) String() string {
+	switch k {
+	case OwnChannel:
+		return "channel"
+	case OwnEngine:
+		return "engine"
+	case OwnImmutable:
+		return "immutable"
+	case OwnBoundary:
+		return "boundary"
+	case OwnInvalid:
+		return "invalid"
+	default:
+		return "none"
+	}
+}
+
+// OwnAnn is one parsed annotation.
+type OwnAnn struct {
+	Kind   OwnKind
+	Reason string // for OwnBoundary
+	Pos    token.Pos
+}
+
+// ownershipPackages are the packages whose state must carry ownership
+// annotations: the hot-path simulation layers whose per-channel
+// independence the future parallel engine relies on.
+var ownershipPackages = []string{
+	"internal/sim", "internal/controller", "internal/bank",
+	"internal/core", "internal/dram", "internal/telemetry",
+}
+
+func ownershipScope(pkgPath string) bool {
+	for _, p := range ownershipPackages {
+		if pathHasSuffix(pkgPath, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// OwnIndex is the cross-package annotation index. Keys are stable
+// strings so that annotations survive the source-vs-export-data object
+// identity split: "pkg.Type" for type-level annotations, "pkg.Type.Field"
+// for fields, "pkg.Var" for globals, and types.Func.FullName() for
+// boundary function declarations.
+type OwnIndex struct {
+	typeAnn   map[string]OwnAnn
+	fieldAnn  map[string]OwnAnn
+	globalAnn map[string]OwnAnn
+	funcAnn   map[string]OwnAnn
+}
+
+// parseOwnComment parses one comment as an //own: annotation, returning
+// Kind OwnNone if the comment is not an annotation at all.
+func parseOwnComment(c *ast.Comment) OwnAnn {
+	text, ok := strings.CutPrefix(c.Text, "//own:")
+	if !ok {
+		return OwnAnn{}
+	}
+	ann := OwnAnn{Pos: c.Pos()}
+	switch {
+	case text == "channel":
+		ann.Kind = OwnChannel
+	case text == "engine":
+		ann.Kind = OwnEngine
+	case text == "immutable":
+		ann.Kind = OwnImmutable
+	case strings.HasPrefix(text, "boundary(") && strings.HasSuffix(text, ")"):
+		ann.Kind = OwnBoundary
+		ann.Reason = strings.TrimSuffix(strings.TrimPrefix(text, "boundary("), ")")
+		if strings.TrimSpace(ann.Reason) == "" {
+			ann.Kind = OwnInvalid
+		}
+	default:
+		ann.Kind = OwnInvalid
+	}
+	return ann
+}
+
+// ownFromGroups scans comment groups in order and returns the first
+// annotation found.
+func ownFromGroups(groups ...*ast.CommentGroup) OwnAnn {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			if ann := parseOwnComment(c); ann.Kind != OwnNone {
+				return ann
+			}
+		}
+	}
+	return OwnAnn{}
+}
+
+// BuildOwnIndex parses the //own: annotations of every package into one
+// cross-package index. All loaded packages contribute (annotation use
+// outside the ownership scope is inert for the tree, and indexing it
+// lets fixture packages exercise the analyzers).
+func BuildOwnIndex(pkgs []*Package) *OwnIndex {
+	ix := &OwnIndex{
+		typeAnn:   make(map[string]OwnAnn),
+		fieldAnn:  make(map[string]OwnAnn),
+		globalAnn: make(map[string]OwnAnn),
+		funcAnn:   make(map[string]OwnAnn),
+	}
+	for _, pkg := range pkgs {
+		ix.addPackage(pkg)
+	}
+	return ix
+}
+
+func (ix *OwnIndex) addPackage(pkg *Package) {
+	path := pkg.Types.Path()
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if ann := ownFromGroups(d.Doc); ann.Kind != OwnNone {
+					if fn, ok := pkg.Info.Defs[d.Name].(*types.Func); ok {
+						ix.funcAnn[fn.FullName()] = ann
+					}
+				}
+			case *ast.GenDecl:
+				switch d.Tok {
+				case token.TYPE:
+					for _, spec := range d.Specs {
+						ts := spec.(*ast.TypeSpec)
+						tkey := path + "." + ts.Name.Name
+						if ann := ownFromGroups(ts.Doc, ts.Comment, d.Doc); ann.Kind != OwnNone {
+							ix.typeAnn[tkey] = ann
+						}
+						st, ok := ts.Type.(*ast.StructType)
+						if !ok {
+							continue
+						}
+						for _, field := range st.Fields.List {
+							ann := ownFromGroups(field.Doc, field.Comment)
+							if ann.Kind == OwnNone {
+								continue
+							}
+							for _, name := range field.Names {
+								ix.fieldAnn[tkey+"."+name.Name] = ann
+							}
+							if len(field.Names) == 0 {
+								// Embedded field: keyed by its type name.
+								if id := embeddedName(field.Type); id != "" {
+									ix.fieldAnn[tkey+"."+id] = ann
+								}
+							}
+						}
+					}
+				case token.VAR:
+					for _, spec := range d.Specs {
+						vs := spec.(*ast.ValueSpec)
+						ann := ownFromGroups(vs.Doc, vs.Comment, d.Doc)
+						if ann.Kind == OwnNone {
+							continue
+						}
+						for _, name := range vs.Names {
+							ix.globalAnn[path+"."+name.Name] = ann
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// embeddedName returns the bare type name of an embedded field.
+func embeddedName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return embeddedName(t.X)
+	case *ast.SelectorExpr:
+		return t.Sel.Name
+	case *ast.IndexExpr: // generic instantiation
+		return embeddedName(t.X)
+	}
+	return ""
+}
+
+// namedOf unwraps pointers and returns the named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// typeKey returns the index key of a named type, or "".
+func typeKey(n *types.Named) string {
+	if n == nil || n.Obj().Pkg() == nil {
+		return ""
+	}
+	return n.Obj().Pkg().Path() + "." + n.Obj().Name()
+}
+
+// ShardType reports whether t (after unwrapping pointers) is a struct
+// type whose declaration carries a type-level //own:channel annotation.
+func (ix *OwnIndex) ShardType(t types.Type) bool {
+	key := typeKey(namedOf(t))
+	return key != "" && ix.typeAnn[key].Kind == OwnChannel
+}
+
+// EngineType reports whether t names a type annotated //own:engine at
+// the type level (e.g. the simulation kernel's Engine).
+func (ix *OwnIndex) EngineType(t types.Type) bool {
+	key := typeKey(namedOf(t))
+	return key != "" && ix.typeAnn[key].Kind == OwnEngine
+}
+
+// FieldAnn resolves the effective annotation of one field selection:
+// the field's own annotation if present, else its declaring struct's
+// type-level default. ok is false when the field's declaring type is
+// outside the annotation index (not in scope, or unannotated).
+func (ix *OwnIndex) FieldAnn(recv types.Type, field *types.Var) (OwnAnn, bool) {
+	named := namedOf(recv)
+	if named == nil {
+		return OwnAnn{}, false
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return OwnAnn{}, false
+	}
+	// Confirm the field is declared directly on this struct (embedded
+	// promotion resolves ownership at the outermost struct the access
+	// goes through, which is the annotated one).
+	declared := false
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i) == field {
+			declared = true
+			break
+		}
+	}
+	if !declared {
+		return OwnAnn{}, false
+	}
+	tkey := typeKey(named)
+	if ann, ok := ix.fieldAnn[tkey+"."+field.Name()]; ok {
+		return ann, true
+	}
+	if ann, ok := ix.typeAnn[tkey]; ok {
+		return ann, true
+	}
+	return OwnAnn{}, false
+}
+
+// GlobalAnn resolves the annotation of a package-level variable.
+func (ix *OwnIndex) GlobalAnn(v *types.Var) (OwnAnn, bool) {
+	if v.Pkg() == nil {
+		return OwnAnn{}, false
+	}
+	ann, ok := ix.globalAnn[v.Pkg().Path()+"."+v.Name()]
+	return ann, ok
+}
+
+// BoundaryFunc returns the boundary annotation of a function by its
+// FullName, if declared.
+func (ix *OwnIndex) BoundaryFunc(fullName string) (OwnAnn, bool) {
+	ann, ok := ix.funcAnn[fullName]
+	if !ok || ann.Kind != OwnBoundary {
+		return OwnAnn{}, false
+	}
+	return ann, true
+}
+
+// funcContext classifies the execution context of a declared function
+// for the ownership rules.
+type funcContext int
+
+const (
+	ctxPlain funcContext = iota
+	ctxShardMethod
+	ctxBoundary
+)
+
+// contextOf classifies fd: a method whose receiver is a shard type, a
+// declared boundary function, or plain code.
+func contextOf(pass *Pass, fd *ast.FuncDecl) funcContext {
+	fn, _ := pass.Info.Defs[fd.Name].(*types.Func)
+	if fn == nil {
+		return ctxPlain
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil &&
+		pass.Own.ShardType(recv.Type()) {
+		return ctxShardMethod
+	}
+	if _, ok := pass.Own.BoundaryFunc(fn.FullName()); ok {
+		return ctxBoundary
+	}
+	return ctxPlain
+}

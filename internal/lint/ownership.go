@@ -1,0 +1,191 @@
+// The ownership analyzer. ROADMAP item 1 (deterministic multi-channel
+// parallel DES) rests on a claim the paper itself makes about SAG×CD
+// tiles: the resources are independent and interact only at narrow
+// boundaries. For the simulator's channels that claim is only worth
+// anything if it is enforced — so every piece of hot-path state
+// declares which execution domain owns it, and touching per-channel
+// state from outside its shard is a finding, not a hope.
+
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Ownership enforces the annotation model of own.go over the hot-path
+// packages (internal/{sim,controller,bank,core,dram,telemetry}):
+//
+//   - every struct field and package-level variable must carry an
+//     //own: annotation, either directly or via a type-level default
+//     on its declaring struct;
+//   - //own:boundary annotations must carry a non-empty reason;
+//   - a field or global annotated //own:channel may be read or written
+//     only inside a method of a shard type (a struct whose declaration
+//     is marked //own:channel) or inside a function declared
+//     //own:boundary(reason) — the audited ingress/egress points;
+//   - inside shard methods, writes to //own:engine state are flagged:
+//     a shard that mutates coordinator state breaks the independence
+//     the annotations exist to prove;
+//   - a shard type must not declare an //own:engine field — a
+//     cross-domain reference held by a shard is either immutable or an
+//     explicit //own:boundary(reason).
+//
+// Findings are per-field so waivers ("//lint:allow ownership <reason>")
+// stay auditable.
+var Ownership = &Analyzer{
+	Name:  "ownership",
+	Doc:   "hot-path state carries ownership annotations; channel-owned state is touched only by its shard or declared boundary functions",
+	Scope: ownershipScope,
+	Run:   runOwnership,
+}
+
+func runOwnership(pass *Pass) error {
+	for _, f := range pass.Files {
+		checkOwnershipDecls(pass, f)
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkOwnershipAccess(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkOwnershipDecls enforces annotation completeness and
+// well-formedness on one file's type and var declarations.
+func checkOwnershipDecls(pass *Pass, f *ast.File) {
+	path := pass.Pkg.Path()
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok {
+			continue
+		}
+		switch gd.Tok {
+		case token.TYPE:
+			for _, spec := range gd.Specs {
+				ts := spec.(*ast.TypeSpec)
+				tkey := path + "." + ts.Name.Name
+				tAnn, hasDefault := pass.Own.typeAnn[tkey]
+				if hasDefault && tAnn.Kind == OwnInvalid {
+					pass.Reportf(ts.Name.Pos(), "malformed //own: annotation on type %s (want channel, engine, immutable, or boundary with a non-empty reason)", ts.Name.Name)
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				shard := hasDefault && tAnn.Kind == OwnChannel
+				for _, field := range st.Fields.List {
+					names := field.Names
+					if len(names) == 0 {
+						// Embedded field: report on the field node.
+						names = []*ast.Ident{{Name: embeddedName(field.Type), NamePos: field.Pos()}}
+					}
+					for _, name := range names {
+						ann, hasOwn := pass.Own.fieldAnn[tkey+"."+name.Name]
+						switch {
+						case hasOwn && ann.Kind == OwnInvalid:
+							// parseOwnComment folds boundary() with an empty
+							// reason into OwnInvalid, so this also enforces
+							// the mandatory-reason rule.
+							pass.Reportf(name.Pos(), "malformed //own: annotation on field %s.%s (want channel, engine, immutable, or boundary with a non-empty reason)", ts.Name.Name, name.Name)
+						case !hasOwn && !hasDefault:
+							if !pass.Allowed(field, "ownership") {
+								pass.Reportf(name.Pos(), "field %s.%s is missing an //own: annotation (no field or type-level default)", ts.Name.Name, name.Name)
+							}
+						case hasOwn && shard && ann.Kind == OwnEngine:
+							pass.Reportf(name.Pos(), "shard type %s declares engine-owned field %s: cross-domain references held by a shard must be immutable or an audited boundary", ts.Name.Name, name.Name)
+						}
+					}
+				}
+			}
+		case token.VAR:
+			for _, spec := range gd.Specs {
+				vs := spec.(*ast.ValueSpec)
+				for _, name := range vs.Names {
+					if name.Name == "_" {
+						continue
+					}
+					ann, ok := pass.Own.globalAnn[path+"."+name.Name]
+					switch {
+					case !ok:
+						if !pass.Allowed(vs, "ownership") {
+							pass.Reportf(name.Pos(), "package-level var %s is missing an //own: annotation", name.Name)
+						}
+					case ann.Kind == OwnInvalid:
+						pass.Reportf(name.Pos(), "malformed //own: annotation on var %s", name.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkOwnershipAccess enforces the domain rules inside one function.
+func checkOwnershipAccess(pass *Pass, fd *ast.FuncDecl) {
+	ctx := contextOf(pass, fd)
+
+	// Collect the expressions written by assignments and ++/--, so the
+	// engine-write-from-shard rule can tell reads from writes.
+	writes := make(map[ast.Expr]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				writes[unparen(lhs)] = true
+			}
+		case *ast.IncDecStmt:
+			writes[unparen(n.X)] = true
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			selection, ok := pass.Info.Selections[n]
+			if !ok || selection.Kind() != types.FieldVal {
+				return true
+			}
+			field, _ := selection.Obj().(*types.Var)
+			if field == nil {
+				return true
+			}
+			ann, known := pass.Own.FieldAnn(selection.Recv(), field)
+			if !known {
+				return true
+			}
+			reportOwnershipAccess(pass, ctx, n, n.Sel.Name, ann, writes[n])
+		case *ast.Ident:
+			v, ok := pass.Info.Uses[n].(*types.Var)
+			if !ok || v.IsField() {
+				return true
+			}
+			ann, known := pass.Own.GlobalAnn(v)
+			if !known {
+				return true
+			}
+			reportOwnershipAccess(pass, ctx, n, n.Name, ann, writes[n])
+		}
+		return true
+	})
+}
+
+// reportOwnershipAccess applies the domain rules to one resolved access.
+func reportOwnershipAccess(pass *Pass, ctx funcContext, n ast.Node, name string, ann OwnAnn, isWrite bool) {
+	switch ann.Kind {
+	case OwnChannel:
+		if ctx == ctxPlain && !pass.Allowed(n, "ownership") {
+			pass.Reportf(n.Pos(), "access to channel-owned %q outside a shard method or declared boundary function", name)
+		}
+	case OwnEngine:
+		if ctx == ctxShardMethod && isWrite && !pass.Allowed(n, "ownership") {
+			pass.Reportf(n.Pos(), "shard method writes engine-owned %q: shard code must not mutate coordinator state", name)
+		}
+	}
+}

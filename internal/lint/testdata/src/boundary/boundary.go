@@ -1,0 +1,63 @@
+// Package boundary is the fixture for the boundary analyzer: the
+// declared boundary surface must match internal/lint/boundaries.txt
+// exactly, and cross-shard calls go only through manifest-listed
+// functions. The manifest carries a deliberately stale entry for this
+// package (boundary.Removed) to exercise the drift check.
+package boundary // want "manifest entry repro/internal/lint/testdata/src/boundary.Removed has no matching"
+
+// shard is the per-channel state under protection.
+//
+//own:channel
+type shard struct {
+	queue []int
+}
+
+// push is an internal shard method: callable freely from other shard
+// methods, a sanctioned crossing only via the manifest-listed surface.
+func (s *shard) push(v int) {
+	s.queue = append(s.queue, v)
+}
+
+// Drain is part of the declared surface: listed in boundaries.txt.
+//
+//own:boundary(completion egress for the fixture)
+func (s *shard) Drain() int {
+	n := len(s.queue)
+	s.queue = s.queue[:0]
+	return n
+}
+
+// Submit is declared a boundary and listed in the manifest: its calls
+// into the shard are the sanctioned ingress.
+//
+//own:boundary(request ingress for the fixture)
+func Submit(s *shard, v int) {
+	s.push(v)
+}
+
+// Rogue declares itself a boundary but is missing from the manifest:
+// widening the surface must show up as a manifest diff.
+//
+//own:boundary(self-declared, deliberately unlisted)
+func Rogue(s *shard) int { // want "not listed in internal/lint/boundaries.txt"
+	return 0
+}
+
+// sneaky calls a shard method from plain code without going through
+// the declared surface: flagged.
+func sneaky(s *shard) {
+	s.push(3) // want "cross-shard call"
+}
+
+// viaManifest calls the manifest-listed Drain: the sanctioned crossing.
+func viaManifest(s *shard) int {
+	return s.Drain()
+}
+
+// waived documents an audited direct call: allowed.
+func waived(s *shard) {
+	//lint:allow boundary fixture demonstrates the waiver
+	s.push(4)
+}
+
+var _ = []any{sneaky, viaManifest, waived, Rogue, Submit}

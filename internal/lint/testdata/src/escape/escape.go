@@ -1,0 +1,110 @@
+// Package escape is the fixture for the escape analyzer: references to
+// channel-owned shard state must not leak into engine structs, hook
+// closures, telemetry sinks, or across the boundary.
+package escape
+
+import (
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// shard is the per-channel state under protection.
+//
+//own:channel
+type shard struct {
+	queue []int
+	//own:boundary(construction-time wiring to the serial engine, never dereferenced after New)
+	eng *engine
+
+	sink telemetry.Sink // want "field sink references the engine domain"
+}
+
+// engine is the coordinator.
+//
+//own:engine
+type engine struct {
+	inflight int
+
+	// The structural roster: the coordinator owns the shards' lifetimes
+	// but every dereference stays guarded by the ownership analyzer.
+	//own:channel
+	shards []shard
+
+	leak *shard // want "engine struct engine holds shard reference in field leak"
+
+	//lint:allow escape fixture demonstrates the declaration waiver
+	waivedLeak *shard
+}
+
+//own:engine
+var currentShard *shard
+
+// storeIntoEngine aliases a shard into engine-owned places: flagged.
+func storeIntoEngine(e *engine, s *shard) {
+	e.leak = s      // want "shard reference stored into engine-owned field"
+	currentShard = s // want "shard reference stored into engine-owned package var"
+}
+
+// storeWaived carries an audited waiver: allowed.
+func storeWaived(e *engine, s *shard) {
+	//lint:allow escape fixture demonstrates the store waiver
+	e.leak = s
+}
+
+// hookCapture closes over a shard in a sim hook: the engine runs hooks
+// outside any shard context, so the capture is flagged. Capturing
+// engine state is fine.
+func hookCapture(eng *sim.Engine, e *engine, s *shard) {
+	eng.SetHook(func(now sim.Tick, pending int) {
+		_ = s.queue // want "hook closure captures shard state"
+		_ = e.inflight
+	})
+}
+
+// hookWaived documents a deliberate capture: allowed.
+func hookWaived(eng *sim.Engine, s *shard) {
+	eng.SetHook(func(now sim.Tick, pending int) {
+		//lint:allow escape fixture demonstrates the hook waiver
+		_ = s.queue
+	})
+}
+
+// retainingSink implements telemetry.Sink and stashes a shard pointer:
+// sinks observe events, they must not hold shard references.
+type retainingSink struct {
+	//own:engine
+	last *shard
+	//own:engine
+	n int
+}
+
+//own:immutable
+var pinned *shard
+
+func (r *retainingSink) Command(telemetry.Command) { r.n++ }
+func (r *retainingSink) Request(ev telemetry.RequestEvent) {
+	r.last = pinned // want "telemetry sink retains shard state" "stored into engine-owned field"
+}
+func (r *retainingSink) Stall(telemetry.StallEvent) {}
+
+// NewShard is a constructor: handing out the shard it built is the
+// whole point.
+func NewShard(e *engine) *shard {
+	return &shard{eng: e}
+}
+
+// leakReturn hands a shard reference across the boundary from plain
+// code: flagged.
+func leakReturn(e *engine, i int) *shard {
+	return &e.shards[i] // want "shard reference returned across the boundary"
+}
+
+// auditedReturn carries a waiver, the pattern the tree uses for the
+// test-only bank accessor: allowed.
+func auditedReturn(e *engine, i int) *shard {
+	//lint:allow escape fixture demonstrates the audited return
+	return &e.shards[i]
+}
+
+var _ = []any{storeIntoEngine, storeWaived, hookCapture, hookWaived,
+	leakReturn, auditedReturn, NewShard, telemetry.Sink((*retainingSink)(nil))}

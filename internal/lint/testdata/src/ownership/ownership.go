@@ -1,0 +1,93 @@
+// Package ownership is the fixture for the ownership analyzer:
+// hot-path state carries //own: annotations and channel-owned state is
+// touched only from shard methods or declared boundary functions.
+package ownership
+
+// channelShard is a shard type: the type-level //own:channel marks it
+// and sets the default for its fields.
+//
+//own:channel
+type channelShard struct {
+	queue []int // inherits the channel default: allowed
+	//own:immutable
+	id int // field-level override: allowed
+
+	// A shard must not hold engine-owned references.
+	//own:engine
+	eng *coordinator // want "declares engine-owned field eng"
+}
+
+// coordinator owns engine-side state.
+//
+//own:engine
+type coordinator struct {
+	inflight int
+	depth    int
+}
+
+// unannotated has no type-level default, so every field needs its own
+// annotation.
+type unannotated struct {
+	//own:engine
+	covered int
+	bare    int // want "missing an //own: annotation"
+	//lint:allow ownership fixture demonstrates the waiver
+	waived int
+}
+
+// malformed exercises the strict annotation grammar.
+type malformed struct {
+	//own:chanel
+	typo int // want "malformed //own: annotation on field malformed.typo"
+	//own:boundary()
+	noReason int // want "malformed //own: annotation on field malformed.noReason"
+}
+
+// Package globals need annotations too.
+
+//own:immutable
+var annotatedGlobal = 7
+
+var bareGlobal = 9 // want "package-level var bareGlobal is missing"
+
+// shardAccess is a method of the shard type: touching channel state is
+// its own business.
+func (s *channelShard) shardAccess() int {
+	s.queue = append(s.queue, 1)
+	return len(s.queue) + s.id
+}
+
+// Ingest is a declared boundary function: channel access allowed.
+//
+//own:boundary(LLC-miss ingress for the fixture)
+func Ingest(s *channelShard, v int) {
+	s.queue = append(s.queue, v)
+}
+
+// plainAccess is neither: touching channel state is flagged; reading
+// engine or immutable state is not.
+func plainAccess(s *channelShard, c *coordinator) int {
+	n := len(s.queue) // want "access to channel-owned"
+	n += c.inflight
+	n += s.id
+	return n + annotatedGlobal + bareGlobal
+}
+
+// waivedAccess carries an audited waiver: allowed.
+func waivedAccess(s *channelShard) int {
+	//lint:allow ownership fixture demonstrates the access waiver
+	return len(s.queue)
+}
+
+// writeBack is a shard method mutating coordinator state: flagged. The
+// read of engine state is fine; only the write crosses domains.
+func (s *channelShard) writeBack(c *coordinator) {
+	n := c.inflight
+	c.inflight = n + 1 // want "shard method writes engine-owned"
+}
+
+// use keeps the otherwise-unreferenced declarations alive for vet.
+var _ = []any{
+	unannotated{}, malformed{}, plainAccess, waivedAccess,
+	(*channelShard).shardAccess, (*channelShard).writeBack, coordinator{}.depth,
+}
