@@ -18,6 +18,8 @@ import (
 // traceEvent is one entry of the Chrome trace-event format's JSON
 // array form. Field order is fixed by the struct, and map-free, so the
 // encoding is byte-deterministic for a deterministic event sequence.
+//
+//own:engine
 type traceEvent struct {
 	Name string   `json:"name"`
 	Cat  string   `json:"cat,omitempty"`
@@ -33,6 +35,8 @@ type traceEvent struct {
 
 // evtArgs carries per-event details; a struct (not a map) keeps the
 // JSON key order deterministic.
+//
+//own:engine
 type evtArgs struct {
 	Name  string `json:"name,omitempty"` // metadata payload
 	Row   int    `json:"row,omitempty"`
@@ -44,6 +48,8 @@ type evtArgs struct {
 // traceFile is the top-level trace object. Timestamps are in simulated
 // controller cycles, not microseconds; displayTimeUnit only affects the
 // viewer's axis labels.
+//
+//own:engine
 type traceFile struct {
 	DisplayTimeUnit string       `json:"displayTimeUnit"`
 	TraceEvents     []traceEvent `json:"traceEvents"`
@@ -63,6 +69,13 @@ type traceFile struct {
 // Events are buffered in simulation order and written in one shot by
 // Export; identical runs produce byte-identical output (locked in by
 // the determinism regression test).
+//
+// The trace is a serialization point by design — events from every
+// channel interleave into one buffer in simulation order — so the
+// whole exporter is engine-owned; a parallel engine must feed it from
+// the serial side.
+//
+//own:engine
 type Trace struct {
 	geom   addr.Geometry
 	lanes  int
