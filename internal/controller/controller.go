@@ -4,8 +4,16 @@
 // FR-FCFS), write draining, shared data-bus arbitration, and per-bank
 // command scheduling against the FgNVM conflict rules.
 //
-// One Controller instance manages every channel of the memory system;
-// channels are fully independent (own queues, own data bus).
+// One Controller instance manages every channel of the memory system.
+// Channels are fully independent — own queues, own data bus, own banks —
+// and that independence is structural: all per-channel state lives in a
+// shard struct annotated //own:channel, every scheduling decision is a
+// shard method, and the Controller itself is a thin engine-side
+// coordinator whose exported methods form the audited boundary surface
+// (see internal/lint/boundaries.txt). The ownership/escape/boundary
+// analyzers enforce that no shard state is reachable except through
+// this surface, which is what makes a per-channel parallel engine
+// (ROADMAP item 1) provable rather than hopeful.
 package controller
 
 import (
@@ -46,7 +54,11 @@ func (s SchedulerKind) String() string {
 }
 
 // Config assembles the controller parameters. Zero values take the
-// Table 2 defaults where one exists.
+// Table 2 defaults where one exists. The effective Config is frozen by
+// applyDefaults inside New and never mutated afterwards, so every shard
+// reads it without coordination.
+//
+//own:immutable
 type Config struct {
 	Geom  addr.Geometry
 	Tim   timing.Timings
@@ -109,6 +121,13 @@ func (c *Config) applyDefaults() {
 }
 
 // Stats aggregates the controller's observable behaviour over a run.
+// Completion-side aggregates (Reads, Writes, the latency distributions)
+// accumulate engine-side, where completion events fire; everything a
+// scheduling decision increments lives in the per-channel shardStats
+// and is merged — exactly, counter by uint64 counter — into the
+// snapshot Stats() returns.
+//
+//own:engine
 type Stats struct {
 	Reads            stats.Counter // read requests completed
 	Writes           stats.Counter // write requests completed
@@ -131,66 +150,65 @@ type Stats struct {
 	ReadLatencyHist  stats.Histogram // log-bucketed, for percentile reporting
 }
 
+// shardStats holds the counters a single channel's scheduling maintains.
+// Each counter is owned by exactly one shard, so a parallel engine needs
+// no atomics here; Stats() merges them by addition, which is exact for
+// uint64 event counts.
+//
+//own:channel
+type shardStats struct {
+	activations      stats.Counter
+	columnReads      stats.Counter
+	segmentHits      stats.Counter
+	backgroundedRds  stats.Counter
+	writeDrainEvents stats.Counter
+	busStallCycles   stats.Counter
+	forwardedReads   stats.Counter
+	coalescedWrites  stats.Counter
+	queuedWaitCycles stats.Counter
+}
+
 // Controller is the memory controller front-end: the CPU enqueues
 // requests, the simulator calls Cycle once per controller clock, and
-// completions fire through the sim engine.
+// completions fire through the sim engine. All per-channel state lives
+// in the shards; the Controller holds only construction-time wiring and
+// the engine-side aggregates completion events touch.
+//
+//own:engine
 type Controller struct {
-	cfg    Config
+	//own:immutable
+	cfg Config
+	//own:immutable
 	mapper *addr.Mapper
-	eng    *sim.Engine
+	//own:boundary(completion callbacks are scheduled on the serial engine; Cycle and Enqueue run engine-side)
+	eng *sim.Engine
+	//own:boundary(admission-rejection telemetry egress, events only)
+	tel telemetry.Sink // nil when telemetry is off
 
-	banks [][][]*core.Bank // [channel][rank][bank]
-
-	readQ  []*mem.Queue // per channel
-	writeQ []*mem.Queue
-	busUse [][]sim.Tick // per channel, per lane: busy until
-	drain  []bool       // per channel: write drain active (non-backgrounded mode)
+	// shards is the structural roster of per-channel state: the
+	// coordinator owns the shards' lifetimes, but every dereference
+	// happens in a shard method or a declared boundary function below.
+	//own:channel
+	shards []shard
 
 	inflight int
 	st       Stats
-	tel      telemetry.Sink        // nil when telemetry is off
-	hitSeen  map[*mem.Request]bool // request was segment-open at first service attempt
-
-	// hotCD[ch][rank][bank] is the CD of the bank's most recent column
-	// read: streaming reads will keep hitting it, so opportunistic
-	// writes avoid it (see writeClobbersPendingRead). -1 when unknown.
-	hotCD [][][]int
-
-	// lastReadActive[ch] is the last tick the channel's read queue was
-	// non-empty. Idle-time writes wait out a hysteresis window past it
-	// so a one-cycle gap between read bursts doesn't invite a
-	// CD-blocking write.
-	lastReadActive []sim.Tick
-
-	// finishReadFn/finishWriteFn are the completion callbacks, cached
-	// once as sim.ArgEvent method values so the per-request completion
-	// schedule does not allocate a closure.
-	finishReadFn  sim.ArgEvent
-	finishWriteFn sim.ArgEvent
-
-	// Indexed-scheduling acceleration state (see chanState). indexed is
-	// !cfg.DisableIndex; when false, cs stays nil and every fast path
-	// below falls back to the reference scans.
-	indexed bool
-	cs      []chanState
-	// bankFlat[ch] is the channel's banks in rank-major order, so the
-	// hot path resolves a request's bank with one multiply instead of
-	// three slice hops.
-	bankFlat [][]*core.Bank
 }
 
-// chanState is the per-channel incremental scheduling state that lets
-// cycleChannel do work proportional to commands issued instead of queue
-// occupancy.
+// shard is one channel's complete scheduling state: queues, bus lanes,
+// bank models, drain mode, the indexed-scheduling acceleration state and
+// the per-channel statistics. Shards never reference each other, and the
+// only cross-domain references they hold are the audited boundary fields
+// below — the structural argument for running channels in parallel.
 //
 // The ready memo caches the outcome of a cycle that issued nothing:
 // until memoUntil — the channel's next scheduling flip tick, computed by
 // the same analysis that licenses fast-forward (see NextWork) — no
-// predicate cycleChannel consults can change unless a new request
-// arrives, so subsequent cycles skip the scans entirely and replay the
-// memoized per-cycle counter increment (memoBusStalls). Enqueue
-// invalidates the memo; issuing anything rebuilds controller state, so a
-// memo is only ever armed by a cycle that issued nothing.
+// predicate schedule consults can change unless a new request arrives,
+// so subsequent cycles skip the scans entirely and replay the memoized
+// per-cycle counter increment (memoBusStalls). enqueue invalidates the
+// memo; issuing anything rebuilds controller state, so a memo is only
+// ever armed by a cycle that issued nothing.
 //
 // The tile candidate index counts queued reads per (rank,bank), per
 // (rank,bank,SAG) and per (rank,bank,CD), maintained at push/remove.
@@ -199,7 +217,46 @@ type Controller struct {
 // its SAG or CD count is non-zero, and an activation needs the
 // older-request scan only when some other queued read shares its bank
 // and tile coordinates.
-type chanState struct {
+//
+//own:channel
+type shard struct {
+	//own:immutable
+	cfg *Config // the effective (defaulted) configuration, frozen at New
+	//own:immutable
+	indexed bool // !cfg.DisableIndex
+	//own:boundary(completion scheduling into the serial event engine)
+	eng *sim.Engine
+	//own:boundary(observational telemetry egress, events only)
+	tel telemetry.Sink
+	// finishReadFn/finishWriteFn are the completion callbacks, cached
+	// once as sim.ArgEvent method values so the per-request completion
+	// schedule does not allocate a closure.
+	//own:immutable
+	finishReadFn sim.ArgEvent
+	//own:immutable
+	finishWriteFn sim.ArgEvent
+
+	// banks holds the channel's bank models in rank-major order, so the
+	// hot path resolves a request's bank with one multiply.
+	banks []*core.Bank
+
+	readQ   *mem.Queue
+	writeQ  *mem.Queue
+	busUse  []sim.Tick // per lane: busy until
+	drain   bool       // write drain active (non-backgrounded mode)
+	hitSeen map[*mem.Request]bool
+
+	// hotCD[rank*banks+bank] is the CD of the bank's most recent column
+	// read: streaming reads will keep hitting it, so opportunistic
+	// writes avoid it (see writeClobbersPendingRead). -1 when unknown.
+	hotCD []int
+
+	// lastReadActive is the last tick the channel's read queue was
+	// non-empty. Idle-time writes wait out a hysteresis window past it
+	// so a one-cycle gap between read bursts doesn't invite a
+	// CD-blocking write.
+	lastReadActive sim.Tick
+
 	memoValid     bool
 	memoUntil     sim.Tick
 	memoBusStalls int
@@ -207,13 +264,18 @@ type chanState struct {
 	bankReads []int32 // [rank*banks+bank]: queued reads per bank
 	sagReads  []int32 // [(rank*banks+bank)*SAGs+sag]
 	cdReads   []int32 // [(rank*banks+bank)*CDs+cd]
+
+	st shardStats
 }
 
 // idleWriteDelay is how many cycles the read queue must stay empty
 // before non-forced writes may issue.
 const idleWriteDelay = 64
 
-// New validates cfg and builds the controller and its bank models.
+// New validates cfg and builds the controller, its per-channel shards
+// and their bank models.
+//
+//own:boundary(construction: wires every shard before any event runs)
 func New(cfg Config, eng *sim.Engine) (*Controller, error) {
 	cfg.applyDefaults()
 	if eng == nil {
@@ -233,20 +295,26 @@ func New(cfg Config, eng *sim.Engine) (*Controller, error) {
 		return nil, err
 	}
 	c := &Controller{
-		cfg:     cfg,
-		mapper:  mapper,
-		eng:     eng,
-		tel:     cfg.Telemetry,
-		hitSeen: make(map[*mem.Request]bool),
+		cfg:    cfg,
+		mapper: mapper,
+		eng:    eng,
+		tel:    cfg.Telemetry,
 	}
-	c.finishReadFn = c.finishRead
-	c.finishWriteFn = c.finishWrite
+	finishRead := sim.ArgEvent(c.finishRead)
+	finishWrite := sim.ArgEvent(c.finishWrite)
 	g := cfg.Geom
-	c.banks = make([][][]*core.Bank, g.Channels)
-	for ch := 0; ch < g.Channels; ch++ {
-		c.banks[ch] = make([][]*core.Bank, g.Ranks)
+	nb := g.Ranks * g.Banks
+	c.shards = make([]shard, g.Channels)
+	for ch := range c.shards {
+		s := &c.shards[ch]
+		s.cfg = &c.cfg
+		s.indexed = !cfg.DisableIndex
+		s.eng = eng
+		s.tel = cfg.Telemetry
+		s.finishReadFn = finishRead
+		s.finishWriteFn = finishWrite
+		s.banks = make([]*core.Bank, 0, nb)
 		for rk := 0; rk < g.Ranks; rk++ {
-			c.banks[ch][rk] = make([]*core.Bank, g.Banks)
 			for bk := 0; bk < g.Banks; bk++ {
 				b, err := core.NewBank(core.Config{
 					Geom: g, Tim: cfg.Tim, Modes: cfg.Modes,
@@ -257,85 +325,82 @@ func New(cfg Config, eng *sim.Engine) (*Controller, error) {
 				if err != nil {
 					return nil, err
 				}
-				c.banks[ch][rk][bk] = b
+				s.banks = append(s.banks, b)
 			}
 		}
-	}
-	c.hotCD = make([][][]int, g.Channels)
-	for ch := range c.hotCD {
-		c.hotCD[ch] = make([][]int, g.Ranks)
-		for rk := range c.hotCD[ch] {
-			c.hotCD[ch][rk] = make([]int, g.Banks)
-			for bk := range c.hotCD[ch][rk] {
-				c.hotCD[ch][rk][bk] = -1
-			}
+		s.readQ = mem.NewQueue(cfg.ReadQueueCap)
+		s.writeQ = mem.NewQueue(cfg.WriteQueueCap)
+		s.busUse = make([]sim.Tick, cfg.IssueLanes)
+		s.hitSeen = make(map[*mem.Request]bool)
+		s.hotCD = make([]int, nb)
+		for i := range s.hotCD {
+			s.hotCD[i] = -1
 		}
-	}
-	c.readQ = make([]*mem.Queue, g.Channels)
-	c.writeQ = make([]*mem.Queue, g.Channels)
-	c.busUse = make([][]sim.Tick, g.Channels)
-	c.drain = make([]bool, g.Channels)
-	c.lastReadActive = make([]sim.Tick, g.Channels)
-	for ch := range c.readQ {
-		c.readQ[ch] = mem.NewQueue(cfg.ReadQueueCap)
-		c.writeQ[ch] = mem.NewQueue(cfg.WriteQueueCap)
-		c.busUse[ch] = make([]sim.Tick, cfg.IssueLanes)
-	}
-	c.bankFlat = make([][]*core.Bank, g.Channels)
-	for ch := 0; ch < g.Channels; ch++ {
-		flat := make([]*core.Bank, 0, g.Ranks*g.Banks)
-		for rk := 0; rk < g.Ranks; rk++ {
-			flat = append(flat, c.banks[ch][rk]...)
-		}
-		c.bankFlat[ch] = flat
-	}
-	c.indexed = !cfg.DisableIndex
-	if c.indexed {
-		nb := g.Ranks * g.Banks
-		c.cs = make([]chanState, g.Channels)
-		for ch := range c.cs {
-			c.cs[ch].bankReads = make([]int32, nb)
-			c.cs[ch].sagReads = make([]int32, nb*g.SAGs)
-			c.cs[ch].cdReads = make([]int32, nb*g.CDs)
+		if s.indexed {
+			s.bankReads = make([]int32, nb)
+			s.sagReads = make([]int32, nb*g.SAGs)
+			s.cdReads = make([]int32, nb*g.CDs)
 		}
 	}
 	return c, nil
 }
 
 // bankIndex flattens a request's (rank, bank) for the per-channel
-// index arrays and bankFlat.
-func (c *Controller) bankIndex(loc addr.Location) int {
-	return loc.Rank*c.cfg.Geom.Banks + loc.Bank
+// index arrays and the flat bank slice.
+func (s *shard) bankIndex(loc addr.Location) int {
+	return loc.Rank*s.cfg.Geom.Banks + loc.Bank
 }
 
-// noteReadQueued maintains the tile candidate counts when r enters its
-// channel's read queue. Tile coordinates use the same mapping as
-// core.Bank (row % SAGs, col % CDs), which is uniform across banks.
-func (c *Controller) noteReadQueued(r *mem.Request) {
-	cs := &c.cs[r.Loc.Channel]
-	bi := c.bankIndex(r.Loc)
-	cs.bankReads[bi]++
-	cs.sagReads[bi*c.cfg.Geom.SAGs+r.Loc.Row%c.cfg.Geom.SAGs]++
-	cs.cdReads[bi*c.cfg.Geom.CDs+r.Loc.Col%c.cfg.Geom.CDs]++
+// noteReadQueued maintains the tile candidate counts when r enters the
+// read queue. Tile coordinates use the same mapping as core.Bank
+// (row % SAGs, col % CDs), which is uniform across banks.
+func (s *shard) noteReadQueued(r *mem.Request) {
+	bi := s.bankIndex(r.Loc)
+	s.bankReads[bi]++
+	s.sagReads[bi*s.cfg.Geom.SAGs+r.Loc.Row%s.cfg.Geom.SAGs]++
+	s.cdReads[bi*s.cfg.Geom.CDs+r.Loc.Col%s.cfg.Geom.CDs]++
 }
 
 // noteReadDequeued reverses noteReadQueued when r leaves the queue.
-func (c *Controller) noteReadDequeued(r *mem.Request) {
-	cs := &c.cs[r.Loc.Channel]
-	bi := c.bankIndex(r.Loc)
-	cs.bankReads[bi]--
-	cs.sagReads[bi*c.cfg.Geom.SAGs+r.Loc.Row%c.cfg.Geom.SAGs]--
-	cs.cdReads[bi*c.cfg.Geom.CDs+r.Loc.Col%c.cfg.Geom.CDs]--
+func (s *shard) noteReadDequeued(r *mem.Request) {
+	bi := s.bankIndex(r.Loc)
+	s.bankReads[bi]--
+	s.sagReads[bi*s.cfg.Geom.SAGs+r.Loc.Row%s.cfg.Geom.SAGs]--
+	s.cdReads[bi*s.cfg.Geom.CDs+r.Loc.Col%s.cfg.Geom.CDs]--
 }
 
 // Config returns the effective (defaulted) configuration.
 func (c *Controller) Config() Config { return c.cfg }
 
-// Stats returns a pointer to the live statistics.
-func (c *Controller) Stats() *Stats { return &c.st }
+// Stats returns a snapshot of the statistics: the engine-side aggregates
+// plus the per-channel counters merged by addition. Counters are uint64
+// event counts, so the merge is exact and independent of channel order.
+//
+//own:boundary(read-side merge of per-shard counters into one snapshot)
+func (c *Controller) Stats() *Stats {
+	out := c.st
+	for i := range c.shards {
+		s := &c.shards[i]
+		out.Activations.Add(s.st.activations.Value())
+		out.ColumnReads.Add(s.st.columnReads.Value())
+		out.SegmentHits.Add(s.st.segmentHits.Value())
+		out.BackgroundedRds.Add(s.st.backgroundedRds.Value())
+		out.WriteDrainEvents.Add(s.st.writeDrainEvents.Value())
+		out.BusStallCycles.Add(s.st.busStallCycles.Value())
+		out.ForwardedReads.Add(s.st.forwardedReads.Value())
+		out.CoalescedWrites.Add(s.st.coalescedWrites.Value())
+		out.QueuedWaitCycles.Add(s.st.queuedWaitCycles.Value())
+	}
+	return &out
+}
 
 // Bank exposes a bank model, mainly for tests and reporting.
-func (c *Controller) Bank(ch, rk, bk int) *core.Bank { return c.banks[ch][rk][bk] }
+//
+//own:boundary(read-only bank accessor for tests and reporting)
+func (c *Controller) Bank(ch, rk, bk int) *core.Bank {
+	//lint:allow escape audited read-only egress: tests and the report layer inspect bank counters after the run has drained; no caller retains the pointer across scheduling
+	return c.shards[ch].banks[rk*c.cfg.Geom.Banks+bk]
+}
 
 // Enqueue decodes and accepts a request, reporting false when the
 // destination queue is full (backpressure: the caller must retry).
@@ -345,16 +410,27 @@ func (c *Controller) Bank(ch, rk, bk int) *core.Bank { return c.banks[ch][rk][bk
 // data next cycle (forwarding), and a write matching a queued write's
 // line replaces it in place (coalescing) — the line will be programmed
 // once, with the newest data.
+//
+//own:boundary(request ingress: routes each request to its channel shard)
 func (c *Controller) Enqueue(r *mem.Request, now sim.Tick) bool {
 	r.Loc = c.mapper.Decode(r.Addr)
 	r.Arrive = now
-	line := r.Addr / uint64(c.cfg.Geom.LineBytes)
-	wq := c.writeQ[r.Loc.Channel]
+	if !c.shards[r.Loc.Channel].enqueue(r, now) {
+		return false
+	}
+	c.inflight++
+	return true
+}
+
+// enqueue is the per-channel half of Enqueue: forwarding, coalescing,
+// queue admission, index maintenance and telemetry.
+func (s *shard) enqueue(r *mem.Request, now sim.Tick) bool {
+	line := r.Addr / uint64(s.cfg.Geom.LineBytes)
 
 	if r.Op == mem.Read {
 		hit := false
-		wq.Scan(func(_ int, w *mem.Request) bool {
-			if w.Addr/uint64(c.cfg.Geom.LineBytes) == line {
+		s.writeQ.Scan(func(_ int, w *mem.Request) bool {
+			if w.Addr/uint64(s.cfg.Geom.LineBytes) == line {
 				hit = true
 				return false
 			}
@@ -362,39 +438,37 @@ func (c *Controller) Enqueue(r *mem.Request, now sim.Tick) bool {
 		})
 		if hit {
 			r.MarkIssued(now)
-			c.inflight++
-			c.st.ForwardedReads.Inc()
-			if c.tel != nil {
-				c.telRequest(telemetry.ReqEnqueued, r, now)
-				c.telRequest(telemetry.ReqIssued, r, now)
+			s.st.forwardedReads.Inc()
+			if s.tel != nil {
+				s.telRequest(telemetry.ReqEnqueued, r, now)
+				s.telRequest(telemetry.ReqIssued, r, now)
 			}
-			c.eng.ScheduleArg(now+1, c.finishReadFn, r)
+			s.eng.ScheduleArg(now+1, s.finishReadFn, r)
 			return true
 		}
-		if !c.readQ[r.Loc.Channel].Push(r) {
-			if c.tel != nil {
-				c.telStallQueueFull(r, now)
+		if !s.readQ.Push(r) {
+			if s.tel != nil {
+				s.telStallQueueFull(r, now)
 			}
 			return false
 		}
-		c.inflight++
-		if c.indexed {
-			c.noteReadQueued(r)
-			c.cs[r.Loc.Channel].memoValid = false
+		if s.indexed {
+			s.noteReadQueued(r)
+			s.memoValid = false
 			if invariant.Enabled {
-				c.verifyIndex(r.Loc.Channel)
+				s.verifyIndex()
 			}
 		}
-		if c.tel != nil {
-			c.telRequest(telemetry.ReqEnqueued, r, now)
+		if s.tel != nil {
+			s.telRequest(telemetry.ReqEnqueued, r, now)
 		}
 		return true
 	}
 
 	// Write path: coalesce into an existing write to the same line.
 	merged := false
-	wq.Scan(func(_ int, w *mem.Request) bool {
-		if w.Addr/uint64(c.cfg.Geom.LineBytes) == line {
+	s.writeQ.Scan(func(_ int, w *mem.Request) bool {
+		if w.Addr/uint64(s.cfg.Geom.LineBytes) == line {
 			merged = true
 			return false
 		}
@@ -402,36 +476,34 @@ func (c *Controller) Enqueue(r *mem.Request, now sim.Tick) bool {
 	})
 	if merged {
 		r.MarkIssued(now)
-		c.inflight++
-		c.st.CoalescedWrites.Inc()
-		if c.tel != nil {
-			c.telRequest(telemetry.ReqEnqueued, r, now)
-			c.telRequest(telemetry.ReqIssued, r, now)
+		s.st.coalescedWrites.Inc()
+		if s.tel != nil {
+			s.telRequest(telemetry.ReqEnqueued, r, now)
+			s.telRequest(telemetry.ReqIssued, r, now)
 		}
-		c.eng.ScheduleArg(now+1, c.finishWriteFn, r)
+		s.eng.ScheduleArg(now+1, s.finishWriteFn, r)
 		return true
 	}
-	if !wq.Push(r) {
-		if c.tel != nil {
-			c.telStallQueueFull(r, now)
+	if !s.writeQ.Push(r) {
+		if s.tel != nil {
+			s.telStallQueueFull(r, now)
 		}
 		return false
 	}
-	c.inflight++
-	if c.indexed {
+	if s.indexed {
 		// A new write can flip drain state and the candidate set.
-		c.cs[r.Loc.Channel].memoValid = false
+		s.memoValid = false
 	}
-	if c.tel != nil {
-		c.telRequest(telemetry.ReqEnqueued, r, now)
+	if s.tel != nil {
+		s.telRequest(telemetry.ReqEnqueued, r, now)
 	}
 	return true
 }
 
-// telRequest emits one request lifecycle event. Callers guard with a
-// c.tel nil check to keep the disabled path branch-only.
-func (c *Controller) telRequest(phase telemetry.RequestPhase, r *mem.Request, now sim.Tick) {
-	c.tel.Request(telemetry.RequestEvent{
+// telRequest emits one request lifecycle event. Callers guard with an
+// s.tel nil check to keep the disabled path branch-only.
+func (s *shard) telRequest(phase telemetry.RequestPhase, r *mem.Request, now sim.Tick) {
+	s.tel.Request(telemetry.RequestEvent{
 		Phase: phase, ID: r.ID, Write: r.Op == mem.Write,
 		Loc: r.Loc, Now: now, Arrive: r.Arrive,
 	})
@@ -440,8 +512,8 @@ func (c *Controller) telRequest(phase telemetry.RequestPhase, r *mem.Request, no
 // telStallQueueFull attributes one rejected enqueue attempt. The
 // request is not in a queue, so these cycles sit outside the
 // queued-wait conservation sum.
-func (c *Controller) telStallQueueFull(r *mem.Request, now sim.Tick) {
-	c.tel.Stall(telemetry.StallEvent{
+func (s *shard) telStallQueueFull(r *mem.Request, now sim.Tick) {
+	s.tel.Stall(telemetry.StallEvent{
 		ReqID: r.ID, Write: r.Op == mem.Write, Loc: r.Loc,
 		Cause: telemetry.StallQueueFull, Now: now,
 	})
@@ -454,68 +526,80 @@ func (c *Controller) Pending() int { return c.inflight }
 func (c *Controller) Drained() bool { return c.inflight == 0 }
 
 // ReadQueueLen returns the read queue depth for a channel.
-func (c *Controller) ReadQueueLen(ch int) int { return c.readQ[ch].Len() }
+//
+//own:boundary(queue-depth observability for the run loop and tests)
+func (c *Controller) ReadQueueLen(ch int) int { return c.shards[ch].readQ.Len() }
 
 // WriteQueueLen returns the write queue depth for a channel.
-func (c *Controller) WriteQueueLen(ch int) int { return c.writeQ[ch].Len() }
+//
+//own:boundary(queue-depth observability for the run loop and tests)
+func (c *Controller) WriteQueueLen(ch int) int { return c.shards[ch].writeQ.Len() }
 
 // Cycle performs one controller clock of scheduling work across all
 // channels and returns the number of commands issued (activations,
 // column reads and writes). The caller must invoke it with strictly
 // increasing ticks; a zero return with every core blocked is the run
 // loop's licence to consider fast-forwarding (see NextWork).
+//
+//own:boundary(per-clock dispatch into each channel shard, in channel order)
 func (c *Controller) Cycle(now sim.Tick) int {
 	if c.cfg.Energy != nil {
 		c.cfg.Energy.AdvanceBackground(now)
 	}
 	issued := 0
-	for ch := range c.readQ {
-		issued += c.cycleChannel(ch, now)
-		// Queued-wait accounting happens after scheduling, so a request
-		// that issued this cycle does not count this cycle — matching
-		// the attribution pass, which classifies exactly the requests
-		// still queued at this point.
-		queued := c.readQ[ch].Len() + c.writeQ[ch].Len()
-		c.st.QueuedWaitCycles.Add(uint64(queued))
-		if c.tel != nil {
-			emitted := c.attributeStalls(ch, now, 1)
-			if invariant.Enabled {
-				invariant.Assertf(emitted == queued,
-					"stall attribution emitted %d events for %d queued requests (channel %d, tick %d): "+
-						"per-cause buckets no longer sum to QueuedWaitCycles", emitted, queued, ch, now)
-			}
+	for ch := range c.shards {
+		issued += c.shards[ch].cycle(now)
+	}
+	return issued
+}
+
+// cycle runs one controller clock for this channel: scheduling, then
+// queued-wait accounting and stall attribution. Accounting happens after
+// scheduling, so a request that issued this cycle does not count this
+// cycle — matching the attribution pass, which classifies exactly the
+// requests still queued at this point.
+func (s *shard) cycle(now sim.Tick) int {
+	issued := s.schedule(now)
+	queued := s.readQ.Len() + s.writeQ.Len()
+	s.st.queuedWaitCycles.Add(uint64(queued))
+	if s.tel != nil {
+		emitted := s.attributeStalls(now, 1)
+		if invariant.Enabled {
+			invariant.Assertf(emitted == queued,
+				"stall attribution emitted %d events for %d queued requests (tick %d): "+
+					"per-cause buckets no longer sum to QueuedWaitCycles", emitted, queued, now)
 		}
 	}
 	return issued
 }
 
-// attributeStalls classifies, for one channel, every request still
-// queued after this cycle's scheduling, emitting exactly one StallEvent
-// per request — the conservation invariant the stall-attribution engine
-// relies on (sum of attributed causes == QueuedWaitCycles). Each event
-// carries weight n: the per-cycle path passes 1, the fast-forward path
-// passes the width of a window over which it has proved the
-// classification constant. It returns the number of events emitted so
-// the tagged build can assert conservation.
-func (c *Controller) attributeStalls(ch int, now sim.Tick, n uint64) int {
+// attributeStalls classifies every request still queued after this
+// cycle's scheduling, emitting exactly one StallEvent per request — the
+// conservation invariant the stall-attribution engine relies on (sum of
+// attributed causes == QueuedWaitCycles). Each event carries weight n:
+// the per-cycle path passes 1, the fast-forward path passes the width
+// of a window over which it has proved the classification constant. It
+// returns the number of events emitted so the tagged build can assert
+// conservation.
+func (s *shard) attributeStalls(now sim.Tick, n uint64) int {
 	emitted := 0
-	c.readQ[ch].Scan(func(_ int, r *mem.Request) bool {
+	s.readQ.Scan(func(_ int, r *mem.Request) bool {
 		emitted++
-		b := c.bankOf(r)
-		c.tel.Stall(telemetry.StallEvent{
+		b := s.bankOf(r)
+		s.tel.Stall(telemetry.StallEvent{
 			ReqID: r.ID, Loc: r.Loc,
 			SAG: b.SAGOf(r.Loc.Row), CD: b.CDOf(r.Loc.Col),
-			Cause: c.classifyReadStall(r, b, ch, now), Now: now, N: n,
+			Cause: s.classifyReadStall(r, b, now), Now: now, N: n,
 		})
 		return true
 	})
-	c.writeQ[ch].Scan(func(_ int, w *mem.Request) bool {
+	s.writeQ.Scan(func(_ int, w *mem.Request) bool {
 		emitted++
-		b := c.bankOf(w)
-		c.tel.Stall(telemetry.StallEvent{
+		b := s.bankOf(w)
+		s.tel.Stall(telemetry.StallEvent{
 			ReqID: w.ID, Write: true, Loc: w.Loc,
 			SAG: b.SAGOf(w.Loc.Row), CD: b.CDOf(w.Loc.Col),
-			Cause: c.classifyWriteStall(w, b, ch, now), Now: now, N: n,
+			Cause: s.classifyWriteStall(w, b, now), Now: now, N: n,
 		})
 		return true
 	})
@@ -530,7 +614,7 @@ func (c *Controller) attributeStalls(ch int, now sim.Tick, n uint64) int {
 // policy (activation budget, anti-thrash guard) — the latter lands in
 // the controller-idle bucket together with tCCD pacing and
 // own-sense-in-flight waits.
-func (c *Controller) classifyReadStall(r *mem.Request, b *core.Bank, ch int, now sim.Tick) telemetry.StallCause {
+func (s *shard) classifyReadStall(r *mem.Request, b *core.Bank, now sim.Tick) telemetry.StallCause {
 	if cause, blocked := b.ReadStallCause(r.Loc.Row, r.Loc.Col, now); blocked {
 		return cause
 	}
@@ -538,8 +622,8 @@ func (c *Controller) classifyReadStall(r *mem.Request, b *core.Bank, ch int, now
 		return telemetry.StallBusConflict
 	}
 	if b.NeedsActivate(r.Loc.Row, r.Loc.Col, now) &&
-		(c.drain[ch] || c.writeQ[ch].Full()) {
-		// cycleChannel suppresses new activations while writes drain.
+		(s.drain || s.writeQ.Full()) {
+		// schedule suppresses new activations while writes drain.
 		return telemetry.StallWriteDrain
 	}
 	return telemetry.StallControllerIdle
@@ -549,20 +633,20 @@ func (c *Controller) classifyReadStall(r *mem.Request, b *core.Bank, ch int, now
 // bank conflicts first, then the shared bus, then deliberate deferral
 // (idle-window hysteresis, clobber avoidance, one-write-per-cycle
 // budget) as controller-idle.
-func (c *Controller) classifyWriteStall(w *mem.Request, b *core.Bank, ch int, now sim.Tick) telemetry.StallCause {
+func (s *shard) classifyWriteStall(w *mem.Request, b *core.Bank, now sim.Tick) telemetry.StallCause {
 	if cause, blocked := b.WriteStallCause(w.Loc.Row, w.Loc.Col, now); blocked {
 		return cause
 	}
-	if b.CanWrite(w.Loc.Row, w.Loc.Col, now) && c.busLaneFor(ch, now+c.cfg.Tim.TCWD) < 0 {
+	if b.CanWrite(w.Loc.Row, w.Loc.Col, now) && s.busLaneFor(now+s.cfg.Tim.TCWD) < 0 {
 		return telemetry.StallBusConflict
 	}
 	return telemetry.StallControllerIdle
 }
 
-func (c *Controller) cycleChannel(ch int, now sim.Tick) int {
-	if c.indexed {
-		cs := &c.cs[ch]
-		if cs.memoValid && now < cs.memoUntil {
+// schedule issues this channel's commands for one controller clock.
+func (s *shard) schedule(now sim.Tick) int {
+	if s.indexed {
+		if s.memoValid && now < s.memoUntil {
 			// A prior cycle proved nothing can issue before memoUntil
 			// and no enqueue has landed since (enqueue invalidates), so
 			// every predicate below still holds its memoized value:
@@ -575,22 +659,22 @@ func (c *Controller) cycleChannel(ch int, now sim.Tick) int {
 			// when the read queue is empty, and reads can only leave
 			// the queue via an issuing (= non-memoized) cycle, which
 			// re-pins it first.
-			if cs.memoBusStalls > 0 {
-				c.st.BusStallCycles.Add(uint64(cs.memoBusStalls))
+			if s.memoBusStalls > 0 {
+				s.st.busStallCycles.Add(uint64(s.memoBusStalls))
 			}
-			if invariant.Enabled && c.channelWouldIssue(ch, now) {
+			if invariant.Enabled && s.wouldIssue(now) {
 				invariant.Assertf(false,
-					"ready memo claims channel %d idle until %d but a command can issue at %d", ch, cs.memoUntil, now)
+					"ready memo claims channel idle until %d but a command can issue at %d", s.memoUntil, now)
 			}
 			return 0
 		}
-		cs.memoValid = false
+		s.memoValid = false
 	}
-	if !c.readQ[ch].Empty() {
-		c.lastReadActive[ch] = now
+	if !s.readQ.Empty() {
+		s.lastReadActive = now
 	}
-	c.updateDrain(ch)
-	writesFirst := c.drain[ch] || c.writeQ[ch].Full()
+	s.updateDrain()
+	writesFirst := s.drain || s.writeQ.Full()
 	// At most one write and one activation issue per cycle: programming
 	// bandwidth is write-driver-limited and the row-decoder/latch path
 	// handles one address per cycle. Extra issue lanes raise COLUMN
@@ -599,10 +683,10 @@ func (c *Controller) cycleChannel(ch int, now sim.Tick) int {
 	// tile-blocking writes or segment-invalidating activations through.
 	wrote, activated := false, false
 	count := 0
-	for lane := 0; lane < c.cfg.IssueLanes; lane++ {
+	for lane := 0; lane < s.cfg.IssueLanes; lane++ {
 		issued := false
 		if writesFirst && !wrote {
-			issued = c.tryIssueWrite(ch, now)
+			issued = s.tryIssueWrite(now)
 			wrote = issued
 		}
 		if !issued {
@@ -610,11 +694,11 @@ func (c *Controller) cycleChannel(ch int, now sim.Tick) int {
 			// already-open segments: starting new activations mid-drain
 			// thrashes row latches against the writes.
 			var didAct bool
-			issued, didAct = c.tryIssueRead(ch, now, !activated && !writesFirst)
+			issued, didAct = s.tryIssueRead(now, !activated && !writesFirst)
 			activated = activated || didAct
 		}
 		if !issued && !wrote {
-			issued = c.tryIssueWrite(ch, now)
+			issued = s.tryIssueWrite(now)
 			wrote = issued
 		}
 		if !issued {
@@ -622,18 +706,17 @@ func (c *Controller) cycleChannel(ch int, now sim.Tick) int {
 		}
 		count++
 	}
-	if count == 0 && c.indexed {
+	if count == 0 && s.indexed {
 		// Nothing can issue until some predicate flips: the same
 		// flip-tick analysis that licenses fast-forward bounds how long
 		// this cycle's outcome stays valid. Arm the ready memo so the
 		// window's remaining cycles skip the scans. busStallsPerCycle
 		// is constant across the window for the same reason the batch
 		// credit in SkipCycles is exact.
-		cs := &c.cs[ch]
-		cs.memoUntil = c.channelNextWork(ch, now)
-		if cs.memoUntil > now+1 {
-			cs.memoBusStalls = c.busStallsPerCycle(ch, now)
-			cs.memoValid = true
+		s.memoUntil = s.channelNextWork(now)
+		if s.memoUntil > now+1 {
+			s.memoBusStalls = s.busStallsPerCycle(now)
+			s.memoValid = true
 		}
 	}
 	return count
@@ -646,28 +729,27 @@ func (c *Controller) cycleChannel(ch int, now sim.Tick) int {
 // full queue — deferring writes is nearly free there because a
 // draining write blocks one tile instead of the bank, so the queue is
 // allowed to back up further before the batch starts.
-func (c *Controller) updateDrain(ch int) {
-	wq := c.writeQ[ch]
-	if c.drain[ch] {
-		if wq.Len() <= c.cfg.WriteLowWM {
-			c.drain[ch] = false
+func (s *shard) updateDrain() {
+	if s.drain {
+		if s.writeQ.Len() <= s.cfg.WriteLowWM {
+			s.drain = false
 		}
 		return
 	}
-	start := c.cfg.WriteHighWM
-	if c.cfg.Modes.BackgroundedWrites {
-		start = c.cfg.WriteQueueCap
+	start := s.cfg.WriteHighWM
+	if s.cfg.Modes.BackgroundedWrites {
+		start = s.cfg.WriteQueueCap
 	}
-	if wq.Len() >= start {
-		c.drain[ch] = true
-		c.st.WriteDrainEvents.Inc()
+	if s.writeQ.Len() >= start {
+		s.drain = true
+		s.st.writeDrainEvents.Inc()
 	}
 }
 
 // busLaneFor returns a data-bus lane free for [start, start+tBURST), or
 // -1 if none. Lanes are reserved monotonically; gaps are not backfilled.
-func (c *Controller) busLaneFor(ch int, start sim.Tick) int {
-	for i, busy := range c.busUse[ch] {
+func (s *shard) busLaneFor(start sim.Tick) int {
+	for i, busy := range s.busUse {
 		if busy <= start {
 			return i
 		}
@@ -675,42 +757,42 @@ func (c *Controller) busLaneFor(ch int, start sim.Tick) int {
 	return -1
 }
 
-func (c *Controller) bankOf(r *mem.Request) *core.Bank {
-	return c.bankFlat[r.Loc.Channel][r.Loc.Rank*c.cfg.Geom.Banks+r.Loc.Bank]
+func (s *shard) bankOf(r *mem.Request) *core.Bank {
+	return s.banks[r.Loc.Rank*s.cfg.Geom.Banks+r.Loc.Bank]
 }
 
 // tryIssueRead issues at most one command (column read or, when
 // mayActivate, an activation) on behalf of the read queue. It returns
 // whether anything issued and whether that something was an activation.
-func (c *Controller) tryIssueRead(ch int, now sim.Tick, mayActivate bool) (bool, bool) {
-	q := c.readQ[ch]
+func (s *shard) tryIssueRead(now sim.Tick, mayActivate bool) (bool, bool) {
+	q := s.readQ
 	if q.Empty() {
 		return false, false
 	}
 	limit := q.Len()
-	if c.cfg.Scheduler == FCFS {
+	if s.cfg.Scheduler == FCFS {
 		limit = 1
 	}
 
 	// First pass (the "first ready" of FR-FCFS): oldest request whose
 	// segment is open, sensed, and whose data burst fits on the bus.
-	// Bus admission depends only on (ch, now), not the candidate, so
-	// the lane is resolved once for the pass: with a lane free the
+	// Bus admission depends only on now, not the candidate, so the
+	// lane is resolved once for the pass: with a lane free the
 	// first device-ready request issues (no stall increments); with no
 	// lane free every device-ready request counts one bus stall,
 	// exactly as the per-candidate formulation would.
-	lane := c.busLaneFor(ch, now+c.cfg.Tim.TCAS)
+	lane := s.busLaneFor(now + s.cfg.Tim.TCAS)
 	for i := 0; i < limit; i++ {
 		r := q.At(i)
-		b := c.bankOf(r)
+		b := s.bankOf(r)
 		if !b.CanRead(r.Loc.Row, r.Loc.Col, now) {
 			continue
 		}
 		if lane < 0 {
-			c.st.BusStallCycles.Inc()
+			s.st.busStallCycles.Inc()
 			continue // column conflict: I/O lines busy
 		}
-		c.issueColumnRead(r, b, ch, lane, i, now)
+		s.issueColumnRead(r, b, lane, i, now)
 		return true, false
 	}
 
@@ -722,27 +804,27 @@ func (c *Controller) tryIssueRead(ch int, now sim.Tick, mayActivate bool) (bool,
 	// queued read is about to use (anti-thrash guard).
 	for i := 0; i < limit; i++ {
 		r := q.At(i)
-		b := c.bankOf(r)
+		b := s.bankOf(r)
 		if !b.NeedsActivate(r.Loc.Row, r.Loc.Col, now) {
 			continue // already sensed; waiting on bus or tCCD
 		}
 		if !b.CanActivate(r.Loc.Row, r.Loc.Col, now) {
 			continue
 		}
-		if c.activationClobbers(q, i, r, b) {
+		if s.activationClobbers(q, i, r, b) {
 			continue
 		}
 		if !r.Issued() {
 			r.MarkIssued(now)
 			if b.SegmentOpen(r.Loc.Row, r.Loc.Col) {
-				c.hitSeen[r] = true
+				s.hitSeen[r] = true
 			}
-			if c.tel != nil {
-				c.telRequest(telemetry.ReqIssued, r, now)
+			if s.tel != nil {
+				s.telRequest(telemetry.ReqIssued, r, now)
 			}
 		}
 		b.Activate(r.Loc.Row, r.Loc.Col, now)
-		c.st.Activations.Inc()
+		s.st.activations.Inc()
 		return true, true
 	}
 	return false, false
@@ -754,10 +836,10 @@ func (c *Controller) tryIssueRead(ch int, now sim.Tick, mayActivate bool) (bool,
 // bank-edge sense amplifiers. Only OLDER requests are protected: the
 // oldest request is never blocked by this guard, which rules out
 // livelock.
-func (c *Controller) activationClobbers(q *mem.Queue, self int, r *mem.Request, b *core.Bank) bool {
+func (s *shard) activationClobbers(q *mem.Queue, self int, r *mem.Request, b *core.Bank) bool {
 	sag := b.SAGOf(r.Loc.Row)
 	cd := b.CDOf(r.Loc.Col)
-	if c.indexed {
+	if s.indexed {
 		// Any clobber-relevant request is a queued read in r's bank
 		// sharing its SAG or CD. r itself contributes one count to its
 		// own bank, SAG and CD cells, so counts of exactly one mean no
@@ -765,22 +847,21 @@ func (c *Controller) activationClobbers(q *mem.Queue, self int, r *mem.Request, 
 		// must come up empty. (The converse does not hold — a matching
 		// count may be younger than r, same-row, or segment-closed —
 		// so a positive filter still scans.)
-		cs := &c.cs[r.Loc.Channel]
-		bi := c.bankIndex(r.Loc)
-		if cs.bankReads[bi] == 1 ||
-			(cs.sagReads[bi*c.cfg.Geom.SAGs+sag] == 1 && cs.cdReads[bi*c.cfg.Geom.CDs+cd] == 1) {
-			if invariant.Enabled && c.scanActivationClobbers(q, self, r, sag, cd) {
+		bi := s.bankIndex(r.Loc)
+		if s.bankReads[bi] == 1 ||
+			(s.sagReads[bi*s.cfg.Geom.SAGs+sag] == 1 && s.cdReads[bi*s.cfg.Geom.CDs+cd] == 1) {
+			if invariant.Enabled && s.scanActivationClobbers(q, self, r, sag, cd) {
 				invariant.Assertf(false,
 					"tile index pre-filter wrongly cleared activation for read %d", r.ID)
 			}
 			return false
 		}
 	}
-	return c.scanActivationClobbers(q, self, r, sag, cd)
+	return s.scanActivationClobbers(q, self, r, sag, cd)
 }
 
 // scanActivationClobbers is the reference older-request scan.
-func (c *Controller) scanActivationClobbers(q *mem.Queue, self int, r *mem.Request, sag, cd int) bool {
+func (s *shard) scanActivationClobbers(q *mem.Queue, self int, r *mem.Request, sag, cd int) bool {
 	clobbers := false
 	q.Scan(func(j int, other *mem.Request) bool {
 		if j >= self {
@@ -793,7 +874,7 @@ func (c *Controller) scanActivationClobbers(q *mem.Queue, self int, r *mem.Reque
 		if other.Loc.Row == r.Loc.Row {
 			return true // same row: activation helps rather than harms
 		}
-		ob := c.bankOf(other)
+		ob := s.bankOf(other)
 		if !ob.SegmentOpen(other.Loc.Row, other.Loc.Col) {
 			return true
 		}
@@ -806,42 +887,42 @@ func (c *Controller) scanActivationClobbers(q *mem.Queue, self int, r *mem.Reque
 	return clobbers
 }
 
-func (c *Controller) issueColumnRead(r *mem.Request, b *core.Bank, ch, lane, qi int, now sim.Tick) {
+func (s *shard) issueColumnRead(r *mem.Request, b *core.Bank, lane, qi int, now sim.Tick) {
 	if !r.Issued() {
 		r.MarkIssued(now)
-		c.hitSeen[r] = true // ready without us ever activating for it
-		if c.tel != nil {
-			c.telRequest(telemetry.ReqIssued, r, now)
+		s.hitSeen[r] = true // ready without us ever activating for it
+		if s.tel != nil {
+			s.telRequest(telemetry.ReqIssued, r, now)
 		}
 	}
-	if c.hitSeen[r] {
-		c.st.SegmentHits.Inc()
+	if s.hitSeen[r] {
+		s.st.segmentHits.Inc()
 	}
-	delete(c.hitSeen, r)
+	delete(s.hitSeen, r)
 	if b.WriteInFlight(now) {
-		c.st.BackgroundedRds.Inc()
+		s.st.backgroundedRds.Inc()
 	}
 	done := b.Read(r.Loc.Row, r.Loc.Col, now)
-	c.busUse[ch][lane] = done // bus busy until the burst ends
-	c.hotCD[r.Loc.Channel][r.Loc.Rank][r.Loc.Bank] = b.CDOf(r.Loc.Col)
-	c.st.ColumnReads.Inc()
-	c.readQ[ch].Remove(qi)
-	if c.indexed {
-		c.noteReadDequeued(r)
+	s.busUse[lane] = done // bus busy until the burst ends
+	s.hotCD[s.bankIndex(r.Loc)] = b.CDOf(r.Loc.Col)
+	s.st.columnReads.Inc()
+	s.readQ.Remove(qi)
+	if s.indexed {
+		s.noteReadDequeued(r)
 	}
-	if c.tel != nil {
-		c.tel.Command(telemetry.Command{
+	if s.tel != nil {
+		s.tel.Command(telemetry.Command{
 			Kind: telemetry.CmdBus,
-			Bank: telemetry.BankID{Channel: ch, Rank: r.Loc.Rank, Bank: r.Loc.Bank},
+			Bank: telemetry.BankID{Channel: r.Loc.Channel, Rank: r.Loc.Rank, Bank: r.Loc.Bank},
 			CD:   lane, Row: r.Loc.Row, Col: r.Loc.Col, ReqID: r.ID,
-			Start: now + c.cfg.Tim.TCAS, End: done,
+			Start: now + s.cfg.Tim.TCAS, End: done,
 		})
 	}
-	c.eng.ScheduleArg(done, c.finishReadFn, r)
+	s.eng.ScheduleArg(done, s.finishReadFn, r)
 }
 
 // finishRead completes a read request: it runs as a scheduled ArgEvent
-// with the request as its argument (see finishReadFn).
+// with the request as its argument (engine-side, like every completion).
 func (c *Controller) finishRead(t sim.Tick, arg any) {
 	r := arg.(*mem.Request)
 	r.Finish(t)
@@ -854,7 +935,7 @@ func (c *Controller) finishRead(t sim.Tick, arg any) {
 	}
 }
 
-// finishWrite completes a write request (see finishWriteFn).
+// finishWrite completes a write request (engine-side).
 func (c *Controller) finishWrite(t sim.Tick, arg any) {
 	w := arg.(*mem.Request)
 	w.Finish(t)
@@ -866,34 +947,43 @@ func (c *Controller) finishWrite(t sim.Tick, arg any) {
 	}
 }
 
+// telRequest is the engine-side lifecycle emitter used by the
+// completion callbacks.
+func (c *Controller) telRequest(phase telemetry.RequestPhase, r *mem.Request, now sim.Tick) {
+	c.tel.Request(telemetry.RequestEvent{
+		Phase: phase, ID: r.ID, Write: r.Op == mem.Write,
+		Loc: r.Loc, Now: now, Arrive: r.Arrive,
+	})
+}
+
 // tryIssueWrite issues at most one line write, returning whether one
 // issued. Writes prefer targets that do not clobber segments pending
 // reads rely on; when the queue is full or draining, the oldest legal
 // write issues regardless.
-func (c *Controller) tryIssueWrite(ch int, now sim.Tick) bool {
-	q := c.writeQ[ch]
+func (s *shard) tryIssueWrite(now sim.Tick) bool {
+	q := s.writeQ
 	if q.Empty() {
 		return false
 	}
 	limit := q.Len()
-	if c.cfg.Scheduler == FCFS {
+	if s.cfg.Scheduler == FCFS {
 		limit = 1
 	}
 	// Backlog pressure: while drain mode is active, writes may no
 	// longer be deferred just to keep tiles clear for reads.
-	force := c.drain[ch] || q.Full()
+	force := s.drain || q.Full()
 	// A write blocks its CD for the whole programming time, so issuing
 	// one while reads are waiting almost always delays them more than
 	// the write gains. Writes therefore issue only under backlog
 	// pressure or once the read queue has been idle for a hysteresis
 	// window; Backgrounded Writes' benefit is that the write then
 	// blocks one tile, not the bank.
-	if !force && now < c.lastReadActive[ch]+idleWriteDelay {
+	if !force && now < s.lastReadActive+idleWriteDelay {
 		return false
 	}
-	// Bus admission depends only on (ch, now): with no lane free no
-	// write can issue in either pass, so resolve the lane once.
-	lane := c.busLaneFor(ch, now+c.cfg.Tim.TCWD)
+	// Bus admission depends only on now: with no lane free no write
+	// can issue in either pass, so resolve the lane once.
+	lane := s.busLaneFor(now + s.cfg.Tim.TCWD)
 	if lane < 0 {
 		return false // write data also crosses the shared bus
 	}
@@ -904,11 +994,11 @@ func (c *Controller) tryIssueWrite(ch int, now sim.Tick) bool {
 	pick := -1
 	for i := 0; i < limit; i++ {
 		w := q.At(i)
-		b := c.bankOf(w)
+		b := s.bankOf(w)
 		if !b.CanWrite(w.Loc.Row, w.Loc.Col, now) {
 			continue
 		}
-		if c.writeClobbersPendingRead(w, b) {
+		if s.writeClobbersPendingRead(w, b) {
 			continue
 		}
 		pick = i
@@ -918,7 +1008,7 @@ func (c *Controller) tryIssueWrite(ch int, now sim.Tick) bool {
 		// Under pressure: take the oldest write that is merely legal.
 		for i := 0; i < limit; i++ {
 			w := q.At(i)
-			b := c.bankOf(w)
+			b := s.bankOf(w)
 			if b.CanWrite(w.Loc.Row, w.Loc.Col, now) {
 				pick = i
 				break
@@ -929,20 +1019,20 @@ func (c *Controller) tryIssueWrite(ch int, now sim.Tick) bool {
 		return false
 	}
 	w := q.Remove(pick)
-	b := c.bankOf(w)
+	b := s.bankOf(w)
 	w.MarkIssued(now)
 	done := b.Write(w.Loc.Row, w.Loc.Col, now)
-	c.busUse[ch][lane] = now + c.cfg.Tim.TCWD + c.cfg.Tim.TBURST
-	if c.tel != nil {
-		c.telRequest(telemetry.ReqIssued, w, now)
-		c.tel.Command(telemetry.Command{
+	s.busUse[lane] = now + s.cfg.Tim.TCWD + s.cfg.Tim.TBURST
+	if s.tel != nil {
+		s.telRequest(telemetry.ReqIssued, w, now)
+		s.tel.Command(telemetry.Command{
 			Kind: telemetry.CmdBus,
-			Bank: telemetry.BankID{Channel: ch, Rank: w.Loc.Rank, Bank: w.Loc.Bank},
+			Bank: telemetry.BankID{Channel: w.Loc.Channel, Rank: w.Loc.Rank, Bank: w.Loc.Bank},
 			CD:   lane, Row: w.Loc.Row, Col: w.Loc.Col, ReqID: w.ID,
-			Start: now + c.cfg.Tim.TCWD, End: now + c.cfg.Tim.TCWD + c.cfg.Tim.TBURST,
+			Start: now + s.cfg.Tim.TCWD, End: now + s.cfg.Tim.TCWD + s.cfg.Tim.TBURST,
 		})
 	}
-	c.eng.ScheduleArg(done, c.finishWriteFn, w)
+	s.eng.ScheduleArg(done, s.finishWriteFn, w)
 	return true
 }
 
@@ -950,13 +1040,19 @@ func (c *Controller) tryIssueWrite(ch int, now sim.Tick) bool {
 // without performing it or mutating any state (r included). The CPU
 // model uses it to decide whether a pending retry is provably futile —
 // the admission half of the run loop's quiescence test.
+//
+//own:boundary(admission probe for the run loop's quiescence test)
 func (c *Controller) WouldAccept(r *mem.Request) bool {
 	loc := c.mapper.Decode(r.Addr)
-	line := r.Addr / uint64(c.cfg.Geom.LineBytes)
-	wq := c.writeQ[loc.Channel]
+	return c.shards[loc.Channel].wouldAccept(r)
+}
+
+// wouldAccept is the per-channel admission test behind WouldAccept.
+func (s *shard) wouldAccept(r *mem.Request) bool {
+	line := r.Addr / uint64(s.cfg.Geom.LineBytes)
 	hit := false
-	wq.Scan(func(_ int, w *mem.Request) bool {
-		if w.Addr/uint64(c.cfg.Geom.LineBytes) == line {
+	s.writeQ.Scan(func(_ int, w *mem.Request) bool {
+		if w.Addr/uint64(s.cfg.Geom.LineBytes) == line {
 			hit = true
 			return false
 		}
@@ -966,9 +1062,9 @@ func (c *Controller) WouldAccept(r *mem.Request) bool {
 		return true // forwarding (read) or coalescing (write) always admits
 	}
 	if r.Op == mem.Read {
-		return !c.readQ[loc.Channel].Full()
+		return !s.readQ.Full()
 	}
-	return !wq.Full()
+	return !s.writeQ.Full()
 }
 
 // NextWork returns the earliest tick strictly after now at which the
@@ -978,41 +1074,41 @@ func (c *Controller) WouldAccept(r *mem.Request) bool {
 // target. sim.MaxTick means "never" (all queues empty).
 //
 // The result is the minimum over every "flip tick" of the predicates
-// consulted by cycleChannel and the stall classifiers: bank timer
+// consulted by schedule and the stall classifiers: bank timer
 // expiries (core.Bank.NextRelease), shared-bus lane releases offset by
 // the tCAS/tCWD admission lookahead, and the idle-write hysteresis
 // deadline. Every such predicate compares now against exactly one of
 // these values, so in the open window before the returned tick the
 // controller's admissible-command set, its stall classifications and
 // its per-cycle counter increments are all provably constant.
+//
+//own:boundary(fast-forward flip-tick analysis across all shards)
 func (c *Controller) NextWork(now sim.Tick) sim.Tick {
 	next := sim.MaxTick
-	for ch := range c.readQ {
-		if c.indexed {
-			// An armed memo already is the channel's flip analysis: it
-			// was computed at some t0 <= now, and had any flip occurred
-			// in (t0, now] the memo would have expired. Reuse it instead
-			// of rescanning every bank.
-			if cs := &c.cs[ch]; cs.memoValid && cs.memoUntil > now {
-				if cs.memoUntil < next {
-					next = cs.memoUntil
-				}
-				continue
-			}
-		}
-		if t := c.channelNextWork(ch, now); t < next {
+	for ch := range c.shards {
+		if t := c.shards[ch].nextWork(now); t < next {
 			next = t
 		}
 	}
 	return next
 }
 
-// channelNextWork is NextWork restricted to one channel: the earliest
+// nextWork is one channel's flip-tick analysis. An armed memo already
+// is that analysis: it was computed at some t0 <= now, and had any flip
+// occurred in (t0, now] the memo would have expired. Reuse it instead
+// of rescanning every bank.
+func (s *shard) nextWork(now sim.Tick) sim.Tick {
+	if s.indexed && s.memoValid && s.memoUntil > now {
+		return s.memoUntil
+	}
+	return s.channelNextWork(now)
+}
+
+// channelNextWork is NextWork restricted to this channel: the earliest
 // tick strictly after now at which any of the channel's scheduling
 // predicates can flip, or sim.MaxTick when both queues are empty.
-func (c *Controller) channelNextWork(ch int, now sim.Tick) sim.Tick {
-	rq, wq := c.readQ[ch], c.writeQ[ch]
-	if rq.Empty() && wq.Empty() {
+func (s *shard) channelNextWork(now sim.Tick) sim.Tick {
+	if s.readQ.Empty() && s.writeQ.Empty() {
 		return sim.MaxTick
 	}
 	next := sim.MaxTick
@@ -1025,46 +1121,46 @@ func (c *Controller) channelNextWork(ch int, now sim.Tick) sim.Tick {
 	// targets: cheaper than scanning the (often longer) queues, and
 	// extra flip candidates can only shorten the jump, never break
 	// its exactness.
-	for _, b := range c.bankFlat[ch] {
+	for _, b := range s.banks {
 		consider(b.NextRelease(now))
 	}
-	for _, busy := range c.busUse[ch] {
+	for _, busy := range s.busUse {
 		// Bus admission tests are busy <= t+tCAS (reads) and
 		// busy <= t+tCWD (writes): they flip at busy-tCAS and
 		// busy-tCWD. Guarded subtractions avoid uint underflow.
-		if busy > now+c.cfg.Tim.TCAS {
-			consider(busy - c.cfg.Tim.TCAS)
+		if busy > now+s.cfg.Tim.TCAS {
+			consider(busy - s.cfg.Tim.TCAS)
 		}
-		if busy > now+c.cfg.Tim.TCWD {
-			consider(busy - c.cfg.Tim.TCWD)
+		if busy > now+s.cfg.Tim.TCWD {
+			consider(busy - s.cfg.Tim.TCWD)
 		}
 	}
-	if rq.Empty() && !wq.Empty() {
+	if s.readQ.Empty() && !s.writeQ.Empty() {
 		// Non-forced writes wait out the idle hysteresis window;
 		// its deadline is a flip only while no reads keep pushing
 		// lastReadActive forward.
-		consider(c.lastReadActive[ch] + idleWriteDelay)
+		consider(s.lastReadActive + idleWriteDelay)
 	}
 	return next
 }
 
-// busStallsPerCycle counts, for one channel, the column-read candidates
-// that are device-ready but blocked only by the shared bus — exactly
-// the per-cycle BusStallCycles increment tryIssueRead's first pass
+// busStallsPerCycle counts the column-read candidates that are
+// device-ready but blocked only by the shared bus — exactly the
+// per-cycle busStallCycles increment tryIssueRead's first pass
 // performs when nothing can issue.
-func (c *Controller) busStallsPerCycle(ch int, now sim.Tick) int {
-	if c.busLaneFor(ch, now+c.cfg.Tim.TCAS) >= 0 {
+func (s *shard) busStallsPerCycle(now sim.Tick) int {
+	if s.busLaneFor(now+s.cfg.Tim.TCAS) >= 0 {
 		return 0 // a free lane means device-ready candidates issue, not stall
 	}
-	q := c.readQ[ch]
+	q := s.readQ
 	limit := q.Len()
-	if c.cfg.Scheduler == FCFS && limit > 1 {
+	if s.cfg.Scheduler == FCFS && limit > 1 {
 		limit = 1
 	}
 	n := 0
 	for i := 0; i < limit; i++ {
 		r := q.At(i)
-		b := c.bankOf(r)
+		b := s.bankOf(r)
 		if b.CanRead(r.Loc.Row, r.Loc.Col, now) {
 			n++
 		}
@@ -1083,26 +1179,33 @@ func (c *Controller) busStallsPerCycle(ch int, now sim.Tick) int {
 // stall attribution emits one weighted event per queued request.
 // Background energy needs no crediting here — the energy model
 // integrates elapsed ticks exactly on the next Cycle.
+//
+//own:boundary(fast-forward batch credit, applied shard by shard)
 func (c *Controller) SkipCycles(now sim.Tick, n uint64) {
 	if n == 0 {
 		return
 	}
-	for ch := range c.readQ {
-		queued := c.readQ[ch].Len() + c.writeQ[ch].Len()
-		if queued == 0 {
-			continue
-		}
-		c.st.QueuedWaitCycles.Add(uint64(queued) * n)
-		if stalls := c.busStallsPerCycle(ch, now); stalls > 0 {
-			c.st.BusStallCycles.Add(uint64(stalls) * n)
-		}
-		if c.tel != nil {
-			emitted := c.attributeStalls(ch, now, n)
-			if invariant.Enabled {
-				invariant.Assertf(emitted == queued,
-					"fast-forward stall attribution emitted %d weighted events for %d queued requests (channel %d, tick %d)",
-					emitted, queued, ch, now)
-			}
+	for ch := range c.shards {
+		c.shards[ch].skipCycles(now, n)
+	}
+}
+
+// skipCycles is one channel's share of a fast-forward batch credit.
+func (s *shard) skipCycles(now sim.Tick, n uint64) {
+	queued := s.readQ.Len() + s.writeQ.Len()
+	if queued == 0 {
+		return
+	}
+	s.st.queuedWaitCycles.Add(uint64(queued) * n)
+	if stalls := s.busStallsPerCycle(now); stalls > 0 {
+		s.st.busStallCycles.Add(uint64(stalls) * n)
+	}
+	if s.tel != nil {
+		emitted := s.attributeStalls(now, n)
+		if invariant.Enabled {
+			invariant.Assertf(emitted == queued,
+				"fast-forward stall attribution emitted %d weighted events for %d queued requests (tick %d)",
+				emitted, queued, now)
 		}
 	}
 }
@@ -1128,57 +1231,55 @@ func (c *Controller) SkipRejects(r *mem.Request, now sim.Tick, n uint64) {
 // occupy the (SAG, CD) a queued read needs next. Avoiding such writes is
 // the scheduling half of Backgrounded Writes: put the write where the
 // reads are not.
-func (c *Controller) writeClobbersPendingRead(w *mem.Request, b *core.Bank) bool {
+func (s *shard) writeClobbersPendingRead(w *mem.Request, b *core.Bank) bool {
 	sag := b.SAGOf(w.Loc.Row)
 	cd := b.CDOf(w.Loc.Col)
-	rq := c.readQ[w.Loc.Channel]
-	if rq.Empty() {
+	if s.readQ.Empty() {
 		return false // no reads to disturb
 	}
-	if c.hotCD[w.Loc.Channel][w.Loc.Rank][w.Loc.Bank] == cd {
+	if s.hotCD[s.bankIndex(w.Loc)] == cd {
 		return true // streaming reads are working through this CD now
 	}
-	if c.indexed {
+	if s.indexed {
 		// The tile candidate counts answer the existence question the
 		// scan below asks — "is any queued read targeting this bank's
 		// SAG or CD?" — in O(1).
-		cs := &c.cs[w.Loc.Channel]
-		bi := c.bankIndex(w.Loc)
-		clash := cs.sagReads[bi*c.cfg.Geom.SAGs+sag] > 0 || cs.cdReads[bi*c.cfg.Geom.CDs+cd] > 0
-		if invariant.Enabled && clash != c.scanWriteClobbers(w, sag, cd) {
+		bi := s.bankIndex(w.Loc)
+		clash := s.sagReads[bi*s.cfg.Geom.SAGs+sag] > 0 || s.cdReads[bi*s.cfg.Geom.CDs+cd] > 0
+		if invariant.Enabled && clash != s.scanWriteClobbers(w, sag, cd) {
 			invariant.Assertf(false,
 				"tile index disagrees with reference scan for write %d (index says clash=%v)", w.ID, clash)
 		}
 		return clash
 	}
-	return c.scanWriteClobbers(w, sag, cd)
+	return s.scanWriteClobbers(w, sag, cd)
 }
 
-// channelWouldIssue re-derives, from scratch and without mutating
-// anything, whether cycleChannel would issue at least one command on ch
-// at now. It exists for the fgnvm_invariants build: every memoized
-// (skipped) cycle asserts this is false, i.e. ready-memo membership
-// really does mean "not issuable now, next possible at a known tick".
-func (c *Controller) channelWouldIssue(ch int, now sim.Tick) bool {
-	writesFirst := c.drain[ch] || c.writeQ[ch].Full()
-	// cycleChannel attempts a write either first (writesFirst) or as a
+// wouldIssue re-derives, from scratch and without mutating anything,
+// whether schedule would issue at least one command at now. It exists
+// for the fgnvm_invariants build: every memoized (skipped) cycle
+// asserts this is false, i.e. ready-memo membership really does mean
+// "not issuable now, next possible at a known tick".
+func (s *shard) wouldIssue(now sim.Tick) bool {
+	writesFirst := s.drain || s.writeQ.Full()
+	// schedule attempts a write either first (writesFirst) or as a
 	// fallback after the read passes, so a write candidate means a
 	// command issues regardless of ordering.
-	if c.wouldIssueWrite(ch, now) {
+	if s.wouldIssueWrite(now) {
 		return true
 	}
-	rq := c.readQ[ch]
+	rq := s.readQ
 	if rq.Empty() {
 		return false
 	}
 	limit := rq.Len()
-	if c.cfg.Scheduler == FCFS {
+	if s.cfg.Scheduler == FCFS {
 		limit = 1
 	}
-	if c.busLaneFor(ch, now+c.cfg.Tim.TCAS) >= 0 {
+	if s.busLaneFor(now+s.cfg.Tim.TCAS) >= 0 {
 		for i := 0; i < limit; i++ {
 			r := rq.At(i)
-			if c.bankOf(r).CanRead(r.Loc.Row, r.Loc.Col, now) {
+			if s.bankOf(r).CanRead(r.Loc.Row, r.Loc.Col, now) {
 				return true
 			}
 		}
@@ -1188,10 +1289,10 @@ func (c *Controller) channelWouldIssue(ch int, now sim.Tick) bool {
 	}
 	for i := 0; i < limit; i++ {
 		r := rq.At(i)
-		b := c.bankOf(r)
+		b := s.bankOf(r)
 		if b.NeedsActivate(r.Loc.Row, r.Loc.Col, now) &&
 			b.CanActivate(r.Loc.Row, r.Loc.Col, now) &&
-			!c.activationClobbers(rq, i, r, b) {
+			!s.activationClobbers(rq, i, r, b) {
 			return true
 		}
 	}
@@ -1199,35 +1300,35 @@ func (c *Controller) channelWouldIssue(ch int, now sim.Tick) bool {
 }
 
 // wouldIssueWrite is tryIssueWrite's decision without its side effects.
-func (c *Controller) wouldIssueWrite(ch int, now sim.Tick) bool {
-	q := c.writeQ[ch]
+func (s *shard) wouldIssueWrite(now sim.Tick) bool {
+	q := s.writeQ
 	if q.Empty() {
 		return false
 	}
-	force := c.drain[ch] || q.Full()
+	force := s.drain || q.Full()
 	if !force {
 		// The hysteresis predicate as the reference path sees it: with
 		// reads queued, lastReadActive would track now every cycle, so
 		// the deferral holds; memoized cycles leave the stored value
 		// stale, which must not be read directly here.
-		if !c.readQ[ch].Empty() || now < c.lastReadActive[ch]+idleWriteDelay {
+		if !s.readQ.Empty() || now < s.lastReadActive+idleWriteDelay {
 			return false
 		}
 	}
-	if c.busLaneFor(ch, now+c.cfg.Tim.TCWD) < 0 {
+	if s.busLaneFor(now+s.cfg.Tim.TCWD) < 0 {
 		return false
 	}
 	limit := q.Len()
-	if c.cfg.Scheduler == FCFS {
+	if s.cfg.Scheduler == FCFS {
 		limit = 1
 	}
 	for i := 0; i < limit; i++ {
 		w := q.At(i)
-		b := c.bankOf(w)
+		b := s.bankOf(w)
 		if !b.CanWrite(w.Loc.Row, w.Loc.Col, now) {
 			continue
 		}
-		if force || !c.writeClobbersPendingRead(w, b) {
+		if force || !s.writeClobbersPendingRead(w, b) {
 			return true
 		}
 	}
@@ -1237,41 +1338,40 @@ func (c *Controller) wouldIssueWrite(ch int, now sim.Tick) bool {
 // verifyIndex recounts the tile candidate index from the read queue and
 // asserts it matches the incrementally maintained counts. Runs only in
 // the fgnvm_invariants build (called on every enqueue).
-func (c *Controller) verifyIndex(ch int) {
-	cs := &c.cs[ch]
-	nb := c.cfg.Geom.Ranks * c.cfg.Geom.Banks
+func (s *shard) verifyIndex() {
+	nb := s.cfg.Geom.Ranks * s.cfg.Geom.Banks
 	bankN := make([]int32, nb)
-	sagN := make([]int32, nb*c.cfg.Geom.SAGs)
-	cdN := make([]int32, nb*c.cfg.Geom.CDs)
-	c.readQ[ch].Scan(func(_ int, r *mem.Request) bool {
-		bi := c.bankIndex(r.Loc)
+	sagN := make([]int32, nb*s.cfg.Geom.SAGs)
+	cdN := make([]int32, nb*s.cfg.Geom.CDs)
+	s.readQ.Scan(func(_ int, r *mem.Request) bool {
+		bi := s.bankIndex(r.Loc)
 		bankN[bi]++
-		sagN[bi*c.cfg.Geom.SAGs+r.Loc.Row%c.cfg.Geom.SAGs]++
-		cdN[bi*c.cfg.Geom.CDs+r.Loc.Col%c.cfg.Geom.CDs]++
+		sagN[bi*s.cfg.Geom.SAGs+r.Loc.Row%s.cfg.Geom.SAGs]++
+		cdN[bi*s.cfg.Geom.CDs+r.Loc.Col%s.cfg.Geom.CDs]++
 		return true
 	})
 	for i := range bankN {
-		invariant.Assertf(bankN[i] == cs.bankReads[i],
-			"tile index bankReads[%d]=%d, queue holds %d (channel %d)", i, cs.bankReads[i], bankN[i], ch)
+		invariant.Assertf(bankN[i] == s.bankReads[i],
+			"tile index bankReads[%d]=%d, queue holds %d", i, s.bankReads[i], bankN[i])
 	}
 	for i := range sagN {
-		invariant.Assertf(sagN[i] == cs.sagReads[i],
-			"tile index sagReads[%d]=%d, queue holds %d (channel %d)", i, cs.sagReads[i], sagN[i], ch)
+		invariant.Assertf(sagN[i] == s.sagReads[i],
+			"tile index sagReads[%d]=%d, queue holds %d", i, s.sagReads[i], sagN[i])
 	}
 	for i := range cdN {
-		invariant.Assertf(cdN[i] == cs.cdReads[i],
-			"tile index cdReads[%d]=%d, queue holds %d (channel %d)", i, cs.cdReads[i], cdN[i], ch)
+		invariant.Assertf(cdN[i] == s.cdReads[i],
+			"tile index cdReads[%d]=%d, queue holds %d", i, s.cdReads[i], cdN[i])
 	}
 }
 
 // scanWriteClobbers is the reference O(readQ) form of the clobber test.
-func (c *Controller) scanWriteClobbers(w *mem.Request, sag, cd int) bool {
+func (s *shard) scanWriteClobbers(w *mem.Request, sag, cd int) bool {
 	clash := false
-	c.readQ[w.Loc.Channel].Scan(func(_ int, r *mem.Request) bool {
+	s.readQ.Scan(func(_ int, r *mem.Request) bool {
 		if r.Loc.Rank != w.Loc.Rank || r.Loc.Bank != w.Loc.Bank {
 			return true
 		}
-		rb := c.bankOf(r)
+		rb := s.bankOf(r)
 		if rb.SAGOf(r.Loc.Row) == sag || rb.CDOf(r.Loc.Col) == cd {
 			clash = true
 			return false

@@ -46,6 +46,8 @@ import (
 
 // AccessModes selects which of the paper's new access types are enabled.
 // All three default to off, which models the baseline bank.
+//
+//own:immutable
 type AccessModes struct {
 	// PartialActivation senses only the CD-wide segment containing the
 	// requested column instead of the full row.
@@ -84,6 +86,8 @@ const (
 )
 
 // Config assembles the parameters of one bank.
+//
+//own:immutable
 type Config struct {
 	Geom   addr.Geometry
 	Tim    timing.Timings
@@ -106,13 +110,21 @@ type Config struct {
 // Bank is the FgNVM bank state machine. It tracks only timing and
 // occupancy, not data contents. All times are absolute controller
 // cycles; "busy until" values are exclusive (resource free at that tick).
+//
+// A Bank belongs to exactly one channel, so the whole state machine is
+// channel-owned; the two cross-domain references it holds — the shared
+// energy model and the telemetry sink — are declared boundary fields.
+//
+//own:channel
 type Bank struct {
 	geom  addr.Geometry
 	tim   timing.Timings
 	modes AccessModes
-	emod  *energy.Model
-	sink  telemetry.Sink
-	id    telemetry.BankID
+	//own:boundary(shared energy model: commutative integer accumulation, safe to feed from any channel)
+	emod *energy.Model
+	//own:boundary(observational telemetry egress, events only)
+	sink telemetry.Sink
+	id   telemetry.BankID
 
 	rowsPerSAG int
 	colsPerCD  int
@@ -146,6 +158,8 @@ type Bank struct {
 }
 
 // NewBank validates cfg and returns a bank with all rows closed.
+//
+//own:boundary(construction: initializes channel-owned bank state before any event runs)
 func NewBank(cfg Config) (*Bank, error) {
 	if err := cfg.Geom.Validate(); err != nil {
 		return nil, err

@@ -136,7 +136,7 @@ func (p *Pass) buildAllowLines() {
 
 // All returns every analyzer of the suite, in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, HookPurity, UnitSafety, StatsDiscipline}
+	return []*Analyzer{Determinism, HookPurity, UnitSafety, StatsDiscipline, Ownership, Escape, Boundary}
 }
 
 // Run applies each applicable analyzer to each package and returns the

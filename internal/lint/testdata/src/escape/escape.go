@@ -41,7 +41,7 @@ var currentShard *shard
 
 // storeIntoEngine aliases a shard into engine-owned places: flagged.
 func storeIntoEngine(e *engine, s *shard) {
-	e.leak = s      // want "shard reference stored into engine-owned field"
+	e.leak = s       // want "shard reference stored into engine-owned field"
 	currentShard = s // want "shard reference stored into engine-owned package var"
 }
 
