@@ -220,6 +220,19 @@ type Options struct {
 	// every benchmark × design) and exists for verification and for
 	// measuring the indexed scheduler's speedup. Ignored by DesignDRAM.
 	DisableSchedIndex bool
+
+	// DisableParallelEngine forces the reference serial run loop: one
+	// goroutine stepping every channel in turn, no windowed stepping.
+	// The parallel engine is conservative parallel DES — channel shards
+	// advance concurrently only through windows the run loop has proved
+	// free of cross-channel effects, and every effect serializes at the
+	// window barrier in (tick, channel, seq) order — so, like the two
+	// knobs above, results are byte-identical either way (Result JSON
+	// and Perfetto trace bytes, enforced by parallel_test.go across
+	// every benchmark × design). This is a verification and measurement
+	// knob, not a fidelity trade-off. Ignored by DesignDRAM, which
+	// always runs the serial reference loop.
+	DisableParallelEngine bool
 }
 
 // AccessModeSet selects which of the paper's three access modes are
@@ -650,19 +663,7 @@ func RunContext(ctx context.Context, o Options) (Result, error) {
 	}
 
 	// The memory side: the NVM controller for every design except
-	// DesignDRAM, which runs the DDR reference system instead. Beyond
-	// accepting and cycling requests, a device must support the run
-	// loop's fast-forward protocol: report how much it issued (Cycle's
-	// return), bound when it could next act (NextWork), and batch-credit
-	// skipped quiescent cycles (SkipCycles/SkipRejects).
-	type memDevice interface {
-		cpu.MemorySystem
-		Cycle(now sim.Tick) int
-		Drained() bool
-		NextWork(now sim.Tick) sim.Tick
-		SkipCycles(now sim.Tick, n uint64)
-		SkipRejects(r *mem.Request, now sim.Tick, n uint64)
-	}
+	// DesignDRAM, which runs the DDR reference system instead.
 	eng := sim.NewEngine()
 	var memsys memDevice
 	var ctrl *controller.Controller
@@ -719,12 +720,6 @@ func RunContext(ctx context.Context, o Options) (Result, error) {
 	}
 
 	// Per-core private LLC and core model.
-	type coreSlot struct {
-		core     *cpu.Core
-		llc      *cpu.LLC
-		finished sim.Tick
-		done     bool
-	}
 	slots := make([]*coreSlot, len(streams))
 	for i, stream := range streams {
 		var llc *cpu.LLC
@@ -762,114 +757,18 @@ func RunContext(ctx context.Context, o Options) (Result, error) {
 		slots[i] = &coreSlot{core: cm, llc: llc}
 	}
 
-	// Main loop: one controller cycle at a time; completions scheduled
-	// on the engine fire before the cycle's scheduling work. Finished
-	// cores stop fetching; the run ends when the last core retires its
-	// budget and memory drains.
-	//
-	// Idle-cycle fast-forward: when a cycle issued no memory command and
-	// every live core is provably Blocked, nothing can happen until the
-	// earliest of the next scheduled event and the memory system's next
-	// flip tick (NextWork) — every scheduling predicate is constant in
-	// between, so the intervening cycles would each repeat exactly the
-	// same no-op with the same counter increments. The loop jumps
-	// straight to that tick, batch-crediting the per-cycle accounting
-	// (core stall cycles, queued-wait and bus-stall counters, weighted
-	// stall-attribution events, rejected-retry telemetry), which keeps
-	// fast-forwarded runs byte-identical to cycle-by-cycle runs — the
-	// property the differential tests pin. The paper's long PCM write
-	// windows (Section 4.3) are precisely where this pays off.
-	// Probe throttle: quiescence probes (Blocked + NextWork) are not
-	// free, and on read-bound phases they mostly fail — a core is still
-	// making progress, or the next bank-timer flip is a cycle away. After
-	// a failed probe the loop backs off exponentially (capped) before
-	// probing again; any successful jump resets the backoff, so chains of
-	// short skips inside a write drain stay cheap. Purely a heuristic
-	// gate — skipped probes execute cycles normally, so exactness and
-	// determinism are unaffected.
-	var probeRetry sim.Tick
-	var probeBackoff sim.Tick
+	// Main loop: the serial reference engine, or — for the NVM designs,
+	// unless DisableParallelEngine — the windowed parallel engine.
+	// Both return the final tick; byte-identity between them is pinned
+	// by the parallel_test.go differential battery.
 	var now sim.Tick
-	for ; now < o.MaxCycles; now++ {
-		if now&ctxCheckMask == 0 {
-			if err := ctx.Err(); err != nil {
-				return Result{}, err
-			}
-		}
-		eng.RunUntil(now)
-		allDone := true
-		for _, s := range slots {
-			if s.done {
-				continue
-			}
-			s.core.Cycle(now)
-			if s.core.Finished() {
-				s.done = true
-				s.finished = now
-			} else {
-				allDone = false
-			}
-		}
-		issued := memsys.Cycle(now)
-		if allDone && memsys.Drained() {
-			break
-		}
-		if o.DisableFastForward || issued != 0 {
-			continue
-		}
-		// Cheapest test first: with a completion due next tick (the
-		// common case while requests are in service) no jump is
-		// possible, and the costlier quiescence probes are skipped.
-		target := eng.NextEventTick()
-		if target <= now+1 || now < probeRetry {
-			continue
-		}
-		quiescent := true
-		for _, s := range slots {
-			if !s.done && !s.core.Blocked() {
-				quiescent = false
-				break
-			}
-		}
-		if !quiescent {
-			probeBackoff = min(probeBackoff*2+1, 64)
-			probeRetry = now + probeBackoff
-			continue
-		}
-		if w := memsys.NextWork(now); w < target {
-			target = w
-		}
-		if target > o.MaxCycles {
-			// Nothing is ever going to happen (deadlock backstop) or the
-			// next action lies past the cycle budget either way: land on
-			// MaxCycles so the loop exits through its normal error path.
-			target = o.MaxCycles
-		}
-		if target <= now+1 {
-			probeBackoff = min(probeBackoff*2+1, 64)
-			probeRetry = now + probeBackoff
-			continue // nothing to skip
-		}
-		skip := uint64(target - now - 1)
-		probeBackoff = 0
-		for _, s := range slots {
-			if s.done {
-				continue
-			}
-			s.core.SkipStallCycles(skip)
-			if r := s.core.RetryRequest(); r != nil {
-				memsys.SkipRejects(r, now, skip)
-			}
-		}
-		memsys.SkipCycles(now, skip)
-		now = target - 1 // the loop increment lands exactly on target
-		// The masked cancellation poll above can be starved by large
-		// jumps (now skips most mask-aligned ticks), so re-check after
-		// every jump: a cancelled run must stop even when it is
-		// fast-forwarding through a multi-thousand-cycle write drain.
-		if err := ctx.Err(); err != nil {
-			return Result{}, err
-		}
+	if ctrl != nil && !o.DisableParallelEngine {
+		now, err = runParallel(ctx, o, eng, ctrl, slots)
+	} else {
+		now, err = runSerial(ctx, o, eng, memsys, slots)
+	}
+	if err != nil {
+		return Result{}, err
 	}
 	if now >= o.MaxCycles {
 		return Result{}, fmt.Errorf("fgnvm: run exceeded MaxCycles=%d (core 0 retired %d of %d)",
@@ -961,6 +860,143 @@ func RunContext(ctx context.Context, o Options) (Result, error) {
 		res.LLCMissRate = sum / float64(len(slots))
 	}
 	return res, nil
+}
+
+// memDevice is the run loops' view of the memory side. Beyond accepting
+// and cycling requests, a device must support the fast-forward
+// protocol: report how much it issued (Cycle's return), bound when it
+// could next act (NextWork), and batch-credit skipped quiescent cycles
+// (SkipCycles/SkipRejects).
+type memDevice interface {
+	cpu.MemorySystem
+	Cycle(now sim.Tick) int
+	Drained() bool
+	NextWork(now sim.Tick) sim.Tick
+	SkipCycles(now sim.Tick, n uint64)
+	SkipRejects(r *mem.Request, now sim.Tick, n uint64)
+}
+
+// coreSlot tracks one core, its private LLC and its completion tick.
+type coreSlot struct {
+	core     *cpu.Core
+	llc      *cpu.LLC
+	finished sim.Tick
+	done     bool
+}
+
+// runSerial is the reference engine: one goroutine, one controller
+// cycle at a time; completions scheduled on the engine fire before the
+// cycle's scheduling work. Finished cores stop fetching; the run ends
+// when the last core retires its budget and memory drains. It returns
+// the final tick; the caller treats now >= MaxCycles as the deadlock
+// backstop.
+//
+// Idle-cycle fast-forward: when a cycle issued no memory command and
+// every live core is provably Blocked, nothing can happen until the
+// earliest of the next scheduled event and the memory system's next
+// flip tick (NextWork) — every scheduling predicate is constant in
+// between, so the intervening cycles would each repeat exactly the
+// same no-op with the same counter increments. The loop jumps
+// straight to that tick, batch-crediting the per-cycle accounting
+// (core stall cycles, queued-wait and bus-stall counters, weighted
+// stall-attribution events, rejected-retry telemetry), which keeps
+// fast-forwarded runs byte-identical to cycle-by-cycle runs — the
+// property the differential tests pin. The paper's long PCM write
+// windows (Section 4.3) are precisely where this pays off.
+// Probe throttle: quiescence probes (Blocked + NextWork) are not
+// free, and on read-bound phases they mostly fail — a core is still
+// making progress, or the next bank-timer flip is a cycle away. After
+// a failed probe the loop backs off exponentially (capped) before
+// probing again; any successful jump resets the backoff, so chains of
+// short skips inside a write drain stay cheap. Purely a heuristic
+// gate — skipped probes execute cycles normally, so exactness and
+// determinism are unaffected.
+func runSerial(ctx context.Context, o Options, eng *sim.Engine, memsys memDevice, slots []*coreSlot) (sim.Tick, error) {
+	var probeRetry sim.Tick
+	var probeBackoff sim.Tick
+	var now sim.Tick
+	for ; now < o.MaxCycles; now++ {
+		if now&ctxCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
+		eng.RunUntil(now)
+		allDone := true
+		for _, s := range slots {
+			if s.done {
+				continue
+			}
+			s.core.Cycle(now)
+			if s.core.Finished() {
+				s.done = true
+				s.finished = now
+			} else {
+				allDone = false
+			}
+		}
+		issued := memsys.Cycle(now)
+		if allDone && memsys.Drained() {
+			break
+		}
+		if o.DisableFastForward || issued != 0 {
+			continue
+		}
+		// Cheapest test first: with a completion due next tick (the
+		// common case while requests are in service) no jump is
+		// possible, and the costlier quiescence probes are skipped.
+		target := eng.NextEventTick()
+		if target <= now+1 || now < probeRetry {
+			continue
+		}
+		quiescent := true
+		for _, s := range slots {
+			if !s.done && !s.core.Blocked() {
+				quiescent = false
+				break
+			}
+		}
+		if !quiescent {
+			probeBackoff = min(probeBackoff*2+1, 64)
+			probeRetry = now + probeBackoff
+			continue
+		}
+		if w := memsys.NextWork(now); w < target {
+			target = w
+		}
+		if target > o.MaxCycles {
+			// Nothing is ever going to happen (deadlock backstop) or the
+			// next action lies past the cycle budget either way: land on
+			// MaxCycles so the loop exits through its normal error path.
+			target = o.MaxCycles
+		}
+		if target <= now+1 {
+			probeBackoff = min(probeBackoff*2+1, 64)
+			probeRetry = now + probeBackoff
+			continue // nothing to skip
+		}
+		skip := uint64(target - now - 1)
+		probeBackoff = 0
+		for _, s := range slots {
+			if s.done {
+				continue
+			}
+			s.core.SkipStallCycles(skip)
+			if r := s.core.RetryRequest(); r != nil {
+				memsys.SkipRejects(r, now, skip)
+			}
+		}
+		memsys.SkipCycles(now, skip)
+		now = target - 1 // the loop increment lands exactly on target
+		// The masked cancellation poll above can be starved by large
+		// jumps (now skips most mask-aligned ticks), so re-check after
+		// every jump: a cancelled run must stop even when it is
+		// fast-forwarding through a multi-thousand-cycle write drain.
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+	}
+	return now, nil
 }
 
 // Benchmarks returns the names of the built-in workload profiles in

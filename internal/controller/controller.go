@@ -191,6 +191,12 @@ type Controller struct {
 	//own:channel
 	shards []shard
 
+	// par is the lazily started per-channel worker pool behind
+	// StepWindow; nil until the first multi-channel window. Workers are
+	// parked at every barrier, so all other methods remain engine-side.
+	//own:engine
+	par *parRun
+
 	inflight int
 	st       Stats
 }
@@ -265,6 +271,18 @@ type shard struct {
 	sagReads  []int32 // [(rank*banks+bank)*SAGs+sag]
 	cdReads   []int32 // [(rank*banks+bank)*CDs+cd]
 
+	// Parallel-window capture state (see parallel.go). While capturing,
+	// completion schedules land in outbox and telemetry flows into the
+	// port's buffer, both tagged with stepTick, for ordered replay at
+	// the barrier; outside windows both paths forward directly and the
+	// shard behaves exactly like the serial engine's.
+	//lint:allow escape telPort is itself channel-owned capture state; its only engine egress is the boundary-annotated real field
+	port      *telPort // the shard's (and its banks') sink; nil when telemetry is off
+	capturing bool
+	stepTick  sim.Tick
+	outbox    []schedEntry
+	outNext   int
+
 	st shardStats
 }
 
@@ -310,7 +328,20 @@ func New(cfg Config, eng *sim.Engine) (*Controller, error) {
 		s.cfg = &c.cfg
 		s.indexed = !cfg.DisableIndex
 		s.eng = eng
-		s.tel = cfg.Telemetry
+		if cfg.Telemetry != nil {
+			// The shard and its banks emit through a per-channel port so
+			// a parallel window can capture their events for ordered
+			// replay; outside windows the port forwards directly.
+			s.port = &telPort{real: cfg.Telemetry}
+			s.tel = s.port
+		}
+		// Each channel charges dynamic energy to its own accumulator —
+		// the getters sum the integer counters exactly — so concurrent
+		// shards never share a counter.
+		var esh *energy.Model
+		if cfg.Energy != nil {
+			esh = cfg.Energy.Shard()
+		}
 		s.finishReadFn = finishRead
 		s.finishWriteFn = finishWrite
 		s.banks = make([]*core.Bank, 0, nb)
@@ -318,8 +349,8 @@ func New(cfg Config, eng *sim.Engine) (*Controller, error) {
 			for bk := 0; bk < g.Banks; bk++ {
 				b, err := core.NewBank(core.Config{
 					Geom: g, Tim: cfg.Tim, Modes: cfg.Modes,
-					Energy: cfg.Energy, WriteDrivers: cfg.WriteDrivers,
-					Sink: cfg.Telemetry,
+					Energy: esh, WriteDrivers: cfg.WriteDrivers,
+					Sink: s.tel,
 					ID:   telemetry.BankID{Channel: ch, Rank: rk, Bank: bk},
 				})
 				if err != nil {
@@ -443,7 +474,7 @@ func (s *shard) enqueue(r *mem.Request, now sim.Tick) bool {
 				s.telRequest(telemetry.ReqEnqueued, r, now)
 				s.telRequest(telemetry.ReqIssued, r, now)
 			}
-			s.eng.ScheduleArg(now+1, s.finishReadFn, r)
+			s.scheduleCompletion(now+1, s.finishReadFn, r)
 			return true
 		}
 		if !s.readQ.Push(r) {
@@ -481,7 +512,7 @@ func (s *shard) enqueue(r *mem.Request, now sim.Tick) bool {
 			s.telRequest(telemetry.ReqEnqueued, r, now)
 			s.telRequest(telemetry.ReqIssued, r, now)
 		}
-		s.eng.ScheduleArg(now+1, s.finishWriteFn, r)
+		s.scheduleCompletion(now+1, s.finishWriteFn, r)
 		return true
 	}
 	if !s.writeQ.Push(r) {
@@ -918,7 +949,7 @@ func (s *shard) issueColumnRead(r *mem.Request, b *core.Bank, lane, qi int, now 
 			Start: now + s.cfg.Tim.TCAS, End: done,
 		})
 	}
-	s.eng.ScheduleArg(done, s.finishReadFn, r)
+	s.scheduleCompletion(done, s.finishReadFn, r)
 }
 
 // finishRead completes a read request: it runs as a scheduled ArgEvent
@@ -1032,7 +1063,7 @@ func (s *shard) tryIssueWrite(now sim.Tick) bool {
 			Start: now + s.cfg.Tim.TCWD, End: now + s.cfg.Tim.TCWD + s.cfg.Tim.TBURST,
 		})
 	}
-	s.eng.ScheduleArg(done, s.finishWriteFn, w)
+	s.scheduleCompletion(done, s.finishWriteFn, w)
 	return true
 }
 

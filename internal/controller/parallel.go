@@ -1,0 +1,350 @@
+// Parallel window stepping: the controller half of the deterministic
+// multi-channel engine (ROADMAP item 1). The run loop opens a window
+// [from, to) during which it has proved no engine event fires, no
+// enqueue can land, and no core can unblock before to; StepWindow then
+// advances every channel shard through the window concurrently —
+// conservative parallel DES with the window as the lookahead — and
+// serializes the cross-channel effects at the barrier in (tick,
+// channel, seq) order.
+//
+// Byte-identity argument: inside a window the only engine-visible
+// actions a shard performs are completion schedules (ScheduleArg) and
+// telemetry emissions. Both are captured with the tick they happened
+// at, and the barrier replays them tick-major, channel-ascending,
+// preserving each shard's intra-tick emission order — exactly the
+// execution order of the serial engine, whose Cycle steps channels in
+// ascending order within each tick. Replaying the ScheduleArg calls in
+// that order reproduces the serial engine's seq assignment, so event
+// dispatch order (ordered by (when, seq)) and the trace bytes it
+// produces are identical; telemetry events reach the sink in the serial
+// order for the same reason. Everything else a shard touches is
+// //own:channel state the ownership/escape/boundary analyzers prove
+// unshared.
+
+package controller
+
+import (
+	"repro/internal/invariant"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// schedEntry is one completion schedule captured by a shard inside a
+// parallel window: the ScheduleArg call it would have made live, tagged
+// with the tick it was made at so the barrier can replay calls in
+// serial order.
+//
+//own:channel
+type schedEntry struct {
+	tick sim.Tick
+	when sim.Tick
+	fn   sim.ArgEvent
+	r    *mem.Request
+}
+
+// telPort sits between one shard (and its banks) and the engine-side
+// telemetry sink. Outside parallel windows it forwards directly —
+// byte-for-byte the serial path. While its shard steps inside a window
+// it captures every event into a tick-tagged buffer for ordered replay
+// at the barrier.
+//
+//own:channel
+type telPort struct {
+	//own:boundary(egress to the engine-side sink; forwarded to only while the shard runs engine-side, outside capture windows)
+	real      telemetry.Sink
+	capturing bool
+	tick      sim.Tick
+	buf       telemetry.Buffer
+}
+
+// Command implements telemetry.Sink.
+func (p *telPort) Command(ev telemetry.Command) {
+	if p.capturing {
+		p.buf.AddCommand(p.tick, ev)
+		return
+	}
+	p.real.Command(ev)
+}
+
+// Request implements telemetry.Sink.
+func (p *telPort) Request(ev telemetry.RequestEvent) {
+	if p.capturing {
+		p.buf.AddRequest(p.tick, ev)
+		return
+	}
+	p.real.Request(ev)
+}
+
+// Stall implements telemetry.Sink.
+func (p *telPort) Stall(ev telemetry.StallEvent) {
+	if p.capturing {
+		p.buf.AddStall(p.tick, ev)
+		return
+	}
+	p.real.Stall(ev)
+}
+
+// parallelWindowMin is the narrowest window worth fanning out to the
+// channel workers. Below it the shards step inline (still captured and
+// barrier-replayed, so the serialization — and therefore every output
+// byte — is unchanged); the threshold only decides who executes the
+// stepping. Measured on the write-heavy matrix, windows of 2-4 ticks
+// are the bulk of the population and a shard's work across one (a few
+// hundred ns per tick) is below the cost of a cross-goroutine handoff
+// pair, so fanning them out loses wall clock on any host.
+const parallelWindowMin = 8
+
+// windowReq is one barrier-to-barrier stepping order handed to a
+// channel worker. Created engine-side before the handoff and only read
+// by the worker.
+//
+//own:immutable
+type windowReq struct {
+	from, to sim.Tick
+	perTick  bool
+}
+
+// parRun is the engine-side worker pool behind StepWindow: one
+// persistent goroutine per channel, fed over unbuffered channels (the
+// send is the happens-before edge into the window, the done receive the
+// edge out). Workers exist only between barriers' send and receive;
+// at every other instant they are parked on their work channel.
+//
+//own:engine
+type parRun struct {
+	//own:immutable
+	work []chan windowReq
+	//own:immutable
+	done chan int
+}
+
+// scheduleCompletion schedules a request completion on the engine — or,
+// inside a parallel window, captures the call for ordered replay at the
+// barrier. Every shard-side ScheduleArg goes through here (enforced by
+// the lint barrier analyzer): a direct engine call from a window worker
+// would race the serial engine and scramble seq assignment.
+func (s *shard) scheduleCompletion(when sim.Tick, fn sim.ArgEvent, r *mem.Request) {
+	if s.capturing {
+		s.outbox = append(s.outbox, schedEntry{tick: s.stepTick, when: when, fn: fn, r: r})
+		return
+	}
+	//lint:allow barrier the single audited engine call shared by every shard-side completion schedule
+	s.eng.ScheduleArg(when, fn, r)
+}
+
+// runWindow steps this shard from tick from up to (exclusive) tick to
+// inside one parallel window, capturing completion schedules and
+// telemetry when capture is set (worker execution) and emitting
+// directly when not (single-channel inline execution, which is the
+// serial order already). perTick disables the shard-internal idle-
+// stretch batching, mirroring Options.DisableFastForward.
+func (s *shard) runWindow(from, to sim.Tick, perTick, capture bool) int {
+	s.capturing = capture
+	if s.port != nil {
+		s.port.capturing = capture
+	}
+	issued := 0
+	for t := from; t < to; t++ {
+		s.stepTick = t
+		if s.port != nil {
+			s.port.tick = t
+		}
+		n := s.cycle(t)
+		issued += n
+		if n != 0 || perTick {
+			continue
+		}
+		// Idle stretch: the same flip-tick analysis that licenses the
+		// run loop's fast-forward bounds how long this cycle's no-op
+		// outcome repeats (nothing external can intrude mid-window), so
+		// the remaining cycles of the stretch reduce to one batch
+		// credit, exactly as Controller.SkipCycles.
+		until := s.nextWork(t)
+		if until > to {
+			until = to
+		}
+		if until > t+1 {
+			s.skipCycles(t, uint64(until-t-1))
+			t = until - 1
+		}
+	}
+	s.capturing = false
+	if s.port != nil {
+		s.port.capturing = false
+	}
+	return issued
+}
+
+// StepWindow advances every channel shard concurrently from tick from
+// up to (exclusive) tick to, then serializes the window's cross-channel
+// effects at the barrier. It returns the number of commands issued
+// across the window, like Cycle does for one tick.
+//
+// Caller contract (the run loop's conservative lookahead): no engine
+// event fires in (from, to), no enqueue lands inside the window, every
+// live core stays blocked through it, and to-from never exceeds
+// MinCompletionLatency — so every captured completion lands at or
+// after to and the engine clock can stay parked at from until the
+// barrier has replayed.
+//
+//own:boundary(parallel window dispatch: fans stepping out to the channel workers and serializes the barrier)
+func (c *Controller) StepWindow(from, to sim.Tick, perTick bool) int {
+	if c.cfg.Energy != nil {
+		// Background energy is engine-side and tick-integrated; one
+		// advance to the window's last tick equals the per-tick advances
+		// Cycle would have done.
+		c.cfg.Energy.AdvanceBackground(to - 1)
+	}
+	if len(c.shards) == 1 {
+		// One channel: step inline on the engine goroutine, uncaptured.
+		// With a single shard, tick-major emission *is* the serial
+		// order, so the capture/replay machinery would be pure overhead.
+		return c.shards[0].runWindow(from, to, perTick, false)
+	}
+	if to-from < parallelWindowMin {
+		// Narrow window: the goroutine handoff would cost more than the
+		// stepping it buys back (completion-dense stretches bound most
+		// windows to a few ticks). Step the shards sequentially through
+		// the same capture/replay path the workers use — the barrier
+		// serializes identically, so the output bytes cannot differ.
+		issued := 0
+		for ch := range c.shards {
+			issued += c.shards[ch].runWindow(from, to, perTick, true)
+		}
+		c.replayWindow(from, to)
+		return issued
+	}
+	if c.par == nil {
+		c.startWorkers()
+	}
+	for ch := range c.shards {
+		c.par.work[ch] <- windowReq{from: from, to: to, perTick: perTick}
+	}
+	issued := 0
+	for range c.shards {
+		issued += <-c.par.done
+	}
+	c.replayWindow(from, to)
+	return issued
+}
+
+// startWorkers spins up the per-channel window workers, parked on their
+// work channels until the first window (and across every barrier).
+//
+//own:boundary(spawns the per-channel window workers; each worker steps only its own shard)
+func (c *Controller) startWorkers() {
+	c.par = &parRun{
+		work: make([]chan windowReq, len(c.shards)),
+		done: make(chan int, len(c.shards)),
+	}
+	for ch := range c.shards {
+		w := make(chan windowReq)
+		c.par.work[ch] = w
+		s := &c.shards[ch]
+		done := c.par.done
+		go func() {
+			for req := range w {
+				done <- s.runWindow(req.from, req.to, req.perTick, true)
+			}
+		}()
+	}
+}
+
+// StopWorkers shuts the window workers down. Safe to call at any
+// barrier (including when no window ever ran, or repeatedly); the run
+// loop defers it so cancellation mid-run leaks no goroutines. Workers
+// are parked on their work channels whenever StepWindow is not in
+// flight, so closing them is a clean release.
+func (c *Controller) StopWorkers() {
+	if c.par == nil {
+		return
+	}
+	for _, w := range c.par.work {
+		close(w)
+	}
+	c.par = nil
+}
+
+// replayWindow serializes the window's captured cross-channel effects:
+// for every tick of the window in order, for every channel in index
+// order, first the completion schedules — reproducing the serial
+// engine's seq assignment, hence the (tick, channel, seq) total order —
+// then the telemetry events, preserving each shard's intra-tick
+// emission order.
+//
+//own:boundary(window barrier: drains every shard's capture buffers into the engine and sink in deterministic order)
+func (c *Controller) replayWindow(from, to sim.Tick) {
+	for t := from; t < to; t++ {
+		for ch := range c.shards {
+			s := &c.shards[ch]
+			for s.outNext < len(s.outbox) && s.outbox[s.outNext].tick == t {
+				e := &s.outbox[s.outNext]
+				s.outNext++
+				c.eng.ScheduleArg(e.when, e.fn, e.r)
+			}
+			if s.port != nil {
+				s.port.buf.ReplayTick(t, s.port.real)
+			}
+		}
+	}
+	for ch := range c.shards {
+		s := &c.shards[ch]
+		if invariant.Enabled {
+			pending := 0
+			if s.port != nil {
+				pending = s.port.buf.Pending()
+			}
+			invariant.Assertf(s.outNext == len(s.outbox) && pending == 0,
+				"window [%d,%d) barrier left %d schedules and %d telemetry events unreplayed on channel %d: an effect was tagged outside the window",
+				from, to, len(s.outbox)-s.outNext, pending, ch)
+		}
+		s.outbox = s.outbox[:0]
+		s.outNext = 0
+		if s.port != nil {
+			s.port.buf.Reset()
+		}
+	}
+}
+
+// ChannelOf returns the channel a request's address decodes to; the run
+// loop uses it to bind a blocked core's pending retry to the shard
+// whose scheduling can unblock it.
+func (c *Controller) ChannelOf(r *mem.Request) int {
+	return c.mapper.Decode(r.Addr).Channel
+}
+
+// ShardWouldIssue reports whether channel ch's scheduler would issue at
+// least one command at tick now, without mutating anything. The run
+// loop probes it for channels a blocked core is waiting on: an issue
+// can free queue space, so the window must close at the very next tick.
+//
+//own:boundary(window lookahead: side-effect-free issue probe while shards are quiesced at a barrier)
+func (c *Controller) ShardWouldIssue(ch int, now sim.Tick) bool {
+	return c.shards[ch].wouldIssue(now)
+}
+
+// ShardNextWork returns channel ch's next scheduling flip tick strictly
+// after now (sim.MaxTick when its queues are empty) — the per-channel
+// form of NextWork, used to bound windows for channels a blocked core
+// is waiting on.
+//
+//own:boundary(window lookahead: per-channel flip-tick bound while shards are quiesced at a barrier)
+func (c *Controller) ShardNextWork(ch int, now sim.Tick) sim.Tick {
+	return c.shards[ch].nextWork(now)
+}
+
+// MinCompletionLatency returns a lower bound on the delay between a
+// shard issuing a command at tick t and the completion it schedules:
+// reads complete at t+ReadLatency and writes no earlier than
+// t+WriteLatency (WriteOccupancy is WriteLatency plus extra programming
+// pulses). Windows never extend further than this bound past their
+// opening tick, which is what guarantees captured completions land at
+// or after the barrier.
+func (c *Controller) MinCompletionLatency() sim.Tick {
+	if c.cfg.Tim.ReadLatency < c.cfg.Tim.WriteLatency {
+		return c.cfg.Tim.ReadLatency
+	}
+	return c.cfg.Tim.WriteLatency
+}
+

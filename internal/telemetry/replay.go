@@ -1,0 +1,92 @@
+// Deferred telemetry replay for the parallel engine. While a channel
+// shard steps inside a parallel window, its events cannot go to the
+// engine-side sink directly — another shard's worker may be emitting at
+// the same instant, and sink delivery order is observable. Instead each
+// shard captures into its own tick-tagged Buffer, and the barrier
+// replays every buffer in (tick, channel) order, preserving the shard's
+// intra-tick emission order — exactly the sequence the serial engine
+// would have delivered.
+
+package telemetry
+
+import "repro/internal/sim"
+
+// bufferKind discriminates the event union held by one buffer entry.
+type bufferKind uint8
+
+const (
+	bufCommand bufferKind = iota
+	bufRequest
+	bufStall
+)
+
+// bufferedEvent is one captured event. A single union slice beats three
+// typed slices because replay must preserve the shard's interleaving of
+// command, request and stall events within one tick.
+//
+//own:channel
+type bufferedEvent struct {
+	tick sim.Tick
+	kind bufferKind
+	cmd  Command
+	req  RequestEvent
+	st   StallEvent
+}
+
+// Buffer records the telemetry events one channel shard emits while
+// stepping inside a parallel window, each tagged with its emission
+// tick. Appends happen shard-side during the window; ReplayTick and
+// Reset run engine-side at the barrier. The two phases never overlap —
+// the barrier handoff is the happens-before edge — so no locking is
+// needed, and the backing array is recycled across windows.
+//
+//own:channel
+type Buffer struct {
+	entries []bufferedEvent
+	next    int // replay cursor
+}
+
+// AddCommand records a command span emitted at tick t.
+func (b *Buffer) AddCommand(t sim.Tick, ev Command) {
+	b.entries = append(b.entries, bufferedEvent{tick: t, kind: bufCommand, cmd: ev})
+}
+
+// AddRequest records a request lifecycle event emitted at tick t.
+func (b *Buffer) AddRequest(t sim.Tick, ev RequestEvent) {
+	b.entries = append(b.entries, bufferedEvent{tick: t, kind: bufRequest, req: ev})
+}
+
+// AddStall records a stall-attribution event emitted at tick t.
+func (b *Buffer) AddStall(t sim.Tick, ev StallEvent) {
+	b.entries = append(b.entries, bufferedEvent{tick: t, kind: bufStall, st: ev})
+}
+
+// ReplayTick forwards every buffered event tagged with tick t to sink,
+// in emission order, and advances the cursor past them. Entries are
+// tick-monotone (the shard steps strictly forward), so one pass per
+// tick drains the buffer exactly.
+func (b *Buffer) ReplayTick(t sim.Tick, sink Sink) {
+	for b.next < len(b.entries) && b.entries[b.next].tick == t {
+		e := &b.entries[b.next]
+		b.next++
+		switch e.kind {
+		case bufCommand:
+			sink.Command(e.cmd)
+		case bufRequest:
+			sink.Request(e.req)
+		default:
+			sink.Stall(e.st)
+		}
+	}
+}
+
+// Pending returns the number of captured events not yet replayed. A
+// non-zero value after a full barrier replay means an event was tagged
+// outside the window — the invariant the barrier asserts.
+func (b *Buffer) Pending() int { return len(b.entries) - b.next }
+
+// Reset discards all entries and recycles the backing storage.
+func (b *Buffer) Reset() {
+	b.entries = b.entries[:0]
+	b.next = 0
+}

@@ -1,0 +1,170 @@
+// The parallel multi-channel engine (ROADMAP item 1): conservative
+// parallel discrete-event simulation over the per-channel shards the
+// ownership analyzers pin down. The run loop owns the clock and the
+// cores; whenever every live core is provably blocked it computes a
+// lookahead window no cross-channel effect can intrude on, hands the
+// window to the controller's per-channel workers, and serializes the
+// results at the barrier in (tick, channel, seq) order — producing
+// Result JSON and Perfetto trace bytes identical to the serial engine.
+//
+// Window derivation. At a boundary tick T with all live cores blocked,
+// the window [T, W) is sound when nothing outside a shard can observe
+// or influence shard state strictly inside it:
+//
+//   - W <= the engine's next event tick: no completion (or any other
+//     event) fires inside the window, so cores stay blocked and
+//     inflight stays constant;
+//   - W <= T + MinCompletionLatency: a completion a shard schedules at
+//     window tick t lands at or after t+MinCompletionLatency >= W, so
+//     replaying schedules at the barrier (engine clock still at T)
+//     never schedules into the past and dispatch order is unchanged;
+//   - for every blocked core waiting to retry a rejected request on
+//     channel ch: if ch would issue at T the window collapses to one
+//     tick (an issue can free queue space, flipping WouldAccept at
+//     T+1 — the serial loop would see that); otherwise W <= that
+//     channel's next flip tick + 1, since until then the channel
+//     provably cannot issue and the retry stays futile. Queue-space
+//     relief is the only way a blocked core's state can change without
+//     an engine event: WouldAccept flips false→true only when the
+//     shard issues from the full queue (no enqueue can create a new
+//     forwarding match mid-window, because nothing enqueues mid-window).
+//
+// Cores skip the window's interior exactly as the serial fast-forward
+// skips quiescent stretches: batch-credited stall cycles and weighted
+// rejected-retry telemetry (the PR 4 machinery, proven byte-exact).
+// Single-tick windows degenerate to the serial path — Controller.Cycle
+// inline on this goroutine — so phases with unblocked cores run the
+// reference code with zero parallel overhead.
+package fgnvm
+
+import (
+	"context"
+
+	"repro/internal/controller"
+	"repro/internal/sim"
+)
+
+// runParallel is the windowed engine behind RunContext for the NVM
+// designs. It returns the final tick, like runSerial; the deferred
+// StopWorkers releases the controller's window workers on every exit
+// path, including context cancellation mid-run.
+func runParallel(ctx context.Context, o Options, eng *sim.Engine, ctrl *controller.Controller, slots []*coreSlot) (sim.Tick, error) {
+	defer ctrl.StopWorkers()
+	lmin := ctrl.MinCompletionLatency()
+	var now sim.Tick
+	for ; now < o.MaxCycles; now++ {
+		if now&ctxCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
+		eng.RunUntil(now)
+		allDone := true
+		for _, s := range slots {
+			if s.done {
+				continue
+			}
+			s.core.Cycle(now)
+			if s.core.Finished() {
+				s.done = true
+				s.finished = now
+			} else {
+				allDone = false
+			}
+		}
+
+		// Window decision. Default: a single serial tick. A wider window
+		// needs every live core blocked — when a core is running, its
+		// next cycle can enqueue, and enqueues are engine-side effects
+		// that must interleave with shard scheduling at serial order.
+		target := now + 1
+		blocked := true
+		for _, s := range slots {
+			if !s.done && !s.core.Blocked() {
+				blocked = false
+				break
+			}
+		}
+		drainedOut := allDone && ctrl.Drained()
+		if blocked && !drainedOut {
+			target = eng.NextEventTick()
+			if t := now + lmin; t < target {
+				target = t
+			}
+			if target > o.MaxCycles {
+				target = o.MaxCycles
+			}
+			for _, s := range slots {
+				if s.done {
+					continue
+				}
+				r := s.core.RetryRequest()
+				if r == nil {
+					continue
+				}
+				ch := ctrl.ChannelOf(r)
+				if ctrl.ShardWouldIssue(ch, now) {
+					target = now + 1
+					break
+				}
+				if nw := ctrl.ShardNextWork(ch, now); nw < sim.MaxTick && nw+1 < target {
+					target = nw + 1
+				}
+			}
+		}
+
+		if target <= now+1 {
+			ctrl.Cycle(now)
+			if drainedOut {
+				break
+			}
+			continue
+		}
+
+		if !o.DisableFastForward {
+			if nw := ctrl.NextWork(now); nw >= target {
+				// No shard can act strictly inside the window: it
+				// degenerates to the serial fast-forward — one inline
+				// cycle plus batch credits, no worker handoff.
+				if ctrl.Cycle(now) != 0 {
+					continue
+				}
+				skip := uint64(target - now - 1)
+				for _, s := range slots {
+					if s.done {
+						continue
+					}
+					s.core.SkipStallCycles(skip)
+					if r := s.core.RetryRequest(); r != nil {
+						ctrl.SkipRejects(r, now, skip)
+					}
+				}
+				ctrl.SkipCycles(now, skip)
+				now = target - 1
+				if err := ctx.Err(); err != nil {
+					return 0, err
+				}
+				continue
+			}
+		}
+
+		ctrl.StepWindow(now, target, o.DisableFastForward)
+		skip := uint64(target - now - 1)
+		for _, s := range slots {
+			if s.done {
+				continue
+			}
+			s.core.SkipStallCycles(skip)
+			if r := s.core.RetryRequest(); r != nil {
+				ctrl.SkipRejects(r, now, skip)
+			}
+		}
+		now = target - 1 // the loop increment lands exactly on target
+		// Large windows starve the masked cancellation poll above, so
+		// re-check after every window, like the serial fast-forward.
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+	}
+	return now, nil
+}
