@@ -1,0 +1,70 @@
+// The barrier analyzer: keeps shard code off the event engine. Inside
+// a parallel window a channel shard runs on its own worker goroutine,
+// so a direct (*sim.Engine).Schedule/ScheduleArg call from shard
+// context would race the engine's serial queue and scramble seq
+// assignment — the exact property the barrier replay preserves. Every
+// shard-side completion schedule must instead go through the captured
+// path (controller.(*shard).scheduleCompletion), whose single audited
+// engine call carries the //lint:allow barrier waiver.
+
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Barrier flags calls to the event engine's scheduling methods made
+// from shard context (a method of a //own:channel type, including
+// closures inside one). Such calls bypass the parallel window's
+// capture-and-replay barrier; the sanctioned crossing is the audited
+// helper waived with //lint:allow barrier <reason>.
+var Barrier = &Analyzer{
+	Name:  "barrier",
+	Doc:   "shard code schedules engine events only through the captured barrier path",
+	Scope: ownershipScope,
+	Run:   runBarrier,
+}
+
+func runBarrier(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if contextOf(pass, fd) != ctxShardMethod {
+				continue
+			}
+			// Function literals inherit the enclosing declaration's
+			// context: a closure inside a shard method still runs on
+			// the shard's worker inside a window.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				selection, ok := pass.Info.Selections[sel]
+				if !ok || selection.Kind() != types.MethodVal {
+					return true
+				}
+				if !isNamed(selection.Recv(), "sim", "Engine") {
+					return true
+				}
+				name := sel.Sel.Name
+				if name != "Schedule" && name != "ScheduleAfter" && name != "ScheduleArg" {
+					return true
+				}
+				if !pass.Allowed(sel, "barrier") {
+					pass.Reportf(sel.Pos(), "shard method calls (*sim.Engine).%s directly: schedule through the captured barrier path (or waive the audited call with //lint:allow barrier)", name)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}

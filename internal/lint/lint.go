@@ -136,7 +136,7 @@ func (p *Pass) buildAllowLines() {
 
 // All returns every analyzer of the suite, in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, HookPurity, UnitSafety, StatsDiscipline, Ownership, Escape, Boundary}
+	return []*Analyzer{Determinism, HookPurity, UnitSafety, StatsDiscipline, Ownership, Escape, Boundary, Barrier}
 }
 
 // Run applies each applicable analyzer to each package and returns the

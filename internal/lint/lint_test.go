@@ -102,6 +102,7 @@ func TestStatsDisciplineFixture(t *testing.T) { runFixture(t, StatsDiscipline, "
 func TestOwnershipFixture(t *testing.T)       { runFixture(t, Ownership, "ownership") }
 func TestEscapeFixture(t *testing.T)          { runFixture(t, Escape, "escape") }
 func TestBoundaryFixture(t *testing.T)        { runFixture(t, Boundary, "boundary") }
+func TestBarrierFixture(t *testing.T)         { runFixture(t, Barrier, "barrier") }
 
 // TestTreeIsClean is the in-repo enforcement of the lint gate: the
 // full suite, with scoping as cmd/fgnvm-lint applies it, must find

@@ -1,0 +1,59 @@
+// Package barrier is the fixture for the barrier analyzer: shard
+// methods must not call the event engine's scheduling methods
+// directly — inside a parallel window the shard runs on a worker
+// goroutine, and a direct call would race the engine's serial queue.
+package barrier
+
+import "repro/internal/sim"
+
+// shard is the per-channel state under protection.
+//
+//own:channel
+type shard struct {
+	//own:boundary(construction-time engine wiring, used only via the captured path)
+	eng *sim.Engine
+
+	pending []sim.Tick
+}
+
+// direct schedules straight onto the engine from shard context:
+// flagged — inside a window this races the serial event queue.
+func (s *shard) direct(when sim.Tick) {
+	s.eng.Schedule(when, func(sim.Tick) {}) // want "calls (*sim.Engine).Schedule directly"
+}
+
+// directArg is the ScheduleArg form of the same violation.
+func (s *shard) directArg(when sim.Tick, r any) {
+	s.eng.ScheduleArg(when, func(sim.Tick, any) {}, r) // want "calls (*sim.Engine).ScheduleArg directly"
+}
+
+// closure shows the context inheritance: a function literal inside a
+// shard method still runs on the shard's worker.
+func (s *shard) closure(when sim.Tick) func() {
+	return func() {
+		s.eng.ScheduleAfter(when, func(sim.Tick) {}) // want "calls (*sim.Engine).ScheduleAfter directly"
+	}
+}
+
+// captured is the sanctioned pattern: the single audited engine call
+// behind the capture check, waived with the mandatory reason.
+func (s *shard) captured(when sim.Tick, r any) {
+	if len(s.pending) > 0 {
+		s.pending = append(s.pending, when)
+		return
+	}
+	//lint:allow barrier the fixture's single audited engine call
+	s.eng.ScheduleArg(when, func(sim.Tick, any) {}, r)
+}
+
+// engineSide is plain coordinator code: direct scheduling is its job.
+func engineSide(eng *sim.Engine, when sim.Tick) {
+	eng.Schedule(when, func(sim.Tick) {})
+}
+
+// nextAt reads engine state without scheduling: not flagged.
+func (s *shard) nextAt() sim.Tick {
+	return s.eng.NextEventTick()
+}
+
+var _ = []any{(*shard).direct, (*shard).directArg, (*shard).closure, (*shard).captured, engineSide, (*shard).nextAt}
