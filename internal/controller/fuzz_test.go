@@ -1,0 +1,228 @@
+// FuzzBarrierSchedule: random channel-count / window-boundary
+// interleavings through the barrier serializer. The windowed drive must
+// reproduce the per-tick serial drive's event stream exactly — that
+// stream equality is the observable form of the (tick, channel, seq)
+// total order, since any replay misordering changes either the sink
+// delivery order or the engine's seq assignment (and with it the
+// completion order). On top of the twin comparison the fuzz asserts the
+// order property directly on the windowed stream and the conservation
+// invariant Stalls.Sum() == QueuedWaitCycles.
+
+package controller
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/timing"
+)
+
+// fuzzPlan is one decoded fuzz input: a geometry, a workload split into
+// two enqueue batches, and a window-width schedule.
+type fuzzPlan struct {
+	channels  int
+	batch1    []addr.Location
+	writes1   []bool
+	batch2    []addr.Location
+	writes2   []bool
+	batchTick sim.Tick
+	widths    []sim.Tick
+}
+
+// decodePlan derives a plan from raw fuzz bytes. Every byte string maps
+// to a valid plan (padding deterministically when short), so the fuzzer
+// wastes no executions on rejected inputs.
+func decodePlan(data []byte) fuzzPlan {
+	next := func(i int) byte {
+		if len(data) == 0 {
+			return byte(i * 37)
+		}
+		return data[i%len(data)]
+	}
+	p := fuzzPlan{channels: 1 << (next(0) % 3)} // 1, 2 or 4
+	nreq := 8 + int(next(1)%48)
+	split := int(next(2)) % (nreq + 1)
+	p.batchTick = sim.Tick(3 + next(3)%120)
+	g := fuzzGeom(p.channels)
+	for i := 0; i < nreq; i++ {
+		b := next(4 + 3*i)
+		loc := addr.Location{
+			Channel: int(b) % g.Channels,
+			Bank:    int(next(5+3*i)) % g.Banks,
+			Row:     int(b) * 7 % g.Rows,
+			Col:     int(next(6+3*i)) % g.Cols,
+		}
+		wr := next(6+3*i)%3 == 0
+		if i < split {
+			p.batch1 = append(p.batch1, loc)
+			p.writes1 = append(p.writes1, wr)
+		} else {
+			p.batch2 = append(p.batch2, loc)
+			p.writes2 = append(p.writes2, wr)
+		}
+	}
+	nw := 1 + int(next(4+3*nreq)%15)
+	for i := 0; i < nw; i++ {
+		p.widths = append(p.widths, sim.Tick(1+next(5+3*nreq+i)%40))
+	}
+	return p
+}
+
+func fuzzGeom(channels int) addr.Geometry {
+	return addr.Geometry{
+		Channels: channels, Ranks: 1, Banks: 2,
+		Rows: 64, Cols: 16, LineBytes: 64,
+		SAGs: 4, CDs: 4,
+	}
+}
+
+// driveFuzz runs one twin: windowed (StepWindow at the plan's
+// boundaries, shard batching off so streams compare event-for-event) or
+// per-tick serial. Both enqueue batch 1 at tick 0 and batch 2 at the
+// plan's batch tick — always at a barrier, as the run-loop contract
+// requires.
+func driveFuzz(t *testing.T, p fuzzPlan, windowed bool) (*recordingSink, statsSnapshot, uint64) {
+	t.Helper()
+	sink := &recordingSink{}
+	eng := sim.NewEngine()
+	c, err := New(Config{
+		Geom: fuzzGeom(p.channels), Tim: timing.Paper(), Modes: core.AllModes(),
+		IssueLanes: 1, Interleave: addr.RowBankRankChanCol,
+		Telemetry: sink,
+	}, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.StopWorkers()
+	m := addr.MustNewMapper(c.Config().Geom, c.Config().Interleave)
+	enqueue := func(locs []addr.Location, writes []bool, base uint64, now sim.Tick) {
+		for i, loc := range locs {
+			op := mem.Read
+			if writes[i] {
+				op = mem.Write
+			}
+			// Rejected requests are dropped in both twins; whether the
+			// twins agree on rejection is itself part of the equivalence
+			// under test (a diverged queue state diverges the streams).
+			c.Enqueue(&mem.Request{ID: base + uint64(i) + 1, Addr: m.Encode(loc), Op: op}, now)
+		}
+	}
+	enqueue(p.batch1, p.writes1, 0, 0)
+	lmin := c.MinCompletionLatency()
+	const limit = 300_000
+	var now sim.Tick
+	batch2Done := false
+	for wi := 0; now < limit; wi++ {
+		eng.RunUntil(now)
+		if !batch2Done && now >= p.batchTick {
+			enqueue(p.batch2, p.writes2, 1000, now)
+			batch2Done = true
+		}
+		if c.Drained() && eng.Pending() == 0 && batch2Done {
+			break
+		}
+		if !windowed {
+			c.Cycle(now)
+			now++
+			continue
+		}
+		to := now + p.widths[wi%len(p.widths)]
+		if ne := eng.NextEventTick(); ne < to {
+			to = ne
+		}
+		if t := now + lmin; t < to {
+			to = t
+		}
+		if !batch2Done && p.batchTick < to {
+			to = p.batchTick
+		}
+		if to > limit {
+			to = limit
+		}
+		if to <= now+1 {
+			c.Cycle(now)
+			now++
+			continue
+		}
+		c.StepWindow(now, to, true)
+		now = to
+	}
+	if !c.Drained() {
+		t.Fatalf("twin (windowed=%v) did not drain", windowed)
+	}
+	var weighted uint64
+	for _, ev := range sink.stalls {
+		n := ev.N
+		if n == 0 {
+			n = 1
+		}
+		weighted += n
+	}
+	return sink, snapStats(c), weighted
+}
+
+func FuzzBarrierSchedule(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 16, 8, 20, 5})
+	f.Add([]byte{1, 32, 0, 60, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	f.Add([]byte{2, 48, 24, 10, 200, 100, 50, 25, 12, 6, 3})
+	f.Add([]byte{2, 55, 55, 90, 255, 254, 253, 0, 1, 2, 128, 64, 32, 16, 8, 4})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := decodePlan(data)
+		serial, serialStats, serialWait := driveFuzz(t, p, false)
+		win, winStats, winWait := driveFuzz(t, p, true)
+
+		// Twin equivalence: the barrier serializer must reproduce the
+		// serial stream exactly.
+		if serialStats != winStats {
+			t.Fatalf("stats diverged: serial %+v, windowed %+v", serialStats, winStats)
+		}
+		if len(win.commands) != len(serial.commands) {
+			t.Fatalf("%d command spans windowed, %d serial", len(win.commands), len(serial.commands))
+		}
+		for i := range win.commands {
+			if win.commands[i] != serial.commands[i] {
+				t.Fatalf("command %d diverged: %+v vs %+v", i, win.commands[i], serial.commands[i])
+			}
+		}
+		if len(win.requests) != len(serial.requests) {
+			t.Fatalf("%d request events windowed, %d serial", len(win.requests), len(serial.requests))
+		}
+		for i := range win.requests {
+			if win.requests[i] != serial.requests[i] {
+				t.Fatalf("request event %d diverged: %+v vs %+v", i, win.requests[i], serial.requests[i])
+			}
+		}
+		if len(win.stalls) != len(serial.stalls) {
+			t.Fatalf("%d stall events windowed, %d serial", len(win.stalls), len(serial.stalls))
+		}
+		for i := range win.stalls {
+			if win.stalls[i] != serial.stalls[i] {
+				t.Fatalf("stall event %d diverged: %+v vs %+v", i, win.stalls[i], serial.stalls[i])
+			}
+		}
+
+		// (tick, channel) total order on the windowed stream: replay is
+		// tick-major, channel-ascending, so per-cycle stall emissions
+		// must reach the sink in nondecreasing (Now, Channel) order.
+		for i := 1; i < len(win.stalls); i++ {
+			a, b := win.stalls[i-1], win.stalls[i]
+			if b.Now < a.Now || (b.Now == a.Now && b.Loc.Channel < a.Loc.Channel) {
+				t.Fatalf("stall order violated at %d: (%d,ch%d) after (%d,ch%d)",
+					i, b.Now, b.Loc.Channel, a.Now, a.Loc.Channel)
+			}
+		}
+
+		// Conservation: one attributed cycle per queued request per
+		// cycle, batched or not.
+		if winWait != winStats.queuedWait {
+			t.Fatalf("conservation violated: stall weight %d != queued-wait cycles %d", winWait, winStats.queuedWait)
+		}
+		if serialWait != serialStats.queuedWait {
+			t.Fatalf("serial conservation violated: %d != %d", serialWait, serialStats.queuedWait)
+		}
+	})
+}

@@ -1,0 +1,382 @@
+// Tests for the parallel window machinery: StepWindow must be an exact
+// replacement for per-tick Cycle calls (identical event streams,
+// identical stats), the barrier must leave every read-side accessor
+// consistent while the shards are quiesced, and the whole protocol must
+// hold under fuzzed channel-count / window-boundary interleavings.
+
+package controller
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/timing"
+)
+
+// multiGeom is the multi-channel test geometry; the single-channel
+// testGeom exercises the inline StepWindow path, this one the worker
+// fan-out and barrier replay.
+func multiGeom(channels int) addr.Geometry {
+	return addr.Geometry{
+		Channels: channels, Ranks: 1, Banks: 2,
+		Rows: 64, Cols: 16, LineBytes: 64,
+		SAGs: 4, CDs: 4,
+	}
+}
+
+func newMultiCtrl(t *testing.T, channels int, sink telemetry.Sink) (*Controller, *sim.Engine) {
+	t.Helper()
+	eng := sim.NewEngine()
+	c, err := New(Config{
+		Geom: multiGeom(channels), Tim: timing.Paper(), Modes: core.AllModes(),
+		IssueLanes: 1, Interleave: addr.RowBankRankChanCol,
+		Telemetry: sink,
+	}, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, eng
+}
+
+// spreadRequests builds a deterministic workload touching every
+// channel: reads and writes across banks, rows and columns.
+func spreadRequests(c *Controller, n int) []*mem.Request {
+	m := addr.MustNewMapper(c.Config().Geom, c.Config().Interleave)
+	g := c.Config().Geom
+	reqs := make([]*mem.Request, 0, n)
+	for i := 0; i < n; i++ {
+		loc := addr.Location{
+			Channel: i % g.Channels,
+			Bank:    (i / 3) % g.Banks,
+			Row:     (i * 7) % g.Rows,
+			Col:     (i * 5) % g.Cols,
+		}
+		op := mem.Read
+		if i%3 == 0 {
+			op = mem.Write
+		}
+		reqs = append(reqs, &mem.Request{ID: uint64(i + 1), Addr: m.Encode(loc), Op: op})
+	}
+	return reqs
+}
+
+// driveWindowed drives the controller with StepWindow, cycling through
+// the given window widths and clamping each window to the caller
+// contract StepWindow documents: never past the engine's next event,
+// never wider than MinCompletionLatency, no enqueues mid-window (the
+// harness only enqueues before driving). onBarrier, when non-nil, runs
+// after every StepWindow return — the instant the shards are quiesced.
+func driveWindowed(c *Controller, eng *sim.Engine, limit sim.Tick, widths []sim.Tick, perTick bool, onBarrier func()) sim.Tick {
+	lmin := c.MinCompletionLatency()
+	now := eng.Now()
+	for wi := 0; now < limit; wi++ {
+		eng.RunUntil(now)
+		if c.Drained() && eng.Pending() == 0 {
+			return now
+		}
+		w := widths[wi%len(widths)]
+		if w < 1 {
+			w = 1
+		}
+		to := now + w
+		if ne := eng.NextEventTick(); ne < to {
+			to = ne
+		}
+		if t := now + lmin; t < to {
+			to = t
+		}
+		if to > limit {
+			to = limit
+		}
+		if to <= now+1 {
+			c.Cycle(now)
+			now++
+			continue
+		}
+		c.StepWindow(now, to, perTick)
+		if onBarrier != nil {
+			onBarrier()
+		}
+		now = to
+	}
+	return now
+}
+
+// statsSnapshot pins the counters both drive modes must agree on.
+type statsSnapshot struct {
+	reads, writes, acts, colReads, queuedWait, busStalls uint64
+}
+
+func snapStats(c *Controller) statsSnapshot {
+	s := c.Stats()
+	return statsSnapshot{
+		reads: s.Reads.Value(), writes: s.Writes.Value(),
+		acts: s.Activations.Value(), colReads: s.ColumnReads.Value(),
+		queuedWait: s.QueuedWaitCycles.Value(), busStalls: s.BusStallCycles.Value(),
+	}
+}
+
+// runTwin drives an identical workload through either the per-tick
+// serial loop or the windowed loop and returns the recorded event
+// stream plus the final stats.
+func runTwin(t *testing.T, channels, nreq int, windowed, perTick bool, widths []sim.Tick) (*recordingSink, statsSnapshot) {
+	t.Helper()
+	sink := &recordingSink{}
+	c, eng := newMultiCtrl(t, channels, sink)
+	for i, r := range spreadRequests(c, nreq) {
+		if !c.Enqueue(r, 0) {
+			t.Fatalf("request %d rejected", i)
+		}
+	}
+	const limit = 200_000
+	if windowed {
+		driveWindowed(c, eng, limit, widths, perTick, nil)
+	} else {
+		run(c, eng, limit)
+	}
+	if !c.Drained() {
+		t.Fatal("controller did not drain")
+	}
+	return sink, snapStats(c)
+}
+
+// TestStepWindowMatchesSerial is the controller-level exactness gate:
+// with shard-internal batching off (perTick), a windowed drive must
+// deliver the exact event sequence of the per-tick serial drive —
+// commands, request lifecycles and stall events, in the same order with
+// the same payloads. Event order is the observable form of the barrier's
+// (tick, channel, seq) serialization: any replay misordering or seq
+// drift shows up as a stream mismatch.
+func TestStepWindowMatchesSerial(t *testing.T) {
+	for _, channels := range []int{1, 2, 4} {
+		for _, widths := range [][]sim.Tick{{2}, {7}, {3, 1, 9, 2}, {31}} {
+			serial, serialStats := runTwin(t, channels, 48, false, false, nil)
+			win, winStats := runTwin(t, channels, 48, true, true, widths)
+			if serialStats != winStats {
+				t.Errorf("ch=%d widths=%v: stats diverged: serial %+v, windowed %+v", channels, widths, serialStats, winStats)
+			}
+			if len(win.commands) != len(serial.commands) {
+				t.Fatalf("ch=%d widths=%v: %d command spans windowed, %d serial", channels, widths, len(win.commands), len(serial.commands))
+			}
+			for i := range win.commands {
+				if win.commands[i] != serial.commands[i] {
+					t.Fatalf("ch=%d widths=%v: command %d diverged: %+v vs %+v", channels, widths, i, win.commands[i], serial.commands[i])
+				}
+			}
+			if len(win.requests) != len(serial.requests) {
+				t.Fatalf("ch=%d widths=%v: %d request events windowed, %d serial", channels, widths, len(win.requests), len(serial.requests))
+			}
+			for i := range win.requests {
+				if win.requests[i] != serial.requests[i] {
+					t.Fatalf("ch=%d widths=%v: request event %d diverged: %+v vs %+v", channels, widths, i, win.requests[i], serial.requests[i])
+				}
+			}
+			if len(win.stalls) != len(serial.stalls) {
+				t.Fatalf("ch=%d widths=%v: %d stall events windowed, %d serial", channels, widths, len(win.stalls), len(serial.stalls))
+			}
+			for i := range win.stalls {
+				if win.stalls[i] != serial.stalls[i] {
+					t.Fatalf("ch=%d widths=%v: stall event %d diverged: %+v vs %+v", channels, widths, i, win.stalls[i], serial.stalls[i])
+				}
+			}
+			if win.queueFull != serial.queueFull {
+				t.Errorf("ch=%d widths=%v: queue-full events diverged: %d vs %d", channels, widths, win.queueFull, serial.queueFull)
+			}
+		}
+	}
+}
+
+// TestStepWindowBatchedAggregates covers the production configuration
+// (shard-internal idle batching on): weighted stall events replace
+// per-cycle repeats, so the raw stall stream differs, but commands,
+// request lifecycles, stats and every weighted aggregate must match the
+// serial drive exactly.
+func TestStepWindowBatchedAggregates(t *testing.T) {
+	for _, channels := range []int{2, 4} {
+		serial, serialStats := runTwin(t, channels, 48, false, false, nil)
+		win, winStats := runTwin(t, channels, 48, true, false, []sim.Tick{11, 3, 29})
+		if serialStats != winStats {
+			t.Errorf("ch=%d: stats diverged: serial %+v, windowed %+v", channels, serialStats, winStats)
+		}
+		if len(win.commands) != len(serial.commands) {
+			t.Fatalf("ch=%d: %d command spans windowed, %d serial", channels, len(win.commands), len(serial.commands))
+		}
+		for i := range win.commands {
+			if win.commands[i] != serial.commands[i] {
+				t.Fatalf("ch=%d: command %d diverged: %+v vs %+v", channels, i, win.commands[i], serial.commands[i])
+			}
+		}
+		weight := func(evs []telemetry.StallEvent) map[telemetry.StallCause]uint64 {
+			out := make(map[telemetry.StallCause]uint64)
+			for _, ev := range evs {
+				n := ev.N
+				if n == 0 {
+					n = 1
+				}
+				out[ev.Cause] += n
+			}
+			return out
+		}
+		ws, ss := weight(win.stalls), weight(serial.stalls)
+		for cause, n := range ss {
+			if ws[cause] != n {
+				t.Errorf("ch=%d: cause %v: windowed weight %d, serial %d", channels, cause, ws[cause], n)
+			}
+		}
+		for cause, n := range ws {
+			if _, ok := ss[cause]; !ok {
+				t.Errorf("ch=%d: cause %v: windowed-only weight %d", channels, cause, n)
+			}
+		}
+	}
+}
+
+// barrierHarness drives a multi-channel workload in windows with full
+// attribution and occupancy attached, invoking check at every barrier
+// while the shards are quiesced.
+func barrierHarness(t *testing.T, check func(c *Controller, att *telemetry.Attribution, occ *telemetry.Occupancy)) {
+	t.Helper()
+	g := multiGeom(4)
+	att := telemetry.NewAttribution(g)
+	occ := telemetry.NewOccupancy(g)
+	sink := telemetry.Fanout{att, occ}.Compact()
+	eng := sim.NewEngine()
+	c, err := New(Config{
+		Geom: g, Tim: timing.Paper(), Modes: core.AllModes(),
+		IssueLanes: 1, Interleave: addr.RowBankRankChanCol,
+		Telemetry: sink,
+	}, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range spreadRequests(c, 48) {
+		if !c.Enqueue(r, 0) {
+			t.Fatalf("request %d rejected", i)
+		}
+	}
+	barriers := 0
+	driveWindowed(c, eng, 200_000, []sim.Tick{5, 17, 2}, false, func() {
+		barriers++
+		check(c, att, occ)
+	})
+	if !c.Drained() {
+		t.Fatal("controller did not drain")
+	}
+	if barriers == 0 {
+		t.Fatal("no multi-tick windows opened; harness exercised nothing")
+	}
+	check(c, att, occ) // and once after the run, like Result assembly
+}
+
+// The read-side accessor regression tests: each accessor must be usable
+// at a barrier, between windows, while the shard goroutines are parked —
+// not only after the run. The barrier replay drains every capture buffer
+// before StepWindow returns, so mid-run reads must already satisfy the
+// same conservation and monotonicity the end-of-run reads do. Run under
+// -race these also prove the reads share no unsynchronized state with
+// the workers.
+
+func TestBarrierReadAttributedWait(t *testing.T) {
+	barrierHarness(t, func(c *Controller, att *telemetry.Attribution, _ *telemetry.Occupancy) {
+		if got, want := att.AttributedWait(), c.Stats().QueuedWaitCycles.Value(); got != want {
+			t.Fatalf("at barrier: AttributedWait %d != QueuedWaitCycles %d", got, want)
+		}
+	})
+}
+
+func TestBarrierReadCauses(t *testing.T) {
+	barrierHarness(t, func(c *Controller, att *telemetry.Attribution, _ *telemetry.Occupancy) {
+		causes := att.Causes()
+		var sum uint64
+		for cause, n := range causes {
+			if telemetry.StallCause(cause) != telemetry.StallQueueFull {
+				sum += n
+			}
+		}
+		if want := c.Stats().QueuedWaitCycles.Value(); sum != want {
+			t.Fatalf("at barrier: Causes sum %d != QueuedWaitCycles %d", sum, want)
+		}
+	})
+}
+
+func TestBarrierReadTileStalls(t *testing.T) {
+	var prev uint64
+	barrierHarness(t, func(c *Controller, att *telemetry.Attribution, _ *telemetry.Occupancy) {
+		var sum uint64
+		for _, row := range att.TileStalls() {
+			for _, n := range row {
+				sum += n
+			}
+		}
+		if sum < prev {
+			t.Fatalf("at barrier: TileStalls sum went backwards: %d after %d", sum, prev)
+		}
+		prev = sum
+		if wait := att.AttributedWait(); sum > wait {
+			t.Fatalf("at barrier: TileStalls sum %d exceeds AttributedWait %d", sum, wait)
+		}
+	})
+}
+
+func TestBarrierReadMatrix(t *testing.T) {
+	var prev uint64
+	barrierHarness(t, func(_ *Controller, _ *telemetry.Attribution, occ *telemetry.Occupancy) {
+		var sum uint64
+		for _, row := range occ.Matrix() {
+			for _, n := range row {
+				sum += n
+			}
+		}
+		if sum < prev {
+			t.Fatalf("at barrier: Matrix sum went backwards: %d after %d", sum, prev)
+		}
+		prev = sum
+	})
+}
+
+func TestBarrierReadKindCycles(t *testing.T) {
+	var prevAct, prevRd, prevWr uint64
+	barrierHarness(t, func(_ *Controller, _ *telemetry.Attribution, occ *telemetry.Occupancy) {
+		act, rd, wr := occ.KindCycles()
+		if act < prevAct || rd < prevRd || wr < prevWr {
+			t.Fatalf("at barrier: KindCycles went backwards: (%d,%d,%d) after (%d,%d,%d)",
+				act, rd, wr, prevAct, prevRd, prevWr)
+		}
+		prevAct, prevRd, prevWr = act, rd, wr
+	})
+}
+
+func TestBarrierReadStats(t *testing.T) {
+	var prev statsSnapshot
+	barrierHarness(t, func(c *Controller, _ *telemetry.Attribution, _ *telemetry.Occupancy) {
+		s := snapStats(c)
+		if s.queuedWait < prev.queuedWait || s.reads < prev.reads || s.writes < prev.writes ||
+			s.acts < prev.acts || s.colReads < prev.colReads {
+			t.Fatalf("at barrier: stats went backwards: %+v after %+v", s, prev)
+		}
+		prev = s
+	})
+}
+
+// TestStopWorkersIdempotent pins the shutdown contract the run loop's
+// defer relies on: StopWorkers is safe before any window, after windows,
+// and repeatedly.
+func TestStopWorkersIdempotent(t *testing.T) {
+	c, eng := newMultiCtrl(t, 4, nil)
+	c.StopWorkers() // never started
+	for i, r := range spreadRequests(c, 16) {
+		if !c.Enqueue(r, 0) {
+			t.Fatalf("request %d rejected", i)
+		}
+	}
+	driveWindowed(c, eng, 100_000, []sim.Tick{9}, false, nil)
+	if !c.Drained() {
+		t.Fatal("controller did not drain")
+	}
+	c.StopWorkers()
+	c.StopWorkers()
+}

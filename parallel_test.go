@@ -1,0 +1,276 @@
+// Differential tests for the parallel multi-channel engine.
+//
+// runParallel (parallel.go) claims to be exact: advancing the channel
+// shards concurrently inside conservative lookahead windows and
+// serializing cross-channel effects at the barrier in (tick, channel,
+// seq) order must leave every observable output byte-identical to the
+// reference serial loop. These tests pin that claim across the full
+// benchmark × design matrix with full telemetry attached, with
+// fast-forward and indexed scheduling both on and off; on multi-channel
+// geometries (which exercise the worker fan-out and capture/replay
+// barrier, since one channel runs inline); under repeated runs at
+// GOMAXPROCS 1, 2 and 8 (identical output hashes — determinism, not
+// just aggregate equality); and across context cancellation mid-run
+// (clean worker shutdown, no goroutine leak).
+
+package fgnvm
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/trace"
+)
+
+// TestParallelEngineDifferential: every benchmark × every design,
+// parallel engine vs DisableParallelEngine, must produce byte-identical
+// Result JSON and byte-identical trace output. Fast-forward and indexed
+// scheduling stay on in both runs, so this also covers window/jump and
+// window/memo interactions.
+func TestParallelEngineDifferential(t *testing.T) {
+	for _, d := range Designs() {
+		t.Run(d.String(), func(t *testing.T) {
+			for _, bench := range Benchmarks() {
+				t.Run(bench, func(t *testing.T) {
+					t.Parallel()
+					o := Options{Design: d, SAGs: 8, CDs: 2, Benchmark: bench, Instructions: ffInstr}
+					parRes, parTrace := runArtifacts(t, o)
+					o.DisableParallelEngine = true
+					refRes, refTrace := runArtifacts(t, o)
+					if !bytes.Equal(parRes, refRes) {
+						t.Errorf("Result diverged under parallel engine:\n  par: %s\n  ref: %s", parRes, refRes)
+					}
+					if !bytes.Equal(parTrace, refTrace) {
+						t.Errorf("trace diverged under parallel engine (%d vs %d bytes)", len(parTrace), len(refTrace))
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestParallelEngineCycleByCycle re-runs the differential with
+// fast-forward and indexed scheduling disabled (separately and
+// together) on a design/benchmark slice, so a window bug masked by the
+// other optimizations' own skipping cannot hide.
+func TestParallelEngineCycleByCycle(t *testing.T) {
+	knobs := []struct {
+		name    string
+		noFF    bool
+		noIndex bool
+	}{
+		{"no-ff", true, false},
+		{"no-index", false, true},
+		{"no-ff-no-index", true, true},
+	}
+	for _, k := range knobs {
+		t.Run(k.name, func(t *testing.T) {
+			for _, d := range []Design{DesignBaseline, DesignFgNVM, DesignFgNVMMultiIssue} {
+				t.Run(d.String(), func(t *testing.T) {
+					for _, bench := range []string{"lbm", "mcf"} {
+						t.Run(bench, func(t *testing.T) {
+							t.Parallel()
+							o := Options{
+								Design: d, SAGs: 8, CDs: 2, Benchmark: bench,
+								Instructions:       ffInstr,
+								DisableFastForward: k.noFF, DisableSchedIndex: k.noIndex,
+							}
+							parRes, parTrace := runArtifacts(t, o)
+							o.DisableParallelEngine = true
+							refRes, refTrace := runArtifacts(t, o)
+							if !bytes.Equal(parRes, refRes) {
+								t.Errorf("Result diverged (%s):\n  par: %s\n  ref: %s", k.name, parRes, refRes)
+							}
+							if !bytes.Equal(parTrace, refTrace) {
+								t.Errorf("trace diverged (%s): %d vs %d bytes", k.name, len(parTrace), len(refTrace))
+							}
+						})
+					}
+				})
+			}
+		})
+	}
+}
+
+// multiChannelGeom widens the paper geometry to the given channel
+// count; the address space grows, everything else stays Table 2.
+func multiChannelGeom(channels int) *addr.Geometry {
+	g := addr.PaperGeometry()
+	g.Channels = channels
+	return &g
+}
+
+// TestParallelEngineMultiChannel drives the differential on 2- and
+// 4-channel geometries with multi-programmed workloads — the
+// configurations where StepWindow actually fans out to worker
+// goroutines and the barrier replays captured effects. One channel
+// takes the inline path, so without this test the capture/replay
+// machinery would be dark.
+func TestParallelEngineMultiChannel(t *testing.T) {
+	for _, channels := range []int{2, 4} {
+		for _, d := range []Design{DesignBaseline, DesignFgNVM, DesignFgNVMMultiIssue} {
+			for _, bench := range []string{"lbm", "mcf", "milc"} {
+				t.Run(bench, func(t *testing.T) {
+					t.Parallel()
+					o := Options{
+						Design: d, SAGs: 8, CDs: 2, Benchmark: bench, Cores: channels,
+						Instructions: ffInstr, Geometry: multiChannelGeom(channels),
+					}
+					parRes, parTrace := runArtifacts(t, o)
+					o.DisableParallelEngine = true
+					refRes, refTrace := runArtifacts(t, o)
+					if !bytes.Equal(parRes, refRes) {
+						t.Errorf("ch=%d %v: Result diverged:\n  par: %s\n  ref: %s", channels, d, parRes, refRes)
+					}
+					if !bytes.Equal(parTrace, refTrace) {
+						t.Errorf("ch=%d %v: trace diverged: %d vs %d bytes", channels, d, len(parTrace), len(refTrace))
+					}
+				})
+			}
+		}
+	}
+}
+
+// splitMixStream builds a seeded SplitMix64 access stream, the same
+// generator the fast-forward and sched-index suites use — but
+// memory-bound (tiny gaps, write-heavy), so the cores spend most of the
+// run blocked on full queues and the engine actually opens multi-tick
+// windows across the worker fan-out.
+func splitMixStream(seed uint64, n int) trace.Stream {
+	state := seed
+	next := func() uint64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	accs := make([]trace.Access, n)
+	for i := range accs {
+		accs[i] = trace.Access{
+			Gap:   uint32(next() % 4),
+			Addr:  (next() % (256 << 20)) &^ 63,
+			Write: next()%100 < 60,
+		}
+	}
+	return trace.NewSliceStream(accs)
+}
+
+// TestParallelEngineDeterminism runs the parallel engine repeatedly
+// under GOMAXPROCS 1, 2 and 8 on a 4-channel multi-programmed random
+// stream and requires every run to hash identically: worker scheduling
+// must have no observable effect whatsoever. The GOMAXPROCS sweep
+// changes how the runtime interleaves the window workers; the output
+// may not.
+func TestParallelEngineDeterminism(t *testing.T) {
+	const runs = 3
+	mkOpts := func() Options {
+		streams := make([]trace.Stream, 4)
+		for i := range streams {
+			streams[i] = splitMixStream(0xfeed+uint64(i)*0x1001, 16384)
+		}
+		var buf bytes.Buffer
+		return Options{
+			Design: DesignFgNVM, SAGs: 8, CDs: 2,
+			Streams: streams, Instructions: ffInstr,
+			// SkipLLC sends every access to memory: the cores block on
+			// full queues almost immediately and stay blocked, so the
+			// run is one long sequence of multi-tick windows — the
+			// worker fan-out and barrier replay under maximal load.
+			SkipLLC:   true,
+			Geometry:  multiChannelGeom(4),
+			Telemetry: &TelemetryOptions{Attribution: true, Occupancy: true, TraceWriter: &buf},
+		}
+	}
+	var want [sha256.Size]byte
+	first := true
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, procs := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(procs)
+		for r := 0; r < runs; r++ {
+			o := mkOpts()
+			buf := o.Telemetry.TraceWriter.(*bytes.Buffer)
+			res, err := Run(o)
+			if err != nil {
+				t.Fatalf("GOMAXPROCS=%d run %d: %v", procs, r, err)
+			}
+			resJSON, err := json.Marshal(res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			traceBytes := buf.Bytes()
+			h := sha256.New()
+			h.Write(resJSON)
+			h.Write(traceBytes)
+			var got [sha256.Size]byte
+			h.Sum(got[:0])
+			if first {
+				want, first = got, false
+				continue
+			}
+			if got != want {
+				t.Fatalf("GOMAXPROCS=%d run %d: output hash diverged: %x != %x", procs, r, got, want)
+			}
+		}
+	}
+}
+
+// TestParallelEngineCancellation cancels a 4-channel parallel run
+// mid-flight and asserts the error surfaces and every window worker
+// shuts down: the goroutine count returns to its pre-run level.
+func TestParallelEngineCancellation(t *testing.T) {
+	mkOpts := func() Options {
+		streams := make([]trace.Stream, 4)
+		for i := range streams {
+			streams[i] = splitMixStream(0xabad1dea+uint64(i), 16384)
+		}
+		return Options{
+			Design: DesignFgNVM, SAGs: 8, CDs: 2,
+			Streams: streams, Instructions: ffInstr,
+			SkipLLC:  true, // every access reaches memory: windows stay open
+			Geometry: multiChannelGeom(4),
+		}
+	}
+
+	// First pass: count how often a full run polls Err, so cancellation
+	// can land deterministically mid-run regardless of run length.
+	probe := &countdownCtx{Context: context.Background()}
+	probe.left.Store(1 << 40)
+	if _, err := RunContext(probe, mkOpts()); err != nil {
+		t.Fatal(err)
+	}
+	total := (1 << 40) - probe.left.Load()
+	if total < 4 {
+		t.Fatalf("run polled ctx.Err only %d times; cannot cancel mid-run", total)
+	}
+
+	for _, polls := range []int64{1, total / 2, total - 1} {
+		before := runtime.NumGoroutine()
+		// countdownCtx (fastforward_test.go) cancels deterministically
+		// at the Nth Err poll — mid-run, after windows have opened and
+		// workers are parked at a barrier.
+		ctx := &countdownCtx{Context: context.Background()}
+		ctx.left.Store(polls)
+		_, err := RunContext(ctx, mkOpts())
+		if err != context.Canceled {
+			t.Fatalf("polls=%d: err = %v, want context.Canceled", polls, err)
+		}
+		// Workers exit on the closed work channel; give the runtime a
+		// moment to reap them before comparing counts.
+		deadline := time.Now().Add(5 * time.Second)
+		for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+			runtime.Gosched()
+			time.Sleep(time.Millisecond)
+		}
+		if after := runtime.NumGoroutine(); after > before {
+			t.Errorf("polls=%d: %d goroutines before run, %d after cancellation: window workers leaked", polls, before, after)
+		}
+	}
+}
