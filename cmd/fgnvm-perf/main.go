@@ -31,6 +31,14 @@
 // report recorded on the same machine — the hot-path acceptance gate,
 // run where the report was produced rather than in CI.
 //
+// -scaling also measures the parallel-engine scale-out matrix (every
+// design on the write-heavy workload at 1/2/4 channels, parallel vs
+// forced-serial), asserting simulated cycles identical between the two
+// engines at every point. When a -check baseline carries scaling
+// entries the matrix is re-measured and gated automatically: cycles
+// exactly, and — only on hosts with >=4 CPUs, since the wall columns
+// are machine-dependent — the 4-channel speedup floor.
+//
 // Absolute wall times are recorded for the report but never gated —
 // they are machine-dependent.
 package main
@@ -45,6 +53,7 @@ import (
 	"time"
 
 	fgnvm "repro"
+	"repro/internal/addr"
 )
 
 // Case is one timed design × benchmark point.
@@ -63,13 +72,36 @@ type Case struct {
 	WriteHeavy  bool    `json:"write_heavy"`   // counts toward the speedup gates
 }
 
-// Report is the BENCH_<pr>.json schema.
+// ScalingCase is one parallel-engine scale-out point: a write-heavy
+// workload on an N-channel geometry with one core per channel, timed
+// under the parallel engine and under the forced serial reference
+// loop. Cycles are asserted equal between the two at measurement time
+// (the engines are byte-identical by contract); the wall columns are
+// machine-dependent and only gated as same-machine ratios, and only on
+// hosts with enough CPUs for the workers to actually run in parallel.
+type ScalingCase struct {
+	Design    string `json:"design"`
+	Benchmark string `json:"benchmark"`
+	Channels  int    `json:"channels"`
+
+	Cycles     uint64  `json:"cycles"`      // simulated cycles (identical parallel vs serial)
+	ParWallMS  float64 `json:"par_wall_ms"` // best parallel-engine wall time
+	SerWallMS  float64 `json:"ser_wall_ms"` // best DisableParallelEngine wall time
+	ParSpeedup float64 `json:"par_speedup"` // SerWallMS / ParWallMS
+}
+
+// Report is the BENCH_<pr>.json schema. CPUs and Scaling joined in
+// PR 9 (both omitempty, so older baselines parse unchanged): CPUs
+// records how many host CPUs the scaling columns were measured with,
+// since a parallel speedup means nothing without it.
 type Report struct {
-	Instructions uint64 `json:"instructions"`
-	Seed         uint64 `json:"seed"`
-	Reps         int    `json:"reps"`
-	GoVersion    string `json:"go_version"`
-	Cases        []Case `json:"cases"`
+	Instructions uint64        `json:"instructions"`
+	Seed         uint64        `json:"seed"`
+	Reps         int           `json:"reps"`
+	GoVersion    string        `json:"go_version"`
+	CPUs         int           `json:"cpus,omitempty"`
+	Cases        []Case        `json:"cases"`
+	Scaling      []ScalingCase `json:"scaling,omitempty"`
 }
 
 func main() {
@@ -88,6 +120,7 @@ func run() error {
 		check      = flag.String("check", "", "baseline report to gate against")
 		checkCyc   = flag.String("check-cycles", "", "older baseline gated on simulated-cycle exactness only")
 		against    = flag.String("against", "", "prior-PR baseline for the wall-clock speedup gate (same machine)")
+		scaling    = flag.Bool("scaling", false, "also measure the multi-channel parallel-engine scaling matrix")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the measurement to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile taken after the measurement to this file")
 	)
@@ -142,11 +175,15 @@ func run() error {
 		if err := json.Unmarshal(b, baseline); err != nil {
 			return fmt.Errorf("parse %s: %w", *check, err)
 		}
-		// Gate at the baseline's operating point, whatever -n says.
+		// Gate at the baseline's operating point, whatever -n says —
+		// including the scaling matrix, if the baseline recorded one.
 		*n, *seed, *reps = baseline.Instructions, baseline.Seed, baseline.Reps
+		if len(baseline.Scaling) > 0 {
+			*scaling = true
+		}
 	}
 
-	rep, err := measure(*n, *seed, *reps)
+	rep, err := measure(*n, *seed, *reps, *scaling)
 	if err != nil {
 		return err
 	}
@@ -164,6 +201,11 @@ func run() error {
 	if baseline != nil {
 		if err := gate(rep, baseline); err != nil {
 			return err
+		}
+		if len(baseline.Scaling) > 0 {
+			if err := gateScaling(rep, baseline); err != nil {
+				return err
+			}
 		}
 	}
 	if *checkCyc != "" {
@@ -201,7 +243,84 @@ func cases() []Case {
 	return cs
 }
 
-func measure(n, seed uint64, reps int) (*Report, error) {
+// scalingCases returns the parallel-engine scale-out matrix: every
+// design on the write-heaviest workload (lbm, as in cases()) at 1, 2
+// and 4 channels with one core per channel — the multi-programmed load
+// the channel shards were built to spread.
+func scalingCases() []ScalingCase {
+	var cs []ScalingCase
+	for _, d := range fgnvm.Designs() {
+		for _, ch := range []int{1, 2, 4} {
+			cs = append(cs, ScalingCase{Design: d.String(), Benchmark: "lbm", Channels: ch})
+		}
+	}
+	return cs
+}
+
+// measureScaling times each scale-out point under the parallel engine
+// and the forced serial loop, asserting the simulated cycle counts
+// match exactly — the byte-identity contract, re-checked at every
+// measurement so a wall-clock report can never paper over a
+// divergence.
+func measureScaling(rep *Report, n, seed uint64, reps int) error {
+	for _, c := range scalingCases() {
+		d, err := fgnvm.ParseDesign(c.Design)
+		if err != nil {
+			return err
+		}
+		g := addr.PaperGeometry()
+		g.Channels = c.Channels
+		opts := fgnvm.Options{
+			Design: d, SAGs: 8, CDs: 2, Geometry: &g,
+			Benchmark: c.Benchmark, Cores: c.Channels,
+			Instructions: n, Seed: seed,
+		}
+		one := func(serial bool) (fgnvm.Result, time.Duration, error) {
+			o := opts
+			o.DisableParallelEngine = serial
+			//lint:allow wallclock the harness exists to time real runs
+			start := time.Now()
+			r, err := fgnvm.Run(o)
+			return r, time.Since(start), err
+		}
+		// Warmup both engines; the cycle counts must agree already.
+		parRes, _, err := one(false)
+		if err != nil {
+			return err
+		}
+		serRes, _, err := one(true)
+		if err != nil {
+			return err
+		}
+		if parRes.Cycles != serRes.Cycles {
+			return fmt.Errorf("%s/%s ch=%d: parallel engine simulated %d cycles, serial %d — the engines diverged",
+				c.Design, c.Benchmark, c.Channels, parRes.Cycles, serRes.Cycles)
+		}
+		c.Cycles = uint64(parRes.Cycles)
+
+		const forever = time.Duration(1<<63 - 1)
+		par, ser := forever, forever
+		runtime.GC()
+		for i := 0; i < reps; i++ {
+			_, elPar, err := one(false)
+			if err != nil {
+				return err
+			}
+			_, elSer, err := one(true)
+			if err != nil {
+				return err
+			}
+			par, ser = min(par, elPar), min(ser, elSer)
+		}
+		c.ParWallMS = float64(par.Microseconds()) / 1000
+		c.SerWallMS = float64(ser.Microseconds()) / 1000
+		c.ParSpeedup = float64(ser) / float64(par)
+		rep.Scaling = append(rep.Scaling, c)
+	}
+	return nil
+}
+
+func measure(n, seed uint64, reps int, scaling bool) (*Report, error) {
 	rep := &Report{Instructions: n, Seed: seed, Reps: reps, GoVersion: runtime.Version()}
 	for _, c := range cases() {
 		d, err := fgnvm.ParseDesign(c.Design)
@@ -273,6 +392,12 @@ func measure(n, seed uint64, reps int) (*Report, error) {
 
 		rep.Cases = append(rep.Cases, c)
 	}
+	if scaling {
+		rep.CPUs = runtime.NumCPU()
+		if err := measureScaling(rep, n, seed, reps); err != nil {
+			return nil, err
+		}
+	}
 	return rep, nil
 }
 
@@ -285,6 +410,15 @@ func printReport(r *Report) {
 		fmt.Printf("%-18s %-10s %12d %10.2f %10.2f %10.2f %8.2fx %8.2fx %12d\n",
 			c.Design, c.Benchmark, c.Cycles, c.WallMS, c.RefWallMS, c.ScanWallMS,
 			c.FFSpeedup, c.IdxSpeedup, c.AllocsPerOp)
+	}
+	if len(r.Scaling) > 0 {
+		fmt.Printf("\nparallel-engine scaling (%d host CPUs):\n", r.CPUs)
+		fmt.Printf("%-18s %-10s %3s %12s %10s %10s %10s\n",
+			"design", "benchmark", "ch", "cycles", "par ms", "ser ms", "par-speed")
+		for _, c := range r.Scaling {
+			fmt.Printf("%-18s %-10s %3d %12d %10.2f %10.2f %9.2fx\n",
+				c.Design, c.Benchmark, c.Channels, c.Cycles, c.ParWallMS, c.SerWallMS, c.ParSpeedup)
+		}
 	}
 }
 
@@ -402,6 +536,66 @@ func gate(got, want *Report) error {
 	}
 	fmt.Printf("perf gates passed: cycles exact, allocs within %.0f%%, write-heavy ff-speedup %.2fx >= %.2fx, idx-speedup %.2fx >= %.1fx\n",
 		allocTolFrac*100, bestFF, ffSpeedupFloor, bestIdx, idxSpeedupFloor)
+	return nil
+}
+
+// Parallel-engine scale-out floor: at 4 channels the write-heavy
+// matrix must show at least this wall-clock speedup over the forced
+// serial loop. The floor is meaningful only where the window workers
+// can actually run in parallel, so it is enforced only on hosts with
+// at least 4 CPUs; cycle exactness (the byte-identity contract) is
+// gated unconditionally.
+const parScalingFloor = 1.8
+
+// gateScaling enforces the PR 9 scaling criteria against the
+// committed baseline: simulated cycles exact on every scale-out
+// point, and — on a capable host — the 4-channel parallel speedup
+// floor on the best write-heavy case.
+func gateScaling(got, want *Report) error {
+	byKey := map[string]ScalingCase{}
+	for _, c := range want.Scaling {
+		byKey[fmt.Sprintf("%s/%s/%d", c.Design, c.Benchmark, c.Channels)] = c
+	}
+	var failures []string
+	best, bestCase := 0.0, ""
+	for _, c := range got.Scaling {
+		key := fmt.Sprintf("%s/%s/%d", c.Design, c.Benchmark, c.Channels)
+		b, ok := byKey[key]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: no scaling baseline entry", key))
+			continue
+		}
+		if c.Cycles != b.Cycles {
+			failures = append(failures, fmt.Sprintf(
+				"%s: simulated cycles %d != baseline %d (model change? regenerate the baseline with -o)",
+				key, c.Cycles, b.Cycles))
+		}
+		if c.Channels == 4 && c.ParSpeedup > best {
+			best, bestCase = c.ParSpeedup, key
+		}
+	}
+	if runtime.NumCPU() >= 4 {
+		if best < parScalingFloor {
+			failures = append(failures, fmt.Sprintf(
+				"best 4-channel parallel speedup %.2fx (%s) below the %.1fx floor on a %d-CPU host",
+				best, bestCase, parScalingFloor, runtime.NumCPU()))
+		}
+	} else {
+		fmt.Printf("scaling floor skipped: %d host CPU(s) cannot run 4 channel workers in parallel (floor %.1fx applies at >=4 CPUs)\n",
+			runtime.NumCPU(), parScalingFloor)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "SCALING GATE FAIL:", f)
+		}
+		return fmt.Errorf("%d scaling gate failure(s)", len(failures))
+	}
+	if runtime.NumCPU() >= 4 {
+		fmt.Printf("scaling gates passed: cycles exact on every point, best 4-channel parallel speedup %.2fx (%s) >= %.1fx\n",
+			best, bestCase, parScalingFloor)
+	} else {
+		fmt.Println("scaling gates passed: cycles exact on every point (speedup floor skipped on this host)")
+	}
 	return nil
 }
 
