@@ -34,10 +34,14 @@
 // -scaling also measures the parallel-engine scale-out matrix (every
 // design on the write-heavy workload at 1/2/4 channels, parallel vs
 // forced-serial), asserting simulated cycles identical between the two
-// engines at every point. When a -check baseline carries scaling
-// entries the matrix is re-measured and gated automatically: cycles
-// exactly, and — only on hosts with >=4 CPUs, since the wall columns
-// are machine-dependent — the 4-channel speedup floor.
+// engines at every point, and records the mean/median window widths of
+// the channel-local delivery derivation next to the reference
+// derivation's. When a -check baseline carries scaling entries the
+// matrix is re-measured and gated automatically: cycles exactly, window
+// widths exactly plus the host-independent 4-channel width-gain floor
+// (widths are pure functions of the simulation), and — only on hosts
+// with >=4 CPUs, since the wall columns are machine-dependent — the
+// 4-channel speedup floor.
 //
 // Absolute wall times are recorded for the report but never gated —
 // they are machine-dependent.
@@ -88,6 +92,18 @@ type ScalingCase struct {
 	ParWallMS  float64 `json:"par_wall_ms"` // best parallel-engine wall time
 	SerWallMS  float64 `json:"ser_wall_ms"` // best DisableParallelEngine wall time
 	ParSpeedup float64 `json:"par_speedup"` // SerWallMS / ParWallMS
+
+	// Window-width columns (PR 10). Widths are pure functions of the
+	// simulation — how far the engine can prove ahead before a
+	// cross-channel interaction — so unlike the wall columns they are
+	// host-independent and gate exactly, like cycles. MeanWidth and
+	// P50Width describe the default engine (channel-local delivery);
+	// RefMeanWidth is the same run under DisableLocalDelivery, the PR 9
+	// reference derivation capped at the global completion horizon. The
+	// ratio MeanWidth/RefMeanWidth is the width gain local delivery buys.
+	MeanWidth    float64 `json:"mean_width,omitempty"`
+	P50Width     uint64  `json:"p50_width,omitempty"`
+	RefMeanWidth float64 `json:"ref_mean_width,omitempty"`
 }
 
 // Report is the BENCH_<pr>.json schema. CPUs and Scaling joined in
@@ -298,6 +314,42 @@ func measureScaling(rep *Report, n, seed uint64, reps int) error {
 		}
 		c.Cycles = uint64(parRes.Cycles)
 
+		// Window widths: one instrumented run per derivation. Kept out
+		// of the timing repetitions (the stats accumulation, however
+		// cheap, must not skew the wall columns); deterministic, so one
+		// run each is exact. The local run's cycles are re-checked — a
+		// third engine variant the wall report must not paper over.
+		// Designs without the windowed engine (the DDR comparison model
+		// has no channel controller) report no Result.Engine and keep
+		// zero width columns.
+		width := func(noLocal bool) (*fgnvm.EngineStats, error) {
+			o := opts
+			o.EngineStats = true
+			o.DisableLocalDelivery = noLocal
+			r, err := fgnvm.Run(o)
+			if err != nil {
+				return nil, err
+			}
+			if uint64(r.Cycles) != c.Cycles {
+				return nil, fmt.Errorf("%s/%s ch=%d: local-delivery=%v simulated %d cycles, expected %d — the engines diverged",
+					c.Design, c.Benchmark, c.Channels, !noLocal, r.Cycles, c.Cycles)
+			}
+			return r.Engine, nil
+		}
+		local, err := width(false)
+		if err != nil {
+			return err
+		}
+		ref, err := width(true)
+		if err != nil {
+			return err
+		}
+		if local != nil && ref != nil {
+			c.MeanWidth = local.MeanWidth
+			c.P50Width = local.P50Width
+			c.RefMeanWidth = ref.MeanWidth
+		}
+
 		const forever = time.Duration(1<<63 - 1)
 		par, ser := forever, forever
 		runtime.GC()
@@ -413,11 +465,12 @@ func printReport(r *Report) {
 	}
 	if len(r.Scaling) > 0 {
 		fmt.Printf("\nparallel-engine scaling (%d host CPUs):\n", r.CPUs)
-		fmt.Printf("%-18s %-10s %3s %12s %10s %10s %10s\n",
-			"design", "benchmark", "ch", "cycles", "par ms", "ser ms", "par-speed")
+		fmt.Printf("%-18s %-10s %3s %12s %10s %10s %10s %10s %9s %10s\n",
+			"design", "benchmark", "ch", "cycles", "par ms", "ser ms", "par-speed", "width", "p50", "ref-width")
 		for _, c := range r.Scaling {
-			fmt.Printf("%-18s %-10s %3d %12d %10.2f %10.2f %9.2fx\n",
-				c.Design, c.Benchmark, c.Channels, c.Cycles, c.ParWallMS, c.SerWallMS, c.ParSpeedup)
+			fmt.Printf("%-18s %-10s %3d %12d %10.2f %10.2f %9.2fx %10.1f %9d %10.1f\n",
+				c.Design, c.Benchmark, c.Channels, c.Cycles, c.ParWallMS, c.SerWallMS, c.ParSpeedup,
+				c.MeanWidth, c.P50Width, c.RefMeanWidth)
 		}
 	}
 }
@@ -547,10 +600,19 @@ func gate(got, want *Report) error {
 // gated unconditionally.
 const parScalingFloor = 1.8
 
-// gateScaling enforces the PR 9 scaling criteria against the
-// committed baseline: simulated cycles exact on every scale-out
-// point, and — on a capable host — the 4-channel parallel speedup
-// floor on the best write-heavy case.
+// Channel-local delivery width floor (PR 10): on the write-heavy
+// 4-channel scaling workload, the mean window width under local
+// delivery must be at least this multiple of the PR 9 reference
+// derivation's. Widths are pure functions of the simulation, so this
+// gate is host-independent and enforced unconditionally.
+const widthGainFloor = 2.0
+
+// gateScaling enforces the scaling criteria against the committed
+// baseline: simulated cycles exact on every scale-out point, window
+// widths exact wherever the baseline records them plus the
+// host-independent 4-channel width-gain floor, and — on a capable
+// host — the 4-channel parallel speedup floor on the best write-heavy
+// case.
 func gateScaling(got, want *Report) error {
 	byKey := map[string]ScalingCase{}
 	for _, c := range want.Scaling {
@@ -558,6 +620,7 @@ func gateScaling(got, want *Report) error {
 	}
 	var failures []string
 	best, bestCase := 0.0, ""
+	bestGain, bestGainCase := 0.0, ""
 	for _, c := range got.Scaling {
 		key := fmt.Sprintf("%s/%s/%d", c.Design, c.Benchmark, c.Channels)
 		b, ok := byKey[key]
@@ -570,9 +633,28 @@ func gateScaling(got, want *Report) error {
 				"%s: simulated cycles %d != baseline %d (model change? regenerate the baseline with -o)",
 				key, c.Cycles, b.Cycles))
 		}
-		if c.Channels == 4 && c.ParSpeedup > best {
-			best, bestCase = c.ParSpeedup, key
+		// Width columns are deterministic: when the baseline carries
+		// them (PR 10 onward) they must reproduce exactly, like cycles.
+		if b.MeanWidth != 0 && (c.MeanWidth != b.MeanWidth || c.P50Width != b.P50Width || c.RefMeanWidth != b.RefMeanWidth) {
+			failures = append(failures, fmt.Sprintf(
+				"%s: window widths (mean %.6g p50 %d ref %.6g) != baseline (%.6g %d %.6g) (derivation change? regenerate the baseline with -o)",
+				key, c.MeanWidth, c.P50Width, c.RefMeanWidth, b.MeanWidth, b.P50Width, b.RefMeanWidth))
 		}
+		if c.Channels == 4 {
+			if c.ParSpeedup > best {
+				best, bestCase = c.ParSpeedup, key
+			}
+			if c.RefMeanWidth > 0 {
+				if gain := c.MeanWidth / c.RefMeanWidth; gain > bestGain {
+					bestGain, bestGainCase = gain, key
+				}
+			}
+		}
+	}
+	if bestGain < widthGainFloor {
+		failures = append(failures, fmt.Sprintf(
+			"best 4-channel local-delivery width gain %.2fx (%s) below the %.1fx floor",
+			bestGain, bestGainCase, widthGainFloor))
 	}
 	if runtime.NumCPU() >= 4 {
 		if best < parScalingFloor {
@@ -591,10 +673,11 @@ func gateScaling(got, want *Report) error {
 		return fmt.Errorf("%d scaling gate failure(s)", len(failures))
 	}
 	if runtime.NumCPU() >= 4 {
-		fmt.Printf("scaling gates passed: cycles exact on every point, best 4-channel parallel speedup %.2fx (%s) >= %.1fx\n",
-			best, bestCase, parScalingFloor)
+		fmt.Printf("scaling gates passed: cycles exact on every point, best 4-channel width gain %.2fx (%s) >= %.1fx, best 4-channel parallel speedup %.2fx (%s) >= %.1fx\n",
+			bestGain, bestGainCase, widthGainFloor, best, bestCase, parScalingFloor)
 	} else {
-		fmt.Println("scaling gates passed: cycles exact on every point (speedup floor skipped on this host)")
+		fmt.Printf("scaling gates passed: cycles exact on every point, best 4-channel width gain %.2fx (%s) >= %.1fx (speedup floor skipped on this host)\n",
+			bestGain, bestGainCase, widthGainFloor)
 	}
 	return nil
 }

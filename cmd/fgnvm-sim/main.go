@@ -56,6 +56,8 @@ func run() error {
 		stallRep   = flag.Bool("stall-report", false, "print the stall-attribution breakdown and per-tile heatmaps")
 		noIndex    = flag.Bool("no-sched-index", false, "force the reference scan-everything scheduler (debug; results are identical either way)")
 		noParallel = flag.Bool("no-parallel", false, "force the reference serial engine loop (debug; results are identical either way)")
+		noLocal    = flag.Bool("no-local-delivery", false, "force the reference parallel window derivation without channel-local event delivery (debug; results are identical either way)")
+		engStats   = flag.Bool("engine-stats", false, "print parallel-engine window statistics (windows, widths, local deliveries)")
 	)
 	flag.Parse()
 
@@ -131,6 +133,7 @@ func run() error {
 		Instructions: *instr, Seed: *seed, Cores: *cores,
 		IssueLanes: *lanes, Scheduler: scheduler, SkipLLC: *skipLLC,
 		DisableSchedIndex: *noIndex, DisableParallelEngine: *noParallel,
+		DisableLocalDelivery: *noLocal, EngineStats: *engStats,
 	}
 	switch *tech {
 	case "pcm":
@@ -191,10 +194,30 @@ func run() error {
 		return enc.Encode(res)
 	}
 	printResult(res)
+	if *engStats {
+		printEngineStats(res)
+	}
 	if *stallRep {
 		printStallReport(res)
 	}
 	return nil
+}
+
+// printEngineStats renders the parallel-engine window statistics
+// produced by Options.EngineStats.
+func printEngineStats(r fgnvm.Result) {
+	if r.Engine == nil {
+		fmt.Println("\n(no engine statistics: run used the serial reference loop)")
+		return
+	}
+	e := r.Engine
+	fmt.Println("\nParallel-engine windows:")
+	fmt.Printf("  windows opened    %d (%d local-delivery)\n", e.Windows, e.LocalWindows)
+	fmt.Printf("  width ticks       mean %.1f  p50 %d  max %d\n", e.MeanWidth, e.P50Width, e.MaxWidth)
+	fmt.Printf("  plain stepping    %d inline / %d worker fan-out\n", e.InlineWindows, e.WorkerWindows)
+	fmt.Printf("  local stepping    %d inline / %d worker fan-out\n", e.LocalInline, e.LocalWorker)
+	fmt.Printf("  local deliveries  %d completions fired shard-side\n", e.LocalDeliveries)
+	fmt.Printf("  barrier replays   %d\n", e.BarrierReplays)
 }
 
 // printStallReport renders the attribution breakdown and the per-tile

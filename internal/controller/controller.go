@@ -97,6 +97,18 @@ type Config struct {
 	// test across every benchmark × design); the indexed path is only an
 	// execution-speed optimization.
 	DisableIndex bool
+
+	// EngineHook mirrors the sim.Hook installed on the engine (if any),
+	// so local-delivery window barriers can emulate the per-dispatch
+	// hook calls for completions that fired shard-side instead of
+	// through Engine.Step. The emulation calls the hook once per tick
+	// that fired events, with the serial engine's first-dispatch pending
+	// count — exactly the calls telemetry.Trace.EngineSample (the only
+	// hook the simulator installs) does not deduplicate. Callers that
+	// install a hook on the engine must set the same hook here, and an
+	// EngineHook requires Telemetry to be set (the emulation's fire
+	// bookkeeping rides on the telemetry capture).
+	EngineHook sim.Hook
 }
 
 func (c *Config) applyDefaults() {
@@ -197,6 +209,27 @@ type Controller struct {
 	//own:engine
 	par *parRun
 
+	// Local-delivery window state shared by StepWindowLocal and its
+	// barrier (see local.go): the deferred engine events awaiting
+	// reinsertion, the global slot-ordered core roster driving the
+	// barrier's core-phase replay, the pending-count baseline for the
+	// engine-hook emulation, and the engine observability counters.
+	//own:engine
+	deferred []sim.StolenEvent
+	// localOwned aliases shard-owned LocalCore records across the
+	// barrier's core-phase replay; every dereference is inside a
+	// declared boundary function (StepWindowLocal/replayLocal).
+	//own:channel
+	localOwned []LocalCore
+	//own:engine
+	winPending int
+	//own:engine
+	winLastFire sim.Tick
+	//own:engine
+	winAllDone bool
+	//own:engine
+	ec EngineCounters
+
 	inflight int
 	st       Stats
 }
@@ -283,6 +316,32 @@ type shard struct {
 	outbox    []schedEntry
 	outNext   int
 
+	// Local-delivery window state (see local.go). Inside a local window
+	// the shard additionally owns a slice of blocked cores: completions
+	// routed into localQ fire shard-side (finishLocal), the owned cores
+	// step and re-issue, and everything a serial observer could see —
+	// completion telemetry, latency samples, inflight deltas, schedule
+	// order — is parked in the pend*/comp/keyMeta fields for exact
+	// serialization at the barrier.
+	ch                    int  // this shard's channel index
+	localMode             bool // set engine-side for the duration of a local window
+	localEnd              sim.Tick
+	rank                  int32 // current emission context: core slot or rankShardBase+ch
+	localKey              uint64
+	keyMeta               []schedMeta
+	localQ                sim.LocalQueue
+	owned                 []LocalCore
+	comp                  []compEvent
+	compNext              int
+	finishes              []LocalFinish
+	nFires                uint64
+	lastFire              sim.Tick
+	pendReads, pendWrites uint64
+	pendReadLat           stats.Distribution
+	pendWriteLat          stats.Distribution
+	pendReadHist          stats.Histogram
+	pendInflight          int
+
 	st shardStats
 }
 
@@ -326,6 +385,7 @@ func New(cfg Config, eng *sim.Engine) (*Controller, error) {
 	for ch := range c.shards {
 		s := &c.shards[ch]
 		s.cfg = &c.cfg
+		s.ch = ch
 		s.indexed = !cfg.DisableIndex
 		s.eng = eng
 		if cfg.Telemetry != nil {
@@ -446,10 +506,19 @@ func (c *Controller) Bank(ch, rk, bk int) *core.Bank {
 func (c *Controller) Enqueue(r *mem.Request, now sim.Tick) bool {
 	r.Loc = c.mapper.Decode(r.Addr)
 	r.Arrive = now
-	if !c.shards[r.Loc.Channel].enqueue(r, now) {
+	s := &c.shards[r.Loc.Channel]
+	if !s.enqueue(r, now) {
 		return false
 	}
-	c.inflight++
+	if s.capturing {
+		// Local-delivery window: the enqueue came from a core this shard
+		// owns (its affinity analysis proved every request it can mint
+		// targets this channel), so the engine-side inflight count must
+		// not be touched from the worker; the barrier merges the delta.
+		s.pendInflight++
+	} else {
+		c.inflight++
+	}
 	return true
 }
 
@@ -547,6 +616,16 @@ func (s *shard) telStallQueueFull(r *mem.Request, now sim.Tick) {
 	s.tel.Stall(telemetry.StallEvent{
 		ReqID: r.ID, Write: r.Op == mem.Write, Loc: r.Loc,
 		Cause: telemetry.StallQueueFull, Now: now,
+	})
+}
+
+// telStallQueueFullN is the weighted form used by local-delivery idle
+// batches: one event standing for n consecutive futile retries of r,
+// the shard-side analogue of Controller.SkipRejects.
+func (s *shard) telStallQueueFullN(r *mem.Request, now sim.Tick, n uint64) {
+	s.tel.Stall(telemetry.StallEvent{
+		ReqID: r.ID, Write: r.Op == mem.Write, Loc: r.Loc,
+		Cause: telemetry.StallQueueFull, Now: now, N: n,
 	})
 }
 

@@ -79,12 +79,30 @@ func fuzzGeom(channels int) addr.Geometry {
 	}
 }
 
-// driveFuzz runs one twin: windowed (StepWindow at the plan's
-// boundaries, shard batching off so streams compare event-for-event) or
-// per-tick serial. Both enqueue batch 1 at tick 0 and batch 2 at the
-// plan's batch tick — always at a barrier, as the run-loop contract
-// requires.
-func driveFuzz(t *testing.T, p fuzzPlan, windowed bool) (*recordingSink, statsSnapshot, uint64) {
+// driveMode selects how one twin advances the controller.
+type driveMode int
+
+const (
+	// driveSerial cycles the controller tick by tick — the reference.
+	driveSerial driveMode = iota
+	// driveWindow uses StepWindow at the plan's boundaries, clamped to
+	// the engine's next event as the run loop's reference derivation
+	// requires (shard batching off so streams compare event-for-event).
+	driveWindow
+	// driveLocal uses StepWindowLocal with windows widened far past the
+	// completion horizon: the engine's pending events are stolen and
+	// fired shard-side, and the barrier must still reproduce the serial
+	// stream byte-for-byte. No cores ride along (the controller twins
+	// have none), so every affinity obligation is vacuous and any
+	// boundary schedule is legal — the property under test is the
+	// steal/route/fire/replay machinery itself.
+	driveLocal
+)
+
+// driveFuzz runs one twin in the given mode. All modes enqueue batch 1
+// at tick 0 and batch 2 at the plan's batch tick — always at a barrier,
+// as the run-loop contract requires.
+func driveFuzz(t *testing.T, p fuzzPlan, mode driveMode) (*recordingSink, statsSnapshot, uint64) {
 	t.Helper()
 	sink := &recordingSink{}
 	eng := sim.NewEngine()
@@ -124,17 +142,24 @@ func driveFuzz(t *testing.T, p fuzzPlan, windowed bool) (*recordingSink, statsSn
 		if c.Drained() && eng.Pending() == 0 && batch2Done {
 			break
 		}
-		if !windowed {
+		if mode == driveSerial {
 			c.Cycle(now)
 			now++
 			continue
 		}
 		to := now + p.widths[wi%len(p.widths)]
-		if ne := eng.NextEventTick(); ne < to {
-			to = ne
-		}
-		if t := now + lmin; t < to {
-			to = t
+		if mode == driveLocal {
+			// Affinity-run schedule: stretch the plan's window far past
+			// the completion horizon, so completions actually fire
+			// shard-side instead of closing the window.
+			to = now + p.widths[wi%len(p.widths)]*16
+		} else {
+			if ne := eng.NextEventTick(); ne < to {
+				to = ne
+			}
+			if t := now + lmin; t < to {
+				to = t
+			}
 		}
 		if !batch2Done && p.batchTick < to {
 			to = p.batchTick
@@ -147,11 +172,24 @@ func driveFuzz(t *testing.T, p fuzzPlan, windowed bool) (*recordingSink, statsSn
 			now++
 			continue
 		}
+		if mode == driveLocal {
+			stolen, ok := eng.ExtractArgEvents(nil)
+			if !ok {
+				t.Fatalf("engine holds a plain event; cannot steal for local delivery")
+			}
+			_, _, end, over := c.StepWindowLocal(now, to, true, nil, stolen)
+			if over && batch2Done {
+				now = end
+				continue
+			}
+			now = to
+			continue
+		}
 		c.StepWindow(now, to, true)
 		now = to
 	}
 	if !c.Drained() {
-		t.Fatalf("twin (windowed=%v) did not drain", windowed)
+		t.Fatalf("twin (mode=%d) did not drain", mode)
 	}
 	var weighted uint64
 	for _, ev := range sink.stalls {
@@ -164,6 +202,61 @@ func driveFuzz(t *testing.T, p fuzzPlan, windowed bool) (*recordingSink, statsSn
 	return sink, snapStats(c), weighted
 }
 
+// compareSinks asserts two recorded telemetry streams are identical
+// event-for-event.
+func compareSinks(t *testing.T, name string, got, want *recordingSink) {
+	t.Helper()
+	if len(got.commands) != len(want.commands) {
+		t.Fatalf("%d command spans %s, %d serial", len(got.commands), name, len(want.commands))
+	}
+	for i := range got.commands {
+		if got.commands[i] != want.commands[i] {
+			t.Fatalf("%s command %d diverged: %+v vs %+v", name, i, got.commands[i], want.commands[i])
+		}
+	}
+	if len(got.requests) != len(want.requests) {
+		t.Fatalf("%d request events %s, %d serial", len(got.requests), name, len(want.requests))
+	}
+	for i := range got.requests {
+		if got.requests[i] != want.requests[i] {
+			t.Fatalf("%s request event %d diverged: %+v vs %+v", name, i, got.requests[i], want.requests[i])
+		}
+	}
+	if len(got.stalls) != len(want.stalls) {
+		t.Fatalf("%d stall events %s, %d serial", len(got.stalls), name, len(want.stalls))
+	}
+	for i := range got.stalls {
+		if got.stalls[i] != want.stalls[i] {
+			t.Fatalf("%s stall event %d diverged: %+v vs %+v", name, i, got.stalls[i], want.stalls[i])
+		}
+	}
+}
+
+// TestStepWindowLocalTwin pins the local-vs-reference equivalence on a
+// fixed plan set without the fuzzer: wide affinity-run windows where
+// every completion fires shard-side must reproduce the per-tick serial
+// stream and stats exactly. (The fuzz seed corpus covers these shapes
+// too; this test keeps the twin reachable by name.)
+func TestStepWindowLocalTwin(t *testing.T) {
+	plans := [][]byte{
+		{},
+		{0, 16, 8, 20, 5},
+		{1, 32, 0, 60, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+		{2, 48, 24, 10, 200, 100, 50, 25, 12, 6, 3},
+		{2, 55, 55, 90, 255, 254, 253, 0, 1, 2, 128, 64, 32, 16, 8, 4},
+		{2, 200, 100, 40, 40, 40, 40},
+	}
+	for pi, data := range plans {
+		p := decodePlan(data)
+		serial, serialStats, _ := driveFuzz(t, p, driveSerial)
+		local, localStats, _ := driveFuzz(t, p, driveLocal)
+		if serialStats != localStats {
+			t.Fatalf("plan %d: stats diverged: serial %+v, local %+v", pi, serialStats, localStats)
+		}
+		compareSinks(t, "local", local, serial)
+	}
+}
+
 func FuzzBarrierSchedule(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0, 16, 8, 20, 5})
@@ -172,37 +265,22 @@ func FuzzBarrierSchedule(f *testing.F) {
 	f.Add([]byte{2, 55, 55, 90, 255, 254, 253, 0, 1, 2, 128, 64, 32, 16, 8, 4})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		p := decodePlan(data)
-		serial, serialStats, serialWait := driveFuzz(t, p, false)
-		win, winStats, winWait := driveFuzz(t, p, true)
+		serial, serialStats, serialWait := driveFuzz(t, p, driveSerial)
+		win, winStats, winWait := driveFuzz(t, p, driveWindow)
+		local, localStats, localWait := driveFuzz(t, p, driveLocal)
 
 		// Twin equivalence: the barrier serializer must reproduce the
-		// serial stream exactly.
+		// serial stream exactly, for plain and local windows alike.
 		if serialStats != winStats {
 			t.Fatalf("stats diverged: serial %+v, windowed %+v", serialStats, winStats)
 		}
-		if len(win.commands) != len(serial.commands) {
-			t.Fatalf("%d command spans windowed, %d serial", len(win.commands), len(serial.commands))
+		if serialStats != localStats {
+			t.Fatalf("stats diverged: serial %+v, local %+v", serialStats, localStats)
 		}
-		for i := range win.commands {
-			if win.commands[i] != serial.commands[i] {
-				t.Fatalf("command %d diverged: %+v vs %+v", i, win.commands[i], serial.commands[i])
-			}
-		}
-		if len(win.requests) != len(serial.requests) {
-			t.Fatalf("%d request events windowed, %d serial", len(win.requests), len(serial.requests))
-		}
-		for i := range win.requests {
-			if win.requests[i] != serial.requests[i] {
-				t.Fatalf("request event %d diverged: %+v vs %+v", i, win.requests[i], serial.requests[i])
-			}
-		}
-		if len(win.stalls) != len(serial.stalls) {
-			t.Fatalf("%d stall events windowed, %d serial", len(win.stalls), len(serial.stalls))
-		}
-		for i := range win.stalls {
-			if win.stalls[i] != serial.stalls[i] {
-				t.Fatalf("stall event %d diverged: %+v vs %+v", i, win.stalls[i], serial.stalls[i])
-			}
+		compareSinks(t, "windowed", win, serial)
+		compareSinks(t, "local", local, serial)
+		if localWait != localStats.queuedWait {
+			t.Fatalf("local conservation violated: stall weight %d != queued-wait cycles %d", localWait, localStats.queuedWait)
 		}
 
 		// (tick, channel) total order on the windowed stream: replay is

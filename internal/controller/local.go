@@ -1,0 +1,627 @@
+// Local-delivery window stepping: the controller half of channel-local
+// event delivery (the PR extending ROADMAP item 1 past the global
+// completion horizon). A plain parallel window (parallel.go) must close
+// before the next engine event because a completion wakes a core, and
+// core stepping is engine-side. When the run loop's affinity analysis
+// (cpu.AffinityHorizon) proves that every blocked core's interactions —
+// completions it can receive, requests it can retry or mint — are
+// confined to a single channel for a stretch, the cores themselves can
+// be handed to their channels' shards: the run loop steals the engine's
+// pending completion events (sim.ExtractArgEvents), routes those due
+// inside the window into each shard's LocalQueue, and StepWindowLocal
+// lets every shard fire its completions, wake its owned cores, accept
+// their re-issued requests and keep scheduling, all without touching the
+// engine. The window now extends to the next *cross-channel*
+// interaction instead of the next completion — on memory-bound phases,
+// one or two orders of magnitude wider.
+//
+// Byte-identity argument. Everything the serial engine interleaves
+// across channels is reproduced at the barrier from captured,
+// serial-order-tagged records:
+//
+//   - Completion dispatch order. The serial engine fires events in
+//     (when, seq) order. Stolen events keep their original seq; a
+//     completion scheduled inside the window receives its engine seq at
+//     the serial tick-order position of its ScheduleArg call — which is
+//     tick-major, then core slot order (enqueue-path schedules made
+//     while cores step), then channel order (issue-path schedules made
+//     by shard cycles). Each shard tags every in-window schedule with
+//     (tick, rank, key): rank encodes the emission context (core slot,
+//     or rankShardBase+channel for the shard phase) and key is a
+//     window-monotone per-shard counter. Stolen events' keys are
+//     assigned in (When, Seq) order before gen-1 keys, so within one
+//     shard (fire, key) pop order equals serial dispatch order, and the
+//     barrier's cross-shard merge — gen 0 before gen 1, gen 0 by seq,
+//     gen 1 by (tick, rank, key) — equals it globally.
+//
+//   - Telemetry order. Completion events are replayed tick-major in that
+//     same dispatch order, then core-phase events (captured with the
+//     core's global slot via Buffer.SetWho) in slot order, then
+//     shard-phase events in channel order — exactly the serial engine's
+//     within-tick sequence: RunUntil's completions, the run loop's core
+//     sweep, Controller.Cycle's channel sweep.
+//
+//   - Engine events not fired in-window. Stolen events due at or past
+//     the window end are reinserted first, in (When, Seq) order, then
+//     in-window schedules landing past the end in (tick, rank, key)
+//     order — giving same-due events the same relative seq order the
+//     serial engine would have assigned.
+//
+//   - Aggregates. Completion counters and latency distributions
+//     accumulate per shard and merge by addition at the barrier, which
+//     is bit-exact for integer tick samples (stats.Distribution.Merge);
+//     the inflight count merges as a signed delta.
+//
+//   - The engine hook. The serial engine calls its hook before every
+//     dispatch; telemetry.Trace.EngineSample (the only installed hook)
+//     keeps just the first call per tick. The barrier emulates exactly
+//     those calls from the captured fire/schedule tick counts, with the
+//     pending count the serial engine would have reported.
+
+package controller
+
+import (
+	"repro/internal/invariant"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+)
+
+// rankShardBase offsets shard-phase emission ranks above every core
+// slot, so (tick, rank) order puts core-phase schedules (enqueue
+// forwarding/coalescing completions) before shard-phase ones (issue
+// completions) within a tick — the serial engine's order.
+const rankShardBase = int32(1 << 24)
+
+// schedMeta records the serial-order coordinates of one in-window
+// ScheduleArg-equivalent, indexed by its key: generation 0 entries are
+// stolen engine events carrying their original seq; generation 1 entries
+// are schedules made inside the window, ordered by (tick, rank, key).
+//
+//own:channel
+type schedMeta struct {
+	gen0 bool
+	seq  uint64   // gen 0: the stolen event's original engine sequence
+	tick sim.Tick // gen 1: the tick the schedule was made at
+	rank int32    // gen 1: emission context (core slot or rankShardBase+ch)
+}
+
+// compEvent is one completion a shard fired locally, recorded for the
+// barrier's ordered replay. Only allocated when telemetry is attached;
+// the stats-only effects of a fire live in the shard's pend* fields.
+//
+//own:channel
+type compEvent struct {
+	fire sim.Tick
+	meta schedMeta
+	key  uint64
+	ev   telemetry.RequestEvent
+}
+
+// compLess orders two fired completions by the serial engine's dispatch
+// order within one tick: stolen (gen 0) events by original seq before
+// in-window (gen 1) schedules by (tick, rank, key). It reads
+// channel-owned records, but only at the barrier, after every shard has
+// quiesced — replayLocal is its sole caller.
+//
+//own:boundary(barrier-time comparator over quiesced shard completion records)
+func compLess(a, b *compEvent) bool {
+	if a.meta.gen0 != b.meta.gen0 {
+		return a.meta.gen0
+	}
+	if a.meta.gen0 {
+		return a.meta.seq < b.meta.seq
+	}
+	if a.meta.tick != b.meta.tick {
+		return a.meta.tick < b.meta.tick
+	}
+	if a.meta.rank != b.meta.rank {
+		return a.meta.rank < b.meta.rank
+	}
+	return a.key < b.key
+}
+
+// LocalCore is one core the run loop hands to a channel shard for the
+// duration of a local-delivery window: the core's global slot index (the
+// serial core-sweep order), the channel its affinity is certified for,
+// and whether it has already finished its stream — a finished core is
+// owned for completion callbacks only (residual writebacks and fills)
+// and is never stepped. Ownership of the core transfers to the shard
+// for the window — the run loop does not touch it until the barrier.
+//
+//own:channel
+type LocalCore struct {
+	Slot    int32
+	Channel int
+	Done    bool
+	Core    CoreHandle
+}
+
+// CoreHandle is the shard's view of a CPU core inside a local window —
+// the same surface the run loop drives, minus everything irrelevant
+// mid-window. Defined here (rather than importing the cpu package) to
+// keep the controller free of a CPU dependency.
+type CoreHandle interface {
+	Cycle(now sim.Tick)
+	Blocked() bool
+	Finished() bool
+	SkipStallCycles(n uint64)
+	RetryRequest() *mem.Request
+}
+
+// LocalFinish reports a core that finished its stream mid-window, so
+// the run loop can record its completion tick and stop stepping it.
+// Produced shard-side, consumed engine-side after the barrier.
+//
+//own:engine
+type LocalFinish struct {
+	Slot int32
+	Tick sim.Tick
+}
+
+// EngineCounters are the parallel-engine observability counters
+// (Result.Engine): how often windows fan out to workers versus stepping
+// inline, how many completions were delivered shard-side, and how many
+// barrier replays ran. All engine-side, mutated only between windows.
+//
+//own:engine
+type EngineCounters struct {
+	InlineWindows   uint64 // plain windows stepped on the engine goroutine
+	WorkerWindows   uint64 // plain windows fanned out to channel workers
+	LocalInline     uint64 // local-delivery windows stepped inline
+	LocalWorker     uint64 // local-delivery windows fanned out
+	LocalDeliveries uint64 // completions fired shard-side
+	BarrierReplays  uint64 // window barriers serialized
+}
+
+// EngineCounters returns a snapshot of the engine observability
+// counters.
+//
+//own:boundary(read-side counter snapshot for Result.Engine)
+func (c *Controller) EngineCounters() EngineCounters { return c.ec }
+
+// StepWindowLocal advances every channel shard — and the blocked cores
+// each owns — from tick from up to (exclusive) tick to, firing stolen
+// engine completions shard-side, then serializes everything at the
+// barrier. It returns the commands issued across the window, the cores
+// that finished mid-window, and — because a local window can outlive
+// the simulation (horizons are unbounded once every stream ends
+// affine) — whether the run completed inside it: over is true when
+// every owned core finished and the memory system fully drained with
+// no event left for the engine, and end is then the exact tick the
+// serial loop would have exited on (the latest completion fire or core
+// finish). Ticks the shards stepped past end are provably inert —
+// empty queues, done cores, no events — and contribute to no counter,
+// so only the clock (and its background-energy watermark, which this
+// function advances to end rather than to-1) has to be wound back.
+//
+// Caller contract (the run loop's affinity derivation): every live core
+// appears in owned with a certified single-channel affinity holding
+// through the window; stolen is the engine's entire pending queue (the
+// engine is empty) with every Arg a *mem.Request whose decoded channel
+// owns its waiters; no cross-channel interaction — affinity break,
+// engine event the analysis didn't account for — can occur before to.
+//
+//own:boundary(local window dispatch: routes stolen events and owned cores to their shards, then serializes the barrier)
+func (c *Controller) StepWindowLocal(from, to sim.Tick, perTick bool, owned []LocalCore, stolen []sim.StolenEvent) (issued int, fins []LocalFinish, end sim.Tick, over bool) {
+	// Route: stolen events due inside the window become shard-local
+	// events keyed in (When, Seq) order; the rest wait engine-side in
+	// deferred for reinsertion at the barrier. The pending-count
+	// baseline for the hook emulation is everything that was pending.
+	c.deferred = c.deferred[:0]
+	c.winPending = len(stolen)
+	for i := range stolen {
+		ev := &stolen[i]
+		if ev.When >= to {
+			c.deferred = append(c.deferred, *ev)
+			continue
+		}
+		r, ok := ev.Arg.(*mem.Request)
+		if !ok {
+			// The run loop verifies every stolen arg before engaging
+			// local mode; reaching here is a caller bug.
+			panic("controller: stolen event argument is not a *mem.Request")
+		}
+		s := &c.shards[r.Loc.Channel]
+		key := s.localKey
+		s.localKey++
+		s.keyMeta = append(s.keyMeta, schedMeta{gen0: true, seq: ev.Seq})
+		s.localQ.Push(ev.When, key, ev.Fn, ev.Arg)
+	}
+	c.localOwned = append(c.localOwned[:0], owned...)
+	for i := range owned {
+		s := &c.shards[owned[i].Channel]
+		s.owned = append(s.owned, owned[i])
+	}
+	for ch := range c.shards {
+		s := &c.shards[ch]
+		s.localMode = true
+		s.localEnd = to
+	}
+	if len(c.shards) > 1 && to-from >= parallelWindowMin {
+		c.ec.LocalWorker++
+		if c.par == nil {
+			c.startWorkers()
+		}
+		for ch := range c.shards {
+			c.par.work[ch] <- windowReq{from: from, to: to, perTick: perTick, local: true}
+		}
+		for range c.shards {
+			issued += <-c.par.done
+		}
+	} else {
+		// Single channel or narrow window: step inline, but still through
+		// the capture/replay path — unlike a plain window, local fires
+		// mutate completion aggregates and the inflight count, which must
+		// stay parked until the barrier merges them in serial order.
+		c.ec.LocalInline++
+		for ch := range c.shards {
+			issued += c.shards[ch].runWindowLocal(from, to, perTick)
+		}
+	}
+	fins = c.replayLocal(from, to)
+
+	// Completion detection: with every owned core done, no request in
+	// flight and nothing handed back to the engine, the serial loop
+	// would have exited at the last tick anything happened.
+	end = to - 1
+	if c.winAllDone && c.inflight == 0 && c.eng.Pending() == 0 {
+		over = true
+		end = c.winLastFire
+		for i := range fins {
+			if fins[i].Tick > end {
+				end = fins[i].Tick
+			}
+		}
+		if end < from {
+			end = from
+		}
+	}
+	if c.cfg.Energy != nil {
+		// Background energy is tick-integrated engine-side; advancing
+		// once to the window's effective last tick equals the per-tick
+		// advances Cycle would have done, and stops at the simulation's
+		// true end when the run completed mid-window.
+		c.cfg.Energy.AdvanceBackground(end)
+	}
+	return issued, fins, end, over
+}
+
+// allOwnedIdle reports whether every live owned core is blocked — the
+// core-side license for an in-window idle batch.
+func (s *shard) allOwnedIdle() bool {
+	for i := range s.owned {
+		oc := &s.owned[i]
+		if !oc.Done && !oc.Core.Blocked() {
+			return false
+		}
+	}
+	return true
+}
+
+// runWindowLocal steps this shard, its local completions and its owned
+// cores from tick from up to (exclusive) to inside one local-delivery
+// window. Within each tick the order is the serial engine's: due
+// completions fire first (waking cores), then owned cores step in
+// global slot order (possibly enqueueing — their affinity proof
+// guarantees onto this shard), then the shard's scheduling cycle runs.
+// Tick from itself is special: the run loop has already fired the
+// engine's due events and stepped every core at from engine-side, so
+// only the shard cycle remains, exactly as in a plain window.
+func (s *shard) runWindowLocal(from, to sim.Tick, perTick bool) int {
+	s.capturing = true
+	if s.port != nil {
+		s.port.capturing = true
+		s.port.buf.SetWho(telemetry.WhoShard)
+	}
+	s.rank = rankShardBase + int32(s.ch)
+	issued := 0
+	for t := from; t < to; t++ {
+		s.stepTick = t
+		if s.port != nil {
+			s.port.tick = t
+		}
+		if t > from {
+			for {
+				e, ok := s.localQ.PopDue(t)
+				if !ok {
+					break
+				}
+				if invariant.Enabled {
+					invariant.Assertf(e.When == t,
+						"local completion due at %d fired late at %d on channel %d", e.When, t, s.ch)
+				}
+				s.finishLocal(t, e)
+			}
+			for i := range s.owned {
+				oc := &s.owned[i]
+				if oc.Done {
+					continue
+				}
+				s.rank = oc.Slot
+				if s.port != nil {
+					s.port.buf.SetWho(oc.Slot)
+				}
+				oc.Core.Cycle(t)
+				if oc.Core.Finished() {
+					oc.Done = true
+					s.finishes = append(s.finishes, LocalFinish{Slot: oc.Slot, Tick: t})
+				}
+			}
+			s.rank = rankShardBase + int32(s.ch)
+			if s.port != nil {
+				s.port.buf.SetWho(telemetry.WhoShard)
+			}
+		}
+		n := s.cycle(t)
+		issued += n
+		if n != 0 || perTick {
+			continue
+		}
+		// Idle stretch: nothing issued this tick and every owned core is
+		// blocked. The shard's flip-tick analysis bounds how long its
+		// scheduling outcome repeats; the local queue bounds the next
+		// completion. Until the earlier of the two, each core would spend
+		// one stall cycle per tick and each pending retry would be
+		// rejected once per tick (the queue it needs stays full: this
+		// cycle issued nothing, and no issue can happen before until) —
+		// so the stretch reduces to batch credits, exactly as the run
+		// loop's fast-forward does between plain windows.
+		if !s.allOwnedIdle() {
+			continue
+		}
+		until := s.nextWork(t)
+		if w := s.localQ.NextWhen(); w < until {
+			until = w
+		}
+		if until > to {
+			until = to
+		}
+		if until <= t+1 {
+			continue
+		}
+		skip := uint64(until - t - 1)
+		s.skipCycles(t, skip)
+		for i := range s.owned {
+			oc := &s.owned[i]
+			if oc.Done {
+				continue
+			}
+			oc.Core.SkipStallCycles(skip)
+			if r := oc.Core.RetryRequest(); r != nil && s.tel != nil {
+				s.telStallQueueFullN(r, t, skip)
+			}
+		}
+		t = until - 1
+	}
+	s.capturing = false
+	if s.port != nil {
+		s.port.capturing = false
+	}
+	return issued
+}
+
+// finishLocal completes one request shard-side: the local-mode
+// counterpart of Controller.finishRead/finishWrite. The request's
+// OnComplete callback wakes the owning core — owned by this shard, so
+// the mutation is window-safe — and every engine-side effect (counters,
+// latency samples, inflight, completion telemetry) is parked for the
+// barrier.
+func (s *shard) finishLocal(t sim.Tick, e sim.LocalEvent) {
+	r := e.Arg.(*mem.Request)
+	//lint:allow barrier the single audited shard-side delivery: the fire is recorded below for the barrier replay
+	r.Finish(t)
+	s.nFires++
+	s.lastFire = t
+	if r.Op == mem.Read {
+		s.pendReads++
+		lat := r.Latency()
+		s.pendReadLat.Observe(float64(lat))
+		s.pendReadHist.Observe(uint64(lat))
+	} else {
+		s.pendWrites++
+		s.pendWriteLat.Observe(float64(r.Latency()))
+	}
+	s.pendInflight--
+	if s.tel != nil {
+		s.comp = append(s.comp, compEvent{
+			fire: t, meta: s.keyMeta[e.Key], key: e.Key,
+			ev: telemetry.RequestEvent{
+				Phase: telemetry.ReqCompleted, ID: r.ID, Write: r.Op == mem.Write,
+				Loc: r.Loc, Now: t, Arrive: r.Arrive,
+			},
+		})
+	}
+}
+
+// replayLocal is the local window's barrier: it serializes every
+// captured effect in the serial engine's order (see the file comment),
+// merges the shard-side aggregates, reinserts the events that did not
+// fire, and resets the window state. It returns the cores that finished
+// mid-window, in channel then stepping order.
+//
+//own:boundary(local window barrier: drains shard capture state into the engine, sink and aggregates in serial order)
+func (c *Controller) replayLocal(from, to sim.Tick) []LocalFinish {
+	c.ec.BarrierReplays++
+	c.winLastFire = 0
+	c.winAllDone = true
+
+	// Hook emulation bookkeeping: per-tick fire and schedule counts,
+	// reconstructed from the captured records. Only needed when a hook
+	// is installed (tracing runs — which also implies telemetry, so the
+	// comp records exist).
+	var fires, scheds []int
+	if c.cfg.EngineHook != nil {
+		width := int(to - from)
+		fires = make([]int, width)
+		scheds = make([]int, width)
+		for ch := range c.shards {
+			s := &c.shards[ch]
+			for i := range s.comp {
+				fires[s.comp[i].fire-from]++
+			}
+			for i := range s.keyMeta {
+				if !s.keyMeta[i].gen0 {
+					scheds[s.keyMeta[i].tick-from]++
+				}
+			}
+		}
+	}
+
+	pending := c.winPending
+	for t := from; t < to; t++ {
+		// Completion phase: the serial engine would have dispatched this
+		// tick's completions first, calling the hook before each; the
+		// first call's pending count is all that survives the hook's
+		// per-tick deduplication.
+		if c.cfg.EngineHook != nil {
+			if n := fires[t-from]; n > 0 {
+				c.cfg.EngineHook(t, pending-1)
+			}
+			pending += scheds[t-from] - fires[t-from]
+		}
+		if c.tel != nil {
+			for {
+				best := -1
+				for ch := range c.shards {
+					s := &c.shards[ch]
+					if s.compNext >= len(s.comp) || s.comp[s.compNext].fire != t {
+						continue
+					}
+					if best == -1 || compLess(&s.comp[s.compNext], &c.shards[best].comp[c.shards[best].compNext]) {
+						best = ch
+					}
+				}
+				if best == -1 {
+					break
+				}
+				s := &c.shards[best]
+				c.tel.Request(s.comp[s.compNext].ev)
+				s.compNext++
+			}
+		}
+		// Core phase: each owned core's captured events, in global slot
+		// order — the run loop's serial core sweep.
+		for i := range c.localOwned {
+			oc := &c.localOwned[i]
+			s := &c.shards[oc.Channel]
+			if s.port != nil {
+				s.port.buf.ReplayTickWho(t, oc.Slot, s.port.real)
+			}
+		}
+		// Shard phase: the remaining captured events (scheduling
+		// telemetry, stall attribution, batched rejections), in channel
+		// order — Controller.Cycle's serial sweep.
+		for ch := range c.shards {
+			s := &c.shards[ch]
+			if s.port != nil {
+				s.port.buf.ReplayTick(t, s.port.real)
+			}
+		}
+	}
+
+	// Reinsert what did not fire: deferred stolen events first (their
+	// original seqs precede every in-window schedule's), in (When, Seq)
+	// order, then the past-window schedules merged across shards in
+	// (tick, rank, key) order — fresh engine seqs in the serial engine's
+	// assignment order.
+	for i := range c.deferred {
+		ev := &c.deferred[i]
+		//lint:allow barrier audited reinsertion of unfired stolen events at the local window barrier, engine-side
+		c.eng.ScheduleArg(ev.When, ev.Fn, ev.Arg)
+	}
+	c.deferred = c.deferred[:0]
+	for {
+		best := -1
+		for ch := range c.shards {
+			s := &c.shards[ch]
+			if s.outNext >= len(s.outbox) {
+				continue
+			}
+			if best == -1 {
+				best = ch
+				continue
+			}
+			a, b := &s.outbox[s.outNext], &c.shards[best].outbox[c.shards[best].outNext]
+			if a.tick != b.tick {
+				if a.tick < b.tick {
+					best = ch
+				}
+				continue
+			}
+			if a.rank != b.rank {
+				if a.rank < b.rank {
+					best = ch
+				}
+				continue
+			}
+			if a.key < b.key {
+				best = ch
+			}
+		}
+		if best == -1 {
+			break
+		}
+		s := &c.shards[best]
+		e := &s.outbox[s.outNext]
+		s.outNext++
+		//lint:allow barrier audited replay of in-window completion schedules at the local window barrier, engine-side
+		c.eng.ScheduleArg(e.when, e.fn, e.r)
+	}
+
+	// Aggregate merge (channel-ascending, deterministic; bit-exact for
+	// the integer-tick latency sums) and window-state reset.
+	var fins []LocalFinish
+	for ch := range c.shards {
+		s := &c.shards[ch]
+		if invariant.Enabled {
+			pendingTel := 0
+			if s.port != nil {
+				pendingTel = s.port.buf.Pending()
+			}
+			invariant.Assertf(s.localQ.Len() == 0 && s.outNext == len(s.outbox) && pendingTel == 0,
+				"local window [%d,%d) barrier left %d local events, %d schedules and %d telemetry events on channel %d",
+				from, to, s.localQ.Len(), len(s.outbox)-s.outNext, pendingTel, ch)
+		}
+		c.st.Reads.Add(s.pendReads)
+		c.st.Writes.Add(s.pendWrites)
+		c.st.ReadLatency.Merge(&s.pendReadLat)
+		c.st.WriteLatency.Merge(&s.pendWriteLat)
+		c.st.ReadLatencyHist.Merge(&s.pendReadHist)
+		c.inflight += s.pendInflight
+		c.ec.LocalDeliveries += s.nFires
+		if s.lastFire > c.winLastFire {
+			c.winLastFire = s.lastFire
+		}
+		for i := range s.owned {
+			if !s.owned[i].Done {
+				c.winAllDone = false
+			}
+		}
+		fins = append(fins, s.finishes...)
+
+		s.lastFire = 0
+		s.pendReads, s.pendWrites = 0, 0
+		s.pendReadLat = stats.Distribution{}
+		s.pendWriteLat = stats.Distribution{}
+		s.pendReadHist = stats.Histogram{}
+		s.pendInflight = 0
+		s.nFires = 0
+		s.finishes = s.finishes[:0]
+		s.owned = s.owned[:0]
+		s.comp = s.comp[:0]
+		s.compNext = 0
+		s.keyMeta = s.keyMeta[:0]
+		s.localKey = 0
+		s.outbox = s.outbox[:0]
+		s.outNext = 0
+		s.localMode = false
+		if s.port != nil {
+			s.port.buf.Reset()
+			s.port.buf.SetWho(telemetry.WhoShard)
+		}
+	}
+	c.localOwned = c.localOwned[:0]
+	return fins
+}

@@ -41,6 +41,13 @@ type schedEntry struct {
 	when sim.Tick
 	fn   sim.ArgEvent
 	r    *mem.Request
+	// Local-delivery ordering tags (zero on the plain window path, which
+	// replays tick-major channel-ascending and needs neither): rank is
+	// the emission context the schedule was made under and key the
+	// shard's window-monotone sequence, together recovering the serial
+	// engine's ScheduleArg order across shards (see local.go).
+	rank int32
+	key  uint64
 }
 
 // telPort sits between one shard (and its banks) and the engine-side
@@ -103,6 +110,7 @@ const parallelWindowMin = 8
 type windowReq struct {
 	from, to sim.Tick
 	perTick  bool
+	local    bool // step through runWindowLocal instead of runWindow
 }
 
 // parRun is the engine-side worker pool behind StepWindow: one
@@ -126,6 +134,24 @@ type parRun struct {
 // would race the serial engine and scramble seq assignment.
 func (s *shard) scheduleCompletion(when sim.Tick, fn sim.ArgEvent, r *mem.Request) {
 	if s.capturing {
+		if s.localMode {
+			// Local-delivery window: a completion due inside the window
+			// fires shard-side (the whole point — the owned core it wakes
+			// can then re-issue without an engine round trip); one due at
+			// or past the window end is an ordinary engine event the
+			// barrier reinserts. Either way it takes the shard's next
+			// window-monotone key and records the serial-order coordinates
+			// (schedule tick, emission context) the barrier sorts by.
+			key := s.localKey
+			s.localKey++
+			s.keyMeta = append(s.keyMeta, schedMeta{tick: s.stepTick, rank: s.rank})
+			if when < s.localEnd {
+				s.localQ.Push(when, key, fn, r)
+				return
+			}
+			s.outbox = append(s.outbox, schedEntry{tick: s.stepTick, when: when, fn: fn, r: r, rank: s.rank, key: key})
+			return
+		}
 		s.outbox = append(s.outbox, schedEntry{tick: s.stepTick, when: when, fn: fn, r: r})
 		return
 	}
@@ -200,6 +226,7 @@ func (c *Controller) StepWindow(from, to sim.Tick, perTick bool) int {
 		// One channel: step inline on the engine goroutine, uncaptured.
 		// With a single shard, tick-major emission *is* the serial
 		// order, so the capture/replay machinery would be pure overhead.
+		c.ec.InlineWindows++
 		return c.shards[0].runWindow(from, to, perTick, false)
 	}
 	if to-from < parallelWindowMin {
@@ -208,6 +235,7 @@ func (c *Controller) StepWindow(from, to sim.Tick, perTick bool) int {
 		// windows to a few ticks). Step the shards sequentially through
 		// the same capture/replay path the workers use — the barrier
 		// serializes identically, so the output bytes cannot differ.
+		c.ec.InlineWindows++
 		issued := 0
 		for ch := range c.shards {
 			issued += c.shards[ch].runWindow(from, to, perTick, true)
@@ -215,6 +243,7 @@ func (c *Controller) StepWindow(from, to sim.Tick, perTick bool) int {
 		c.replayWindow(from, to)
 		return issued
 	}
+	c.ec.WorkerWindows++
 	if c.par == nil {
 		c.startWorkers()
 	}
@@ -245,7 +274,11 @@ func (c *Controller) startWorkers() {
 		done := c.par.done
 		go func() {
 			for req := range w {
-				done <- s.runWindow(req.from, req.to, req.perTick, true)
+				if req.local {
+					done <- s.runWindowLocal(req.from, req.to, req.perTick)
+				} else {
+					done <- s.runWindow(req.from, req.to, req.perTick, true)
+				}
 			}
 		}()
 	}
@@ -275,6 +308,7 @@ func (c *Controller) StopWorkers() {
 //
 //own:boundary(window barrier: drains every shard's capture buffers into the engine and sink in deterministic order)
 func (c *Controller) replayWindow(from, to sim.Tick) {
+	c.ec.BarrierReplays++
 	for t := from; t < to; t++ {
 		for ch := range c.shards {
 			s := &c.shards[ch]
@@ -314,6 +348,21 @@ func (c *Controller) ChannelOf(r *mem.Request) int {
 	return c.mapper.Decode(r.Addr).Channel
 }
 
+// ChannelOfAddr returns the channel a raw physical address decodes to.
+// The cores' affinity classifier uses it to tag every in-flight access
+// with its home channel without materializing a Location.
+func (c *Controller) ChannelOfAddr(addr uint64) int {
+	return c.mapper.Decode(addr).Channel
+}
+
+// ChannelBitWindow forwards the mapper's channel bit range; the run
+// loop compares it against the LLC set-index window to establish the
+// eviction-safety precondition for local delivery (see
+// cpu.AffinityHorizon).
+func (c *Controller) ChannelBitWindow() (low, high uint) {
+	return c.mapper.ChannelBitWindow()
+}
+
 // ShardWouldIssue reports whether channel ch's scheduler would issue at
 // least one command at tick now, without mutating anything. The run
 // loop probes it for channels a blocked core is waiting on: an issue
@@ -347,4 +396,3 @@ func (c *Controller) MinCompletionLatency() sim.Tick {
 	}
 	return c.cfg.Tim.WriteLatency
 }
-

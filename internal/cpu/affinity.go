@@ -1,0 +1,239 @@
+// Channel-affinity analysis for the parallel engine's local-delivery
+// windows (root parallel.go). A blocked core's future interactions with
+// the memory system are predictable for a bounded horizon: its in-flight
+// requests' completions land on known channels, its pending retries name
+// explicit addresses, and the accesses it will fetch next sit in the
+// trace stream, where they can be peeked without perturbing anything.
+// While all of those are confined to one channel, every event that can
+// touch the core is local to that channel's shard — the condition that
+// lets the shard deliver completions and step the core mid-window.
+
+package cpu
+
+import (
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// nextAccess pops the next access for the fetch path: buffered peeked
+// accesses drain first (in stream order), then the stream itself. The
+// fetch path therefore observes the identical access sequence whether or
+// not anything was ever peeked.
+func (c *Core) nextAccess() (trace.Access, bool) {
+	if c.peekHead < len(c.peeked) {
+		a := c.peeked[c.peekHead]
+		c.peekHead++
+		if c.peekHead == len(c.peeked) {
+			c.peeked = c.peeked[:0]
+			c.peekHead = 0
+		}
+		return a, true
+	}
+	return c.stream.Next()
+}
+
+// peekAccess returns the i-th not-yet-fetched access (0 = the next one
+// nextAccess would return), pulling from the stream into the peek buffer
+// as needed. ok is false when the stream ends before reaching i.
+func (c *Core) peekAccess(i int) (trace.Access, bool) {
+	for len(c.peeked)-c.peekHead <= i {
+		a, ok := c.stream.Next()
+		if !ok {
+			return trace.Access{}, false
+		}
+		c.peeked = append(c.peeked, a)
+	}
+	return c.peeked[c.peekHead+i], true
+}
+
+// SetClassifier arms the per-channel bookkeeping the affinity analysis
+// needs: classify maps an address to its memory channel (the
+// controller's address decode), channels is the channel count. Only the
+// parallel engine's local-delivery mode calls this; with it unset the
+// core pays a single nil check per request.
+func (c *Core) SetClassifier(classify func(addr uint64) int, channels int) {
+	c.classify = classify
+	c.chanInflight = make([]int, channels)
+}
+
+// noteInflight adjusts the per-channel in-flight count when a request
+// enters the memory system or completes.
+func (c *Core) noteInflight(addr uint64, d int) {
+	if c.chanInflight == nil {
+		return
+	}
+	c.chanInflight[c.classify(addr)] += d
+}
+
+// InflightSingleChannel reports the one channel all of this core's
+// in-flight requests target: (-1, true) with none in flight, (ch, true)
+// when they are confined to channel ch, and ok=false when they span
+// channels. Used for finished cores, whose residual store fills and
+// writebacks must still be deliverable by a single shard.
+func (c *Core) InflightSingleChannel() (int, bool) {
+	if c.chanInflight == nil {
+		return 0, false
+	}
+	ch := -1
+	for i, n := range c.chanInflight {
+		if n > 0 {
+			if ch != -1 {
+				return 0, false
+			}
+			ch = i
+		}
+	}
+	return ch, true
+}
+
+// AffinityHorizon certifies that, until some tick strictly greater than
+// now, every memory-system interaction this core can perform — enqueue,
+// retry, or completion delivery — is confined to a single channel.
+//
+// It returns that channel and a horizon H such that the first
+// cross-channel interaction cannot happen before tick H (sim.MaxTick
+// when none is ever possible): a window [now, W) with W <= H is safe
+// for this core. ok is false when no single channel can be certified
+// (in-flight requests or pending retries already span channels, or the
+// bookkeeping is not armed).
+//
+// due resolves an in-flight request to its known completion tick (the
+// run loop builds it from the stolen engine events); queuedDue is the
+// conservative earliest completion for a request the controller has
+// accepted but whose completion is not scheduled yet (enqueued and
+// queued, completion comes from a future issue).
+//
+// peekCap bounds the stream lookahead. Reaching the cap without finding
+// a cross-channel access is treated as if the very next unverified
+// access were cross-channel — conservative, it only shortens windows.
+//
+// The horizon combines two lower bounds on the tick the first
+// cross-channel access could be fetched (fetching is when its enqueue —
+// and, via LLC eviction, any side effect — happens):
+//
+//   - retire-rate bound: the access sits D instructions past the fetch
+//     frontier; fetch is gated by fetched < retired+ROB and retirement
+//     advances at most RetireWidth*CPUPerMemCycle instructions per tick;
+//   - completion bound: retirement cannot pass an in-flight demand load,
+//     so every not-yet-done load at least ROB instructions older than
+//     the access must complete first, and those completion ticks are
+//     known exactly (they are the events the run loop stole).
+//
+// The second bound is what makes windows wide on memory-bound phases:
+// the rate bound alone assumes peak IPC, which a blocked core never
+// sustains.
+//
+// Correctness of the single-channel claim additionally requires that an
+// LLC eviction's victim maps to the inserted line's channel (the
+// writeback an affine access mints is then affine too). That is a pure
+// geometry property — channel bits inside the set-index bits — which
+// the caller checks once per run (LLC.IndexWindow against the address
+// layout) before using local delivery at all.
+func (c *Core) AffinityHorizon(now sim.Tick, peekCap int,
+	due func(r *mem.Request) (sim.Tick, bool), queuedDue sim.Tick) (ch int, horizon sim.Tick, ok bool) {
+	if c.chanInflight == nil {
+		return 0, 0, false
+	}
+	anchor := -1
+	merge := func(channel int) bool {
+		if anchor == -1 {
+			anchor = channel
+			return true
+		}
+		return anchor == channel
+	}
+	for i, n := range c.chanInflight {
+		if n > 0 && !merge(i) {
+			return 0, 0, false
+		}
+	}
+	if c.pendingWB != nil && !merge(c.classify(c.pendingWB.Addr)) {
+		return 0, 0, false
+	}
+	if c.pendingFill != nil && !merge(c.classify(c.pendingFill.Addr)) {
+		return 0, 0, false
+	}
+	if c.haveAcc {
+		if !merge(c.classify(c.heldAcc.Addr)) {
+			return 0, 0, false
+		}
+		if c.heldProcessed && c.heldRes.Miss && c.heldRes.HasWriteback &&
+			!merge(c.classify(c.heldRes.Writeback)) {
+			return 0, 0, false
+		}
+	}
+	if anchor == -1 {
+		// A live blocked core always has an in-flight request or a
+		// pending retry; reaching here means the caller misused the
+		// analysis, so refuse rather than guess.
+		return 0, 0, false
+	}
+
+	// Walk the future access sequence to the first cross-channel access,
+	// accumulating D = instructions that must be fetched strictly before
+	// it (pending gap, the held access, verified affine accesses and
+	// their gaps, plus the cross access's own gap).
+	d := uint64(c.pendingGap)
+	if c.haveAcc {
+		d++
+	}
+	for i := 0; i < peekCap; i++ {
+		a, more := c.peekAccess(i)
+		if !more {
+			// Stream ends inside the verified prefix: no cross-channel
+			// access exists; the core runs affine until it finishes.
+			return anchor, sim.MaxTick, true
+		}
+		if c.classify(a.Addr) != anchor {
+			d += uint64(a.Gap)
+			break
+		}
+		d += uint64(a.Gap) + 1
+		// Peek cap reached without a cross access: treat the next
+		// unverified access as cross-channel with zero gap — d already
+		// covers the verified prefix, so the bound below stays sound.
+	}
+
+	idxCross := c.fetched + d
+	// Retirement budget: if the core retires its instruction budget
+	// before the cross access could enter the window, it finishes first
+	// and the access is never fetched.
+	needRetired := int64(idxCross) + 1 - int64(c.cfg.ROB)
+	if c.cfg.Instructions > 0 && needRetired > int64(c.cfg.Instructions) {
+		return anchor, sim.MaxTick, true
+	}
+
+	// Rate bound.
+	rate := int64(c.cfg.RetireWidth * c.cfg.CPUPerMemCycle)
+	k := int64(1)
+	if gap := needRetired - int64(c.retired); gap > 0 {
+		k = (gap + rate - 1) / rate
+		if k < 1 {
+			k = 1
+		}
+	}
+	horizon = now + sim.Tick(k)
+
+	// Completion bound: every in-flight load the cross access's fetch
+	// must retire past. All of them must complete, so the latest due
+	// among them bounds the fetch tick from below.
+	for i := 0; i < c.loadLen; i++ {
+		slot := c.loadHead + i
+		if slot >= len(c.loads) {
+			slot -= len(c.loads)
+		}
+		e := &c.loads[slot]
+		if e.done || int64(e.idx) >= needRetired {
+			continue
+		}
+		dTick, known := due(e.req)
+		if !known {
+			dTick = queuedDue
+		}
+		if dTick > horizon {
+			horizon = dTick
+		}
+	}
+	return anchor, horizon, true
+}

@@ -51,10 +51,14 @@ func (c *CoreConfig) applyDefaults() {
 	}
 }
 
-// loadEntry tracks an in-flight demand load occupying a ROB slot.
+// loadEntry tracks an in-flight demand load occupying a ROB slot. req
+// backlinks to the fill request while the load is in flight (done is
+// false); once the completion callback marks done the pointer is stale
+// (the request recycles through the pool) and must not be followed.
 type loadEntry struct {
 	idx  uint64 // instruction index in program order
 	done bool
+	req  *mem.Request
 }
 
 // Core consumes an access stream, filters it through the LLC, issues
@@ -87,6 +91,20 @@ type Core struct {
 	heldRes       LLCResult // cached LLC outcome for the held access
 	heldProcessed bool      // heldRes is valid (avoids re-accessing the LLC on retry)
 	streamDone    bool
+
+	// Stream peek buffer for the affinity analysis (affinity.go):
+	// accesses pulled off the stream ahead of fetch, consumed in order
+	// before the stream is read again, so peeking never perturbs the
+	// access sequence the fetch path sees.
+	peeked   []trace.Access
+	peekHead int
+
+	// classify maps a line address to its memory channel; chanInflight
+	// counts this core's in-flight requests (fills and writebacks) per
+	// channel. Both are nil unless SetClassifier armed them — only the
+	// parallel engine's local-delivery mode pays for the bookkeeping.
+	classify     func(addr uint64) int
+	chanInflight []int
 
 	pendingWB *mem.Request // writeback waiting for write-queue space
 	// pendingFill is the line-fill request for the held access, kept
@@ -147,17 +165,20 @@ func NewCore(cfg CoreConfig, s trace.Stream, llc *LLC, ctrl MemorySystem) (*Core
 func (c *Core) loadDone(r *mem.Request, _ sim.Tick) {
 	r.Entry.(*loadEntry).done = true
 	c.outstanding--
+	c.noteInflight(r.Addr, -1)
 	c.pool.Put(r)
 }
 
 // storeDone completes a store-miss fill (no ROB entry to wake).
 func (c *Core) storeDone(r *mem.Request, _ sim.Tick) {
 	c.outstanding--
+	c.noteInflight(r.Addr, -1)
 	c.pool.Put(r)
 }
 
 // wbDone completes a dirty-eviction writeback.
 func (c *Core) wbDone(r *mem.Request, _ sim.Tick) {
+	c.noteInflight(r.Addr, -1)
 	c.pool.Put(r)
 }
 
@@ -287,6 +308,7 @@ func (c *Core) fetch(now sim.Tick) {
 			if !c.ctrl.Enqueue(c.pendingWB, now) {
 				return
 			}
+			c.noteInflight(c.pendingWB.Addr, 1)
 			c.pendingWB = nil
 			c.writebacks++
 		}
@@ -305,7 +327,7 @@ func (c *Core) fetch(now sim.Tick) {
 		}
 
 		if !c.haveAcc {
-			a, ok := c.stream.Next()
+			a, ok := c.nextAccess()
 			if !ok {
 				c.streamDone = true
 				return
@@ -347,6 +369,7 @@ func (c *Core) fetch(now sim.Tick) {
 				c.pendingWB = wb
 				return
 			}
+			c.noteInflight(wb.Addr, 1)
 			c.writebacks++
 		}
 		if c.outstanding >= c.cfg.MSHRs {
@@ -375,12 +398,15 @@ func (c *Core) fetch(now sim.Tick) {
 		fill := c.pendingFill
 		c.pendingFill = nil
 		c.outstanding++
+		c.noteInflight(fill.Addr, 1)
 		if a.Write {
 			c.storeMisses++
 		} else {
 			// The completion callback can fire no earlier than now+1,
 			// after Entry is in place.
-			fill.Entry = c.pushLoad(c.fetched)
+			e := c.pushLoad(c.fetched)
+			e.req = fill
+			fill.Entry = e
 			c.demandLoads++
 		}
 		c.fetched++

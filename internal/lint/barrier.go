@@ -6,6 +6,18 @@
 // shard-side completion schedule must instead go through the captured
 // path (controller.(*shard).scheduleCompletion), whose single audited
 // engine call carries the //lint:allow barrier waiver.
+//
+// Local-delivery windows widen the surface: a shard now *fires*
+// completions itself, which means invoking (*mem.Request).Finish — a
+// call that runs the request's OnComplete callback and so delivers an
+// engine event shard-side. That is legal only through the one audited
+// delivery path (controller.(*shard).finishLocal), because Finish must
+// be paired with the captured serial-order record the barrier replays;
+// a stray shard-side Finish completes the request invisibly to the
+// replay and desynchronizes Result bytes. Likewise a shard must never
+// invoke a stolen sim.ArgEvent closure directly — those closures are
+// the engine-side completion paths (Controller.finishRead/finishWrite)
+// and mutate coordinator state.
 
 package lint
 
@@ -14,14 +26,23 @@ import (
 	"go/types"
 )
 
-// Barrier flags calls to the event engine's scheduling methods made
-// from shard context (a method of a //own:channel type, including
-// closures inside one). Such calls bypass the parallel window's
-// capture-and-replay barrier; the sanctioned crossing is the audited
-// helper waived with //lint:allow barrier <reason>.
+// Barrier flags, in shard context (a method of a //own:channel type,
+// including closures inside one):
+//
+//   - calls to the event engine's scheduling methods
+//     ((*sim.Engine).Schedule/ScheduleAfter/ScheduleArg) — these bypass
+//     the parallel window's capture-and-replay barrier;
+//   - calls to (*mem.Request).Finish — shard-side local delivery is
+//     legal only through the single audited path that records the
+//     completion for the barrier replay;
+//   - direct invocation of a sim.ArgEvent value — firing a stolen
+//     engine closure from a shard runs engine-side code on a worker.
+//
+// The sanctioned crossings are the audited helpers waived with
+// //lint:allow barrier <reason>.
 var Barrier = &Analyzer{
 	Name:  "barrier",
-	Doc:   "shard code schedules engine events only through the captured barrier path",
+	Doc:   "shard code schedules and delivers engine events only through the captured barrier paths",
 	Scope: ownershipScope,
 	Run:   runBarrier,
 }
@@ -44,7 +65,21 @@ func runBarrier(pass *Pass) error {
 				if !ok {
 					return true
 				}
-				sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+				fun := unparen(call.Fun)
+
+				// Invoking a value of type sim.ArgEvent (a stolen
+				// engine closure) from shard context. Exclude type
+				// conversions: sim.ArgEvent(f) names the type, it does
+				// not fire anything.
+				if tv, ok := pass.Info.Types[fun]; ok && !tv.IsType() &&
+					isNamed(tv.Type, "sim", "ArgEvent") {
+					if !pass.Allowed(call, "barrier") {
+						pass.Reportf(call.Pos(), "shard method invokes a sim.ArgEvent value directly: stolen engine closures are engine-side completion paths and must only run via the audited delivery path (or waive with //lint:allow barrier)")
+					}
+					return true
+				}
+
+				sel, ok := fun.(*ast.SelectorExpr)
 				if !ok {
 					return true
 				}
@@ -52,15 +87,17 @@ func runBarrier(pass *Pass) error {
 				if !ok || selection.Kind() != types.MethodVal {
 					return true
 				}
-				if !isNamed(selection.Recv(), "sim", "Engine") {
-					return true
-				}
 				name := sel.Sel.Name
-				if name != "Schedule" && name != "ScheduleAfter" && name != "ScheduleArg" {
-					return true
-				}
-				if !pass.Allowed(sel, "barrier") {
-					pass.Reportf(sel.Pos(), "shard method calls (*sim.Engine).%s directly: schedule through the captured barrier path (or waive the audited call with //lint:allow barrier)", name)
+				switch {
+				case isNamed(selection.Recv(), "sim", "Engine") &&
+					(name == "Schedule" || name == "ScheduleAfter" || name == "ScheduleArg"):
+					if !pass.Allowed(sel, "barrier") {
+						pass.Reportf(sel.Pos(), "shard method calls (*sim.Engine).%s directly: schedule through the captured barrier path (or waive the audited call with //lint:allow barrier)", name)
+					}
+				case isNamed(selection.Recv(), "mem", "Request") && name == "Finish":
+					if !pass.Allowed(sel, "barrier") {
+						pass.Reportf(sel.Pos(), "shard method calls (*mem.Request).Finish directly: local delivery must go through the audited path that records the completion for the barrier replay (or waive with //lint:allow barrier)")
+					}
 				}
 				return true
 			})

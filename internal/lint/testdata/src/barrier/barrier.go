@@ -1,10 +1,15 @@
 // Package barrier is the fixture for the barrier analyzer: shard
 // methods must not call the event engine's scheduling methods
 // directly — inside a parallel window the shard runs on a worker
-// goroutine, and a direct call would race the engine's serial queue.
+// goroutine, and a direct call would race the engine's serial queue —
+// nor deliver completions ((*mem.Request).Finish, stolen sim.ArgEvent
+// closures) outside the audited local-delivery path.
 package barrier
 
-import "repro/internal/sim"
+import (
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
 
 // shard is the per-channel state under protection.
 //
@@ -14,6 +19,7 @@ type shard struct {
 	eng *sim.Engine
 
 	pending []sim.Tick
+	fires   []sim.Tick
 }
 
 // direct schedules straight onto the engine from shard context:
@@ -46,9 +52,37 @@ func (s *shard) captured(when sim.Tick, r any) {
 	s.eng.ScheduleArg(when, func(sim.Tick, any) {}, r)
 }
 
-// engineSide is plain coordinator code: direct scheduling is its job.
-func engineSide(eng *sim.Engine, when sim.Tick) {
+// deliver fires a completion from shard context without recording it
+// for the barrier replay: flagged — the replay never sees the fire.
+func (s *shard) deliver(r *mem.Request, now sim.Tick) {
+	r.Finish(now) // want "calls (*mem.Request).Finish directly"
+}
+
+// fireStolen invokes a stolen engine closure from shard context:
+// flagged — the closure is an engine-side completion path.
+func (s *shard) fireStolen(fn sim.ArgEvent, r *mem.Request, now sim.Tick) {
+	fn(now, r) // want "invokes a sim.ArgEvent value directly"
+}
+
+// deliverAudited is the sanctioned local-delivery pattern: the single
+// waived Finish call, paired with the captured fire record.
+func (s *shard) deliverAudited(r *mem.Request, now sim.Tick) {
+	s.fires = append(s.fires, now)
+	//lint:allow barrier the fixture's single audited delivery call
+	r.Finish(now)
+}
+
+// convert names the ArgEvent type without firing anything: a type
+// conversion is not an invocation, so it is not flagged.
+func (s *shard) convert(f func(sim.Tick, any)) sim.ArgEvent {
+	return sim.ArgEvent(f)
+}
+
+// engineSide is plain coordinator code: direct scheduling and delivery
+// are its job.
+func engineSide(eng *sim.Engine, r *mem.Request, when sim.Tick) {
 	eng.Schedule(when, func(sim.Tick) {})
+	r.Finish(when)
 }
 
 // nextAt reads engine state without scheduling: not flagged.
@@ -56,4 +90,6 @@ func (s *shard) nextAt() sim.Tick {
 	return s.eng.NextEventTick()
 }
 
-var _ = []any{(*shard).direct, (*shard).directArg, (*shard).closure, (*shard).captured, engineSide, (*shard).nextAt}
+var _ = []any{(*shard).direct, (*shard).directArg, (*shard).closure, (*shard).captured,
+	(*shard).deliver, (*shard).fireStolen, (*shard).deliverAudited, (*shard).convert,
+	engineSide, (*shard).nextAt}

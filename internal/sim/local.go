@@ -1,0 +1,180 @@
+// Channel-local event delivery support (ROADMAP item 1 follow-up): the
+// parallel run loop can prove that, for a stretch of ticks, every
+// pending completion can only be observed by the channel that scheduled
+// it. For such a stretch it *steals* the engine's pending events with
+// ExtractArgEvents, routes each to the owning channel's LocalQueue, and
+// lets the shard fire them mid-window without touching the engine. The
+// barrier re-serializes every side effect, and any event still undue is
+// re-inserted, so the engine's externally observable dispatch order is
+// unchanged.
+
+package sim
+
+import "sort"
+
+// StolenEvent is one pending engine event removed by ExtractArgEvents:
+// the scheduled (when, seq, fn, arg) tuple, preserved so the caller can
+// either fire it at its due tick or re-insert it in original order.
+// Stolen events are engine-side plunder: the run loop routes them into
+// per-shard queues before any shard code runs, and shards only ever see
+// the LocalEvent form.
+//
+//own:engine
+type StolenEvent struct {
+	When Tick
+	Seq  uint64
+	Fn   ArgEvent
+	Arg  any
+}
+
+// ExtractArgEvents removes and returns every pending event, sorted by
+// (When, Seq) — the exact order the engine would have dispatched them.
+// It refuses (returns nil, false, leaving the queue untouched) if any
+// pending event is a plain Event rather than an ArgEvent: plain events
+// are self-rescheduling component ticks or timers the caller cannot
+// reason about, so stealing them would be unsound. In the NVM designs
+// every scheduled event is a completion ArgEvent, so the refusal path
+// only triggers if a future component breaks that property — at which
+// point local delivery silently degrades to the reference window
+// derivation instead of corrupting results.
+//
+// The slice appends into buf to let the caller reuse one backing array
+// across windows.
+func (e *Engine) ExtractArgEvents(buf []StolenEvent) ([]StolenEvent, bool) {
+	if e.Pending() == 0 {
+		return buf[:0], true
+	}
+	for i := range e.events {
+		if e.events[i].argFn == nil {
+			return nil, false
+		}
+	}
+	if e.wcount > 0 {
+		for s := range e.wheel {
+			sl := &e.wheel[s]
+			for i := sl.head; i < len(sl.items); i++ {
+				if sl.items[i].argFn == nil {
+					return nil, false
+				}
+			}
+		}
+	}
+	out := buf[:0]
+	for i := range e.events {
+		it := &e.events[i]
+		out = append(out, StolenEvent{When: it.when, Seq: it.seq, Fn: it.argFn, Arg: it.arg})
+		*it = item{}
+	}
+	e.events = e.events[:0]
+	if e.wcount > 0 {
+		for s := range e.wheel {
+			sl := &e.wheel[s]
+			for i := sl.head; i < len(sl.items); i++ {
+				it := &sl.items[i]
+				out = append(out, StolenEvent{When: it.when, Seq: it.seq, Fn: it.argFn, Arg: it.arg})
+				*it = item{}
+			}
+			sl.items = sl.items[:0]
+			sl.head = 0
+		}
+		e.occ = [wheelSlots / 64]uint64{}
+		e.wcount = 0
+		e.wNextKnown = false
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].When != out[j].When {
+			return out[i].When < out[j].When
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out, true
+}
+
+// LocalEvent is one entry in a LocalQueue: an ArgEvent due at When,
+// ordered within its queue by the caller-assigned Key. Keys are assigned
+// so that (When, Key) order equals the serial engine's (when, seq)
+// dispatch order restricted to this queue's events. Entries live inside
+// a shard's LocalQueue and are touched only by that shard.
+//
+//own:channel
+type LocalEvent struct {
+	When Tick
+	Key  uint64
+	Fn   ArgEvent
+	Arg  any
+}
+
+// LocalQueue is a shard-private mini event queue: a binary min-heap
+// ordered by (When, Key). One lives inside each channel shard; during a
+// local-delivery window the shard fires its due entries itself instead
+// of round-tripping through the global engine. It is plain owned state —
+// no locking, no engine coupling — so a worker goroutine can drive it
+// freely inside a window.
+//
+//own:channel
+type LocalQueue struct {
+	items []LocalEvent
+}
+
+func (q *LocalQueue) less(i, j int) bool {
+	if q.items[i].When != q.items[j].When {
+		return q.items[i].When < q.items[j].When
+	}
+	return q.items[i].Key < q.items[j].Key
+}
+
+// Push inserts an event due at when with ordering key key.
+func (q *LocalQueue) Push(when Tick, key uint64, fn ArgEvent, arg any) {
+	q.items = append(q.items, LocalEvent{When: when, Key: key, Fn: fn, Arg: arg})
+	i := len(q.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
+
+// Len returns the number of pending entries.
+func (q *LocalQueue) Len() int { return len(q.items) }
+
+// NextWhen returns the due tick of the earliest entry, or MaxTick when
+// the queue is empty.
+func (q *LocalQueue) NextWhen() Tick {
+	if len(q.items) == 0 {
+		return MaxTick
+	}
+	return q.items[0].When
+}
+
+// PopDue removes and returns the earliest entry if it is due at or
+// before now. The second return is false when nothing is due.
+func (q *LocalQueue) PopDue(now Tick) (LocalEvent, bool) {
+	if len(q.items) == 0 || q.items[0].When > now {
+		return LocalEvent{}, false
+	}
+	top := q.items[0]
+	n := len(q.items) - 1
+	q.items[0] = q.items[n]
+	q.items[n] = LocalEvent{}
+	q.items = q.items[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		q.items[i], q.items[smallest] = q.items[smallest], q.items[i]
+		i = smallest
+	}
+	return top, true
+}

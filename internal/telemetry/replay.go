@@ -28,10 +28,18 @@ const (
 type bufferedEvent struct {
 	tick sim.Tick
 	kind bufferKind
+	who  int32 // emission context: WhoShard, or the global core slot
 	cmd  Command
 	req  RequestEvent
 	st   StallEvent
 }
+
+// WhoShard tags events the shard itself emits (scheduling, attribution).
+// Local-delivery windows additionally step cores shard-side; their
+// events are tagged with the core's global slot index so the barrier can
+// interleave core-phase events across shards in slot order — the serial
+// engine's core-stepping order.
+const WhoShard int32 = -1
 
 // Buffer records the telemetry events one channel shard emits while
 // stepping inside a parallel window, each tagged with its emission
@@ -43,22 +51,28 @@ type bufferedEvent struct {
 //own:channel
 type Buffer struct {
 	entries []bufferedEvent
-	next    int // replay cursor
+	next    int   // replay cursor
+	who     int32 // context stamped on subsequent Adds (WhoShard outside core stepping)
 }
+
+// SetWho sets the emission context stamped on subsequent Adds: WhoShard
+// (the zero value is NOT WhoShard — capture paths set it explicitly at
+// window entry) or a core's global slot index while that core steps.
+func (b *Buffer) SetWho(who int32) { b.who = who }
 
 // AddCommand records a command span emitted at tick t.
 func (b *Buffer) AddCommand(t sim.Tick, ev Command) {
-	b.entries = append(b.entries, bufferedEvent{tick: t, kind: bufCommand, cmd: ev})
+	b.entries = append(b.entries, bufferedEvent{tick: t, kind: bufCommand, who: b.who, cmd: ev})
 }
 
 // AddRequest records a request lifecycle event emitted at tick t.
 func (b *Buffer) AddRequest(t sim.Tick, ev RequestEvent) {
-	b.entries = append(b.entries, bufferedEvent{tick: t, kind: bufRequest, req: ev})
+	b.entries = append(b.entries, bufferedEvent{tick: t, kind: bufRequest, who: b.who, req: ev})
 }
 
 // AddStall records a stall-attribution event emitted at tick t.
 func (b *Buffer) AddStall(t sim.Tick, ev StallEvent) {
-	b.entries = append(b.entries, bufferedEvent{tick: t, kind: bufStall, st: ev})
+	b.entries = append(b.entries, bufferedEvent{tick: t, kind: bufStall, who: b.who, st: ev})
 }
 
 // ReplayTick forwards every buffered event tagged with tick t to sink,
@@ -67,6 +81,28 @@ func (b *Buffer) AddStall(t sim.Tick, ev StallEvent) {
 // tick drains the buffer exactly.
 func (b *Buffer) ReplayTick(t sim.Tick, sink Sink) {
 	for b.next < len(b.entries) && b.entries[b.next].tick == t {
+		e := &b.entries[b.next]
+		b.next++
+		switch e.kind {
+		case bufCommand:
+			sink.Command(e.cmd)
+		case bufRequest:
+			sink.Request(e.req)
+		default:
+			sink.Stall(e.st)
+		}
+	}
+}
+
+// ReplayTickWho forwards the consecutive run of buffered events tagged
+// (t, who) at the cursor, in emission order. Local-delivery barriers use
+// it to interleave core-phase events across shards in global slot order:
+// within one tick a shard's buffer holds its owned cores' events first
+// (slot-ascending — the worker steps them in that order) and the shard's
+// own events last, so cursor-sequential runs line up exactly with the
+// (tick, slot) requests the barrier makes.
+func (b *Buffer) ReplayTickWho(t sim.Tick, who int32, sink Sink) {
+	for b.next < len(b.entries) && b.entries[b.next].tick == t && b.entries[b.next].who == who {
 		e := &b.entries[b.next]
 		b.next++
 		switch e.kind {

@@ -7,9 +7,48 @@
 // results at the barrier in (tick, channel, seq) order — producing
 // Result JSON and Perfetto trace bytes identical to the serial engine.
 //
-// Window derivation. At a boundary tick T with all live cores blocked,
-// the window [T, W) is sound when nothing outside a shard can observe
-// or influence shard state strictly inside it:
+// Two window derivations exist, tried in order:
+//
+// Channel-local windows (this PR). The reference derivation below must
+// close every window at the engine's next event, because a completion
+// wakes a core and core stepping is engine-side — so on memory-bound
+// phases windows are capped at MinCompletionLatency no matter how
+// little the channels interact. The local derivation removes that cap:
+// if every live core certifies a single-channel affinity
+// (cpu.AffinityHorizon — its in-flight completions, pending retries,
+// held access and next few trace accesses all decode to one channel),
+// and every finished core's residual in-flights are confined to one
+// channel, then for a provable stretch no event crosses a channel
+// boundary. The loop steals the engine's pending events
+// (sim.ExtractArgEvents), routes them to the owning shards, and
+// Controller.StepWindowLocal lets each shard fire its completions,
+// wake and step its owned cores, accept their re-issued requests and
+// keep scheduling — the window extends to the earliest cross-channel
+// interaction across the cores' horizons. The barrier replays every
+// captured effect in serial (tick, slot/channel, seq) order, so
+// byte-identity holds exactly as for reference windows; the horizon
+// math is sound because AffinityHorizon under-approximates (rate and
+// completion bounds both lower-bound the first cross-channel fetch)
+// and because stolen completions carry exact due ticks. Local windows
+// additionally require (checked once per run, before arming the
+// affinity classifier):
+//
+//   - eviction safety: the address layout's channel bits lie inside
+//     the LLC's set-index window, so a dirty eviction's victim line is
+//     on the inserted line's channel and an affine access can only
+//     mint an affine writeback (Mapper.ChannelBitWindow within
+//     LLC.IndexWindow; trivial with one channel or no LLC);
+//   - stream exclusivity: the affinity analysis peeks each core's
+//     trace stream, which is transparent to that core's own fetch path
+//     but would consume another core's accesses if two cores shared
+//     one Stream object — possible only through Options.Streams, so
+//     aliased streams disable local delivery rather than perturb.
+//
+// Reference derivation (Options.DisableLocalDelivery, and the fallback
+// whenever affinity cannot be certified). At a boundary tick T with
+// all live cores blocked, the window [T, W) is sound when nothing
+// outside a shard can observe or influence shard state strictly inside
+// it:
 //
 //   - W <= the engine's next event tick: no completion (or any other
 //     event) fires inside the window, so cores stay blocked and
@@ -29,6 +68,11 @@
 //     shard issues from the full queue (no enqueue can create a new
 //     forwarding match mid-window, because nothing enqueues mid-window).
 //
+// The retry-collapse rule applies only to reference windows: inside a
+// local window the owned cores actually step every tick, so a retry
+// that stops being futile simply executes, shard-side, at the exact
+// tick the serial loop would have executed it.
+//
 // Cores skip the window's interior exactly as the serial fast-forward
 // skips quiescent stretches: batch-credited stall cycles and weighted
 // rejected-retry telemetry (the PR 4 machinery, proven byte-exact).
@@ -39,18 +83,119 @@ package fgnvm
 
 import (
 	"context"
+	"reflect"
 
 	"repro/internal/controller"
+	"repro/internal/mem"
 	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
 )
+
+// affinityPeekCap bounds the trace-stream lookahead per affinity
+// probe. Reaching the cap is treated as an immediate cross-channel
+// access (conservative), so the cap trades window width for probe
+// cost; 64 accesses cover several ROB refills at typical miss rates.
+const affinityPeekCap = 64
+
+// localWindowCap bounds one local-delivery window. Horizons can be
+// unbounded (a core whose stream ends affine certifies sim.MaxTick),
+// and the barrier's hook-emulation bookkeeping is O(width), so very
+// wide windows are chunked at this cap — pure engine-side pacing,
+// invisible to results.
+const localWindowCap = sim.Tick(1 << 16)
+
+// engineAccum collects the run-loop side of the engine observability
+// counters (Result.Engine): windows opened and their width
+// distribution. The controller-side counters live in
+// controller.EngineCounters.
+type engineAccum struct {
+	windows      uint64
+	localWindows uint64
+	width        stats.Histogram
+}
+
+// localDeliveryViable reports the per-run preconditions for
+// channel-local event delivery (see the file comment): eviction safety
+// of the address layout against every core's LLC, and pairwise
+// distinct trace streams. Called once before arming the cores'
+// affinity classifiers; a false return leaves the classifiers unarmed,
+// which makes every affinity probe refuse and the engine fall back to
+// reference windows.
+func localDeliveryViable(ctrl *controller.Controller, slots []*coreSlot, streams []trace.Stream) bool {
+	chLo, chHi := ctrl.ChannelBitWindow()
+	if chLo != chHi { // multi-channel: victim channel must be set-determined
+		for _, s := range slots {
+			if s.llc == nil {
+				continue // no cache, no evictions
+			}
+			lo, hi := s.llc.IndexWindow()
+			if chLo < lo || chHi > hi {
+				return false
+			}
+		}
+	}
+	return streamsDistinct(streams)
+}
+
+// streamsDistinct reports whether no two cores share a Stream object.
+// The internal workload builders always mint per-core streams; only
+// Options.Streams can alias. Pointer-shaped streams are compared by
+// identity; value-shaped ones cannot be proved exclusive (and could
+// not advance through a value receiver anyway), so they refuse.
+func streamsDistinct(streams []trace.Stream) bool {
+	if len(streams) < 2 {
+		return true
+	}
+	seen := make(map[uintptr]struct{}, len(streams))
+	for _, s := range streams {
+		v := reflect.ValueOf(s)
+		switch v.Kind() {
+		case reflect.Pointer, reflect.Map, reflect.Chan, reflect.Func, reflect.UnsafePointer:
+			p := v.Pointer()
+			if _, dup := seen[p]; dup {
+				return false
+			}
+			seen[p] = struct{}{}
+		default:
+			return false
+		}
+	}
+	return true
+}
 
 // runParallel is the windowed engine behind RunContext for the NVM
 // designs. It returns the final tick, like runSerial; the deferred
 // StopWorkers releases the controller's window workers on every exit
 // path, including context cancellation mid-run.
-func runParallel(ctx context.Context, o Options, eng *sim.Engine, ctrl *controller.Controller, slots []*coreSlot) (sim.Tick, error) {
+func runParallel(ctx context.Context, o Options, eng *sim.Engine, ctrl *controller.Controller, slots []*coreSlot, ea *engineAccum) (sim.Tick, error) {
 	defer ctrl.StopWorkers()
 	lmin := ctrl.MinCompletionLatency()
+
+	// Local-delivery working state, reused across windows. dueMap
+	// resolves a stolen completion's request to its exact due tick —
+	// the completion bound that makes horizons wide on memory-bound
+	// phases (see cpu.AffinityHorizon).
+	var (
+		stolen []sim.StolenEvent
+		owned  []controller.LocalCore
+		dueMap = make(map[*mem.Request]sim.Tick)
+	)
+	unknownDue := func(*mem.Request) (sim.Tick, bool) { return 0, false }
+	knownDue := func(r *mem.Request) (sim.Tick, bool) {
+		t, ok := dueMap[r]
+		return t, ok
+	}
+	// reinsert returns stolen events to the engine on a fallback path.
+	// ExtractArgEvents returns them sorted by (When, Seq) and the
+	// engine assigns fresh monotone seqs, so relative dispatch order —
+	// the only thing seq decides — is preserved.
+	reinsert := func() {
+		for i := range stolen {
+			eng.ScheduleArg(stolen[i].When, stolen[i].Fn, stolen[i].Arg)
+		}
+	}
+
 	var now sim.Tick
 	for ; now < o.MaxCycles; now++ {
 		if now&ctxCheckMask == 0 {
@@ -113,6 +258,104 @@ func runParallel(ctx context.Context, o Options, eng *sim.Engine, ctrl *controll
 			}
 		}
 
+		// Local-delivery attempt: certify a single-channel affinity for
+		// every core, steal the engine's events, and derive a window
+		// bounded by the earliest cross-channel interaction instead of
+		// the next completion. Engaged only when it strictly beats the
+		// reference target; every bail-out path reinserts the stolen
+		// events and falls through to the reference machinery below.
+		if !o.DisableLocalDelivery && blocked && !drainedOut && target < o.MaxCycles {
+			feasible := true
+			queuedDue := now + lmin
+			for _, s := range slots {
+				if s.done {
+					// A finished core is touched only by its residual
+					// completions' callbacks (which never enqueue), so
+					// single-channel confinement of its in-flights is
+					// enough to hand it to that shard.
+					if _, ok := s.core.InflightSingleChannel(); !ok {
+						feasible = false
+						break
+					}
+				} else if _, _, ok := s.core.AffinityHorizon(now, affinityPeekCap, unknownDue, queuedDue); !ok {
+					feasible = false
+					break
+				}
+			}
+			if feasible {
+				if st, ok := eng.ExtractArgEvents(stolen[:0]); ok {
+					stolen = st
+					clear(dueMap)
+					argsOK := true
+					for i := range stolen {
+						r, isReq := stolen[i].Arg.(*mem.Request)
+						if !isReq {
+							argsOK = false
+							break
+						}
+						dueMap[r] = stolen[i].When
+					}
+					w := sim.MaxTick
+					owned = owned[:0]
+					if argsOK {
+						for i, s := range slots {
+							if s.done {
+								ch, _ := s.core.InflightSingleChannel()
+								if ch == -1 {
+									continue // nothing in flight: no event can touch it
+								}
+								owned = append(owned, controller.LocalCore{
+									Slot: int32(i), Channel: ch, Done: true, Core: s.core,
+								})
+								continue
+							}
+							ch, h, ok := s.core.AffinityHorizon(now, affinityPeekCap, knownDue, queuedDue)
+							if !ok {
+								argsOK = false
+								break
+							}
+							if h < w {
+								w = h
+							}
+							owned = append(owned, controller.LocalCore{
+								Slot: int32(i), Channel: ch, Core: s.core,
+							})
+						}
+					}
+					if c := now + localWindowCap; w > c {
+						w = c
+					}
+					if w > o.MaxCycles {
+						w = o.MaxCycles
+					}
+					if argsOK && w > target {
+						ea.windows++
+						ea.localWindows++
+						ea.width.Observe(uint64(w - now))
+						_, fins, end, over := ctrl.StepWindowLocal(now, w, o.DisableFastForward, owned, stolen)
+						for _, f := range fins {
+							sl := slots[f.Slot]
+							sl.done = true
+							sl.finished = f.Tick
+						}
+						if over {
+							// The run completed inside the window: end is
+							// the tick the serial loop would have exited
+							// on (see StepWindowLocal).
+							now = end
+							break
+						}
+						now = w - 1 // the loop increment lands exactly on w
+						if err := ctx.Err(); err != nil {
+							return 0, err
+						}
+						continue
+					}
+					reinsert()
+				}
+			}
+		}
+
 		if target <= now+1 {
 			ctrl.Cycle(now)
 			if drainedOut {
@@ -148,6 +391,8 @@ func runParallel(ctx context.Context, o Options, eng *sim.Engine, ctrl *controll
 			}
 		}
 
+		ea.windows++
+		ea.width.Observe(uint64(target - now))
 		ctrl.StepWindow(now, target, o.DisableFastForward)
 		skip := uint64(target - now - 1)
 		for _, s := range slots {

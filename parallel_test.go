@@ -28,27 +28,44 @@ import (
 	"repro/internal/trace"
 )
 
+// assertEngineVariants runs o under all three engine variants — the
+// full parallel engine with channel-local delivery (the default), the
+// reference PR 9 window derivation (DisableLocalDelivery), and the
+// serial loop (DisableParallelEngine) — and requires byte-identical
+// Result JSON and trace output across all of them.
+func assertEngineVariants(t *testing.T, o Options) {
+	t.Helper()
+	localRes, localTrace := runArtifacts(t, o)
+	o.DisableLocalDelivery = true
+	refRes, refTrace := runArtifacts(t, o)
+	if !bytes.Equal(localRes, refRes) {
+		t.Errorf("Result diverged under local delivery:\n  local: %s\n  ref:   %s", localRes, refRes)
+	}
+	if !bytes.Equal(localTrace, refTrace) {
+		t.Errorf("trace diverged under local delivery (%d vs %d bytes)", len(localTrace), len(refTrace))
+	}
+	o.DisableParallelEngine = true
+	serRes, serTrace := runArtifacts(t, o)
+	if !bytes.Equal(refRes, serRes) {
+		t.Errorf("Result diverged under parallel engine:\n  par: %s\n  ser: %s", refRes, serRes)
+	}
+	if !bytes.Equal(refTrace, serTrace) {
+		t.Errorf("trace diverged under parallel engine (%d vs %d bytes)", len(refTrace), len(serTrace))
+	}
+}
+
 // TestParallelEngineDifferential: every benchmark × every design,
-// parallel engine vs DisableParallelEngine, must produce byte-identical
-// Result JSON and byte-identical trace output. Fast-forward and indexed
-// scheduling stay on in both runs, so this also covers window/jump and
-// window/memo interactions.
+// local delivery vs reference windows vs serial loop, must produce
+// byte-identical Result JSON and byte-identical trace output.
+// Fast-forward and indexed scheduling stay on in all runs, so this also
+// covers window/jump and window/memo interactions.
 func TestParallelEngineDifferential(t *testing.T) {
 	for _, d := range Designs() {
 		t.Run(d.String(), func(t *testing.T) {
 			for _, bench := range Benchmarks() {
 				t.Run(bench, func(t *testing.T) {
 					t.Parallel()
-					o := Options{Design: d, SAGs: 8, CDs: 2, Benchmark: bench, Instructions: ffInstr}
-					parRes, parTrace := runArtifacts(t, o)
-					o.DisableParallelEngine = true
-					refRes, refTrace := runArtifacts(t, o)
-					if !bytes.Equal(parRes, refRes) {
-						t.Errorf("Result diverged under parallel engine:\n  par: %s\n  ref: %s", parRes, refRes)
-					}
-					if !bytes.Equal(parTrace, refTrace) {
-						t.Errorf("trace diverged under parallel engine (%d vs %d bytes)", len(parTrace), len(refTrace))
-					}
+					assertEngineVariants(t, Options{Design: d, SAGs: 8, CDs: 2, Benchmark: bench, Instructions: ffInstr})
 				})
 			}
 		})
@@ -76,20 +93,11 @@ func TestParallelEngineCycleByCycle(t *testing.T) {
 					for _, bench := range []string{"lbm", "mcf"} {
 						t.Run(bench, func(t *testing.T) {
 							t.Parallel()
-							o := Options{
+							assertEngineVariants(t, Options{
 								Design: d, SAGs: 8, CDs: 2, Benchmark: bench,
 								Instructions:       ffInstr,
 								DisableFastForward: k.noFF, DisableSchedIndex: k.noIndex,
-							}
-							parRes, parTrace := runArtifacts(t, o)
-							o.DisableParallelEngine = true
-							refRes, refTrace := runArtifacts(t, o)
-							if !bytes.Equal(parRes, refRes) {
-								t.Errorf("Result diverged (%s):\n  par: %s\n  ref: %s", k.name, parRes, refRes)
-							}
-							if !bytes.Equal(parTrace, refTrace) {
-								t.Errorf("trace diverged (%s): %d vs %d bytes", k.name, len(parTrace), len(refTrace))
-							}
+							})
 						})
 					}
 				})
@@ -118,19 +126,10 @@ func TestParallelEngineMultiChannel(t *testing.T) {
 			for _, bench := range []string{"lbm", "mcf", "milc"} {
 				t.Run(bench, func(t *testing.T) {
 					t.Parallel()
-					o := Options{
+					assertEngineVariants(t, Options{
 						Design: d, SAGs: 8, CDs: 2, Benchmark: bench, Cores: channels,
 						Instructions: ffInstr, Geometry: multiChannelGeom(channels),
-					}
-					parRes, parTrace := runArtifacts(t, o)
-					o.DisableParallelEngine = true
-					refRes, refTrace := runArtifacts(t, o)
-					if !bytes.Equal(parRes, refRes) {
-						t.Errorf("ch=%d %v: Result diverged:\n  par: %s\n  ref: %s", channels, d, parRes, refRes)
-					}
-					if !bytes.Equal(parTrace, refTrace) {
-						t.Errorf("ch=%d %v: trace diverged: %d vs %d bytes", channels, d, len(parTrace), len(refTrace))
-					}
+					})
 				})
 			}
 		}
@@ -219,6 +218,77 @@ func TestParallelEngineDeterminism(t *testing.T) {
 				t.Fatalf("GOMAXPROCS=%d run %d: output hash diverged: %x != %x", procs, r, got, want)
 			}
 		}
+	}
+}
+
+// TestEngineStatsStable pins the Result.Engine observability block:
+// opt-in only (nil without Options.EngineStats, and always nil under
+// the serial loop, preserving cross-engine byte-identity), byte-stable
+// across identical runs, and actually populated — a memory-bound
+// 4-channel workload must open local-delivery windows and fire
+// completions shard-side, and forcing DisableLocalDelivery must zero
+// the local counters while still opening plain windows.
+func TestEngineStatsStable(t *testing.T) {
+	mkOpts := func(stats, noLocal, noParallel bool) Options {
+		streams := make([]trace.Stream, 4)
+		for i := range streams {
+			streams[i] = splitMixStream(0xd00d+uint64(i)*0x77, 8192)
+		}
+		return Options{
+			Design: DesignFgNVM, SAGs: 8, CDs: 2,
+			Streams: streams, Instructions: ffInstr,
+			SkipLLC:     true,
+			Geometry:    multiChannelGeom(4),
+			EngineStats: stats, DisableLocalDelivery: noLocal,
+			DisableParallelEngine: noParallel,
+		}
+	}
+	run := func(o Options) ([]byte, Result) {
+		t.Helper()
+		res, err := Run(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b, res
+	}
+
+	b1, r1 := run(mkOpts(true, false, false))
+	b2, _ := run(mkOpts(true, false, false))
+	if !bytes.Equal(b1, b2) {
+		t.Errorf("EngineStats not byte-stable across identical runs:\n  %s\n  %s", b1, b2)
+	}
+	if r1.Engine == nil {
+		t.Fatal("Options.EngineStats set but Result.Engine is nil")
+	}
+	if r1.Engine.LocalWindows == 0 || r1.Engine.LocalDeliveries == 0 {
+		t.Errorf("memory-bound 4-channel run opened no local windows: %+v", r1.Engine)
+	}
+	if r1.Engine.BarrierReplays == 0 || r1.Engine.MaxWidth < 2 {
+		t.Errorf("implausible window stats: %+v", r1.Engine)
+	}
+
+	_, rRef := run(mkOpts(true, true, false))
+	if rRef.Engine == nil {
+		t.Fatal("reference-window run with EngineStats has nil Result.Engine")
+	}
+	if rRef.Engine.LocalWindows != 0 || rRef.Engine.LocalDeliveries != 0 {
+		t.Errorf("DisableLocalDelivery left local counters nonzero: %+v", rRef.Engine)
+	}
+	if rRef.Engine.Windows == 0 {
+		t.Errorf("reference run opened no windows: %+v", rRef.Engine)
+	}
+
+	_, rSer := run(mkOpts(true, false, true))
+	if rSer.Engine != nil {
+		t.Errorf("serial run must report nil Result.Engine, got %+v", rSer.Engine)
+	}
+	_, rOff := run(mkOpts(false, false, false))
+	if rOff.Engine != nil {
+		t.Errorf("Result.Engine must be nil without Options.EngineStats, got %+v", rOff.Engine)
 	}
 }
 
